@@ -1,0 +1,317 @@
+// Benchmarks regenerating the paper's evaluation (Figures 2–5), plus
+// operator micro-benchmarks and ablations. Each figure benchmark
+// sweeps the paper's table sizes (at 1/16 scale so a full -bench run
+// stays laptop-friendly; cmd/benchfig runs any scale) across the
+// evaluation strategies:
+//
+//	go test -bench=Fig -benchmem
+//
+// The reported ns/op of sub-benchmarks named Fig<k>/<variant>/<size>
+// are the series of the corresponding paper figure.
+package gmdj
+
+import (
+	"fmt"
+	"testing"
+
+	iagg "github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/benchlab"
+	"github.com/olaplab/gmdj/internal/datagen"
+	"github.com/olaplab/gmdj/internal/engine"
+	"github.com/olaplab/gmdj/internal/exec"
+	"github.com/olaplab/gmdj/internal/expr"
+	igmdj "github.com/olaplab/gmdj/internal/gmdj"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/sql"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// benchScale keeps `go test -bench=.` runs in the minutes range; use
+// cmd/benchfig -scale 1.0 for the paper's full row counts.
+const benchScale = 1.0 / 16.0
+
+func benchFigure(b *testing.B, id string) {
+	r := &benchlab.Runner{Scale: benchScale, Repeat: 1, Verify: false}
+	exp, err := r.Experiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range exp.Sizes {
+		for _, v := range exp.Variants {
+			if v.MaxInner > 0 && size.Inner > v.MaxInner {
+				continue // DNF by construction (see benchlab notes)
+			}
+			name := fmt.Sprintf("%s/%s", v.Name, size.Label)
+			b.Run(name, func(b *testing.B) {
+				cat := exp.Build(size)
+				if exp.Prepare != nil {
+					if err := exp.Prepare(cat); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng := engine.New(cat)
+				eng.SetUseIndexes(v.UseIndexes)
+				physical, err := eng.Plan(exp.Query(size), v.Strategy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(physical, engine.Native); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig2 — EXISTS subquery (paper Figure 2).
+func BenchmarkFig2(b *testing.B) { benchFigure(b, "fig2") }
+
+// BenchmarkFig3 — comparison against an aggregate subquery (Figure 3).
+func BenchmarkFig3(b *testing.B) { benchFigure(b, "fig3") }
+
+// BenchmarkFig4 — quantified ALL with ≠ correlation (Figure 4).
+func BenchmarkFig4(b *testing.B) { benchFigure(b, "fig4") }
+
+// BenchmarkFig5 — two tree-nested EXISTS subqueries (Figure 5).
+func BenchmarkFig5(b *testing.B) { benchFigure(b, "fig5") }
+
+// ---------------------------------------------------------------------------
+// Operator micro-benchmarks and ablations
+
+// BenchmarkGMDJOperator measures the raw GMDJ evaluator: one indexed
+// condition over a 100k-row detail relation, 1k base rows.
+func BenchmarkGMDJOperator(b *testing.B) {
+	base := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+	))
+	for i := int64(0); i < 1000; i++ {
+		base.Append(relation.Tuple{value.Int(i)})
+	}
+	detail := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+		relation.Column{Qualifier: "R", Name: "v", Type: value.KindInt},
+	))
+	rng := datagen.NewPRNG(5)
+	for i := 0; i < 100_000; i++ {
+		detail.Append(relation.Tuple{value.Int(rng.Int63n(1000)), value.Int(rng.Int63n(1000))})
+	}
+	conds := []algebra.GMDJCond{{
+		Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+		Aggs: []iagg.Spec{
+			{Func: iagg.CountStar, As: "cnt"},
+			{Func: iagg.Sum, Arg: expr.C("R.v"), As: "s"},
+		},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := igmdj.Evaluate(base, detail, conds, igmdj.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGMDJParallel is the parallel-scan ablation of the same
+// workload (the paper's conclusion notes GMDJ suits parallel DBMSs).
+func BenchmarkGMDJParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			base := relation.New(relation.NewSchema(
+				relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+			))
+			for i := int64(0); i < 1000; i++ {
+				base.Append(relation.Tuple{value.Int(i)})
+			}
+			detail := relation.New(relation.NewSchema(
+				relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+			))
+			rng := datagen.NewPRNG(6)
+			for i := 0; i < 200_000; i++ {
+				detail.Append(relation.Tuple{value.Int(rng.Int63n(1000))})
+			}
+			conds := []algebra.GMDJCond{{
+				Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+				Aggs:  []iagg.Spec{{Func: iagg.CountStar, As: "cnt"}},
+			}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := igmdj.Evaluate(base, detail, conds, igmdj.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoalescingAblation compares the Example 2.3 plan with and
+// without Proposition 4.1 coalescing: 3 subqueries over the same detail
+// table become 1 scan instead of 4.
+func BenchmarkCoalescingAblation(b *testing.B) {
+	cat := datagen.Netflow(datagen.NetflowOpts{Flows: 100_000, Hours: 24, Users: 40, Seed: 9})
+	q := `SELECT u.IPAddress FROM User u
+	      WHERE NOT EXISTS (SELECT * FROM Flow f1 WHERE f1.SourceIP = u.IPAddress AND f1.DestIP = '167.167.167.0')
+	        AND EXISTS     (SELECT * FROM Flow f2 WHERE f2.SourceIP = u.IPAddress AND f2.DestIP = '168.168.168.0')
+	        AND NOT EXISTS (SELECT * FROM Flow f3 WHERE f3.SourceIP = u.IPAddress AND f3.DestIP = '169.169.169.0')`
+	for _, s := range []engine.Strategy{engine.GMDJ, engine.GMDJOpt} {
+		b.Run(s.String(), func(b *testing.B) {
+			eng := engine.New(cat)
+			plan, err := sql.ParseAndResolve(q, eng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			physical, err := eng.Plan(plan, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(physical, engine.Native); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompletionAblation isolates §4.2 tuple completion on the
+// Figure 4 workload at a fixed size.
+func BenchmarkCompletionAblation(b *testing.B) {
+	cat := datagen.KeyPair(datagen.KeyPairOpts{Rows: 4000, Seed: 13})
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("B", "B"),
+		Where:  &algebra.Atom{E: expr.NewCmp(value.NE, expr.C("B.b_key"), expr.C("A.a_key"))},
+		OutCol: expr.C("B.b_val"),
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("A", "A"),
+		&algebra.SubPred{Kind: algebra.CmpAll, Op: value.NE, Left: expr.C("A.a_val"), Sub: sub})
+	for _, s := range []engine.Strategy{engine.GMDJ, engine.GMDJOpt} {
+		b.Run(s.String(), func(b *testing.B) {
+			eng := engine.New(cat)
+			physical, err := eng.Plan(plan, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(physical, engine.Native); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashJoin measures the join executor on a 100k ⋈ 100k
+// equi-join (the unnest baseline's workhorse).
+func BenchmarkHashJoin(b *testing.B) {
+	mk := func(q string, n int, seed uint64) *relation.Relation {
+		r := relation.New(relation.NewSchema(
+			relation.Column{Qualifier: q, Name: "k", Type: value.KindInt},
+		))
+		rng := datagen.NewPRNG(seed)
+		for i := 0; i < n; i++ {
+			r.Append(relation.Tuple{value.Int(rng.Int63n(50_000))})
+		}
+		return r
+	}
+	cat := storage.NewCatalog()
+	cat.Register(storage.NewTable("L", mk("L", 100_000, 1)))
+	cat.Register(storage.NewTable("R", mk("R", 100_000, 2)))
+	eng := exec.New(cat)
+	plan := algebra.NewJoin(algebra.SemiJoin,
+		algebra.NewScan("L", "L"), algebra.NewScan("R", "R"),
+		expr.Eq(expr.C("L.k"), expr.C("R.k")))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLParse measures front-end overhead.
+func BenchmarkSQLParse(b *testing.B) {
+	q := `SELECT h.HourDsc FROM Hours h WHERE EXISTS (
+	        SELECT * FROM Flow f
+	        WHERE f.StartTime >= h.StartInterval AND f.StartTime < h.EndInterval
+	          AND f.Protocol = 'HTTP') AND h.HourDsc > 2`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sql.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemoizationAblation isolates Rao-Ross invariant reuse on a
+// workload with heavily duplicated correlation keys: 2000 outer rows
+// over only 40 distinct keys.
+func BenchmarkMemoizationAblation(b *testing.B) {
+	cat := datagen.Netflow(datagen.NetflowOpts{Flows: 2000, Hours: 24, Users: 40, Seed: 10})
+	flowTbl, err := cat.Table("Flow")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("User", "U"),
+		Where:  &algebra.Atom{E: expr.Eq(expr.C("U.IPAddress"), expr.C("F.SourceIP"))},
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("Flow", "F"), algebra.ExistsPred(sub))
+	_ = flowTbl
+	for _, memo := range []bool{false, true} {
+		name := "plain"
+		if memo {
+			name = "memoized"
+		}
+		b.Run(name, func(b *testing.B) {
+			ex := exec.New(cat)
+			ex.UseIndexes = false
+			ex.MemoizeSubqueries = memo
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Run(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionedGMDJ measures the memory-bounded base-partition
+// regime: same work, bounded base structure, extra detail scans.
+func BenchmarkPartitionedGMDJ(b *testing.B) {
+	base := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+	))
+	for i := int64(0); i < 10_000; i++ {
+		base.Append(relation.Tuple{value.Int(i % 500)})
+	}
+	detail := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+	))
+	rng := datagen.NewPRNG(8)
+	for i := 0; i < 100_000; i++ {
+		detail.Append(relation.Tuple{value.Int(rng.Int63n(500))})
+	}
+	conds := []algebra.GMDJCond{{
+		Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+		Aggs:  []iagg.Spec{{Func: iagg.CountStar, As: "cnt"}},
+	}}
+	for _, maxBase := range []int{0, 1000, 2500} {
+		name := "unbounded"
+		if maxBase > 0 {
+			name = fmt.Sprintf("maxbase=%d", maxBase)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := igmdj.Evaluate(base, detail, conds, igmdj.Options{MaxBaseRows: maxBase}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Command benchfig regenerates the paper's evaluation figures: for
+// each figure it sweeps the paper's table sizes (scaled by -scale) over
+// every evaluation strategy and prints the timing table.
+//
+// Usage:
+//
+//	benchfig                 # all figures at 1/16 scale
+//	benchfig -fig fig4       # one figure
+//	benchfig -scale 1.0      # the paper's full row counts
+//	benchfig -workers 8      # parallel GMDJ scans (extension)
+//
+// Cells marked DNF* are skipped by construction: the strategy is known
+// to be combinatorially infeasible at that size (the paper reports the
+// corresponding runs as >7 hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/olaplab/gmdj/internal/benchlab"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: all, fig2, fig3, fig4, fig5, ext-coalesce")
+	scale := flag.Float64("scale", 1.0/16.0, "row-count multiplier over the paper's sizes (1.0 = paper scale)")
+	repeat := flag.Int("repeat", 1, "measurements per cell (minimum is reported)")
+	workers := flag.Int("workers", 0, "GMDJ scan parallelism (0 = serial)")
+	verify := flag.Bool("verify", true, "cross-check that all strategies agree per size")
+	flag.Parse()
+
+	r := &benchlab.Runner{Scale: *scale, Repeat: *repeat, Workers: *workers, Verify: *verify}
+
+	exps := r.Experiments()
+	if *fig != "all" {
+		exp, err := r.Experiment(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(2)
+		}
+		exps = []*benchlab.Experiment{exp}
+	}
+
+	fmt.Printf("benchfig: scale=%.4g repeat=%d workers=%d\n\n", *scale, *repeat, *workers)
+	for _, exp := range exps {
+		fmt.Printf("== %s — %s ==\n", exp.ID, exp.Title)
+		results, err := r.RunExperiment(exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		fmt.Print(benchlab.FormatTable(results))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,184 @@
+// Command olapql is an interactive SQL shell over the gmdj engine.
+//
+// Usage:
+//
+//	olapql [-data netflow|tpcr|none] [-scale f] [-strategy s] [-workers n]
+//
+// Meta commands inside the shell:
+//
+//	\tables             list tables
+//	\strategy <name>    switch evaluation strategy (native, unnest, gmdj, gmdj-opt)
+//	\explain <query>    show the physical plan for the current strategy
+//	\quit               exit
+//
+// Any other input line is executed as SQL.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gmdj "github.com/olaplab/gmdj"
+)
+
+func main() {
+	data := flag.String("data", "netflow", "sample dataset to preload: netflow, tpcr, or none")
+	scale := flag.Float64("scale", 1.0, "sample dataset scale factor")
+	strategy := flag.String("strategy", "gmdj-opt", "evaluation strategy: native, unnest, gmdj, gmdj-opt")
+	workers := flag.Int("workers", 0, "GMDJ scan parallelism (0 = serial)")
+	execQuery := flag.String("e", "", "execute one query and exit")
+	flag.Parse()
+
+	var db *gmdj.DB
+	switch *data {
+	case "netflow":
+		db = gmdj.OpenNetflowSample(int(50_000 * *scale))
+	case "tpcr":
+		db = gmdj.OpenTPCRSample(*scale)
+	case "none":
+		db = gmdj.Open()
+	default:
+		fmt.Fprintf(os.Stderr, "olapql: unknown dataset %q\n", *data)
+		os.Exit(2)
+	}
+	db.SetParallelism(*workers)
+
+	strat, ok := parseStrategy(*strategy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "olapql: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	if *execQuery != "" {
+		res, err := db.ExecStrategy(*execQuery, strat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapql:", err)
+			os.Exit(1)
+		}
+		if res != nil {
+			printResult(res)
+		}
+		return
+	}
+
+	fmt.Printf("olapql — GMDJ subquery engine (strategy: %v)\n", strat)
+	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
+	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain <q>, \quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("olap> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\tables`:
+			for _, t := range db.Tables() {
+				fmt.Println(" ", t)
+			}
+		case strings.HasPrefix(line, `\strategy`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\strategy`))
+			if s, ok := parseStrategy(arg); ok {
+				strat = s
+				fmt.Printf("strategy: %v\n", strat)
+			} else {
+				fmt.Printf("unknown strategy %q (native, unnest, gmdj, gmdj-opt)\n", arg)
+			}
+		case strings.HasPrefix(line, `\explain`):
+			q := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
+			plan, err := db.Explain(q, strat)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(plan)
+		default:
+			res, err := db.ExecStrategy(line, strat)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if res == nil {
+				fmt.Println("ok")
+				continue
+			}
+			printResult(res)
+		}
+	}
+}
+
+func parseStrategy(s string) (gmdj.Strategy, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "native":
+		return gmdj.Native, true
+	case "unnest":
+		return gmdj.Unnest, true
+	case "gmdj":
+		return gmdj.GMDJ, true
+	case "gmdj-opt", "gmdjopt", "opt":
+		return gmdj.GMDJOpt, true
+	default:
+		return gmdj.Native, false
+	}
+}
+
+func printResult(res *gmdj.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	const maxRows = 40
+	n := len(res.Rows)
+	shown := n
+	if shown > maxRows {
+		shown = maxRows
+	}
+	cells := make([][]string, shown)
+	for i := 0; i < shown; i++ {
+		row := make([]string, len(res.Rows[i]))
+		for j, v := range res.Rows[i] {
+			if v == nil {
+				row[j] = "NULL"
+			} else {
+				row[j] = fmt.Sprint(v)
+			}
+			if len(row[j]) > widths[j] {
+				widths[j] = len(row[j])
+			}
+		}
+		cells[i] = row
+	}
+	line := func(parts []string) {
+		for j, p := range parts {
+			if j > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%-*s", widths[j], p)
+		}
+		fmt.Println()
+	}
+	line(res.Columns)
+	for j, w := range widths {
+		if j > 0 {
+			fmt.Print("-+-")
+		}
+		fmt.Print(strings.Repeat("-", w))
+	}
+	fmt.Println()
+	for _, row := range cells {
+		line(row)
+	}
+	if n > shown {
+		fmt.Printf("... (%d more rows)\n", n-shown)
+	}
+	fmt.Printf("(%d rows)\n", n)
+}

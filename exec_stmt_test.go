@@ -1,0 +1,130 @@
+package gmdj
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExecCreateInsertSelect(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE t (a INT, b TEXT, c FLOAT, d BOOL)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1, 'x', 2.5, TRUE), (-2, 'y', 3, FALSE), (NULL, NULL, NULL, NULL)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT a, b FROM t WHERE a IS NOT NULL ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Rows[0][0].(int64) != -2 || res.Rows[1][1].(string) != "x" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// INT literal widened into FLOAT column.
+	res, _ = db.Exec(`SELECT c FROM t WHERE b = 'y'`)
+	if res.Rows[0][0].(float64) != 3.0 {
+		t.Errorf("widened float = %v", res.Rows[0][0])
+	}
+}
+
+func TestExecCreateValidation(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE t (a INT)`); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if _, err := db.Exec(`CREATE TABLE u (a BLOB)`); err == nil {
+		t.Error("unknown type must fail")
+	}
+	if _, err := db.Exec(`CREATE TABLE`); err == nil {
+		t.Error("truncated CREATE must fail")
+	}
+}
+
+func TestExecInsertAtomicity(t *testing.T) {
+	db := Open()
+	db.MustCreateTable("t", Col("a", Int))
+	// Second row has a type error; the first must not be applied.
+	if _, err := db.Exec(`INSERT INTO t VALUES (1), ('oops')`); err == nil {
+		t.Fatal("type error must fail the insert")
+	}
+	res, _ := db.Exec(`SELECT COUNT(*) AS n FROM t`)
+	if res.Rows[0][0].(int64) != 0 {
+		t.Errorf("failed INSERT must be atomic, found %v rows", res.Rows[0][0])
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1, 2)`); err == nil {
+		t.Error("width mismatch must fail")
+	}
+	if _, err := db.Exec(`INSERT INTO missing VALUES (1)`); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+func TestExecDropTable(t *testing.T) {
+	db := Open()
+	db.MustCreateTable("t", Col("a", Int))
+	if _, err := db.Exec(`DROP TABLE t`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`SELECT * FROM t`); err == nil {
+		t.Error("dropped table still queryable")
+	}
+	if _, err := db.Exec(`DROP TABLE t`); err == nil {
+		t.Error("dropping a missing table must fail")
+	}
+}
+
+func TestExecSelectUsesStrategy(t *testing.T) {
+	db := Open()
+	db.MustCreateTable("l", Col("n", Int))
+	db.MustCreateTable("r", Col("n", Int))
+	db.MustInsert("l", []any{1}, []any{2})
+	db.MustInsert("r", []any{2})
+	q := `SELECT n FROM l WHERE EXISTS (SELECT * FROM r WHERE r.n = l.n)`
+	for _, s := range []Strategy{Native, Unnest, GMDJ, GMDJOpt, Auto} {
+		res, err := db.ExecStrategy(q, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Len() != 1 || res.Rows[0][0].(int64) != 2 {
+			t.Errorf("%v: rows = %v", s, res.Rows)
+		}
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := Open()
+	bad := []string{
+		"",
+		"UPDATE t SET a = 1",
+		"INSERT INTO t (1)",
+		"CREATE TABLE t a INT",
+		"INSERT INTO t VALUES (1) garbage",
+		"DROP TABLE",
+	}
+	for _, stmt := range bad {
+		if _, err := db.Exec(stmt); err == nil {
+			t.Errorf("Exec(%q) should fail", stmt)
+		}
+	}
+}
+
+func TestExecNegativeLiterals(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE t (a INT, f FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (-5, -2.5)`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Exec(`SELECT a, f FROM t`)
+	if res.Rows[0][0].(int64) != -5 || res.Rows[0][1].(float64) != -2.5 {
+		t.Errorf("negative literals wrong: %v", res.Rows)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (-'x', 1)`); err == nil ||
+		!strings.Contains(err.Error(), "number") {
+		t.Errorf("minus before string should fail: %v", err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package gmdj is an embeddable in-memory OLAP query engine whose
+// subquery processor implements Akinde & Böhlen, "Efficient Computation
+// of Subqueries in Complex OLAP" (ICDE 2003): nested query expressions
+// are translated into an algebra extended with the GMDJ
+// (generalized multi-dimensional join) operator and evaluated in a
+// bounded number of scans of the detail relations, with the paper's
+// coalescing and tuple-completion optimizations applied on top.
+//
+// The package is a thin, stable facade over the engine internals:
+//
+//	db := gmdj.Open()
+//	db.MustCreateTable("flows",
+//		gmdj.Col("src", gmdj.String), gmdj.Col("bytes", gmdj.Int))
+//	db.MustInsert("flows", []any{"10.0.0.1", int64(1200)})
+//	res, err := db.Query(`SELECT src FROM flows WHERE bytes > 1000`)
+//
+// Queries accept the subquery constructs the paper studies — EXISTS,
+// NOT EXISTS, IN, NOT IN, comparison against scalar and aggregate
+// subqueries, and quantified ANY/SOME/ALL — and can be executed under
+// any of four strategies (see Strategy) for comparison.
+package gmdj
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/olaplab/gmdj/internal/engine"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/sql"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Type is a column type.
+type Type uint8
+
+const (
+	// Int is a 64-bit signed integer column.
+	Int Type = iota
+	// Float is a 64-bit float column.
+	Float
+	// String is a string column.
+	String
+	// Bool is a boolean column.
+	Bool
+)
+
+func (t Type) kind() value.Kind {
+	switch t {
+	case Int:
+		return value.KindInt
+	case Float:
+		return value.KindFloat
+	case String:
+		return value.KindString
+	case Bool:
+		return value.KindBool
+	default:
+		return value.KindNull
+	}
+}
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Col is shorthand for a Column literal.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// Strategy selects how subqueries are evaluated. The default for
+// Query is GMDJOpt, the paper's optimized translation.
+type Strategy = engine.Strategy
+
+// Evaluation strategies.
+const (
+	// Native is tuple-iteration semantics with index acceleration.
+	Native = engine.Native
+	// Unnest is classical join/outer-join unnesting.
+	Unnest = engine.Unnest
+	// GMDJ is the basic SubqueryToGMDJ translation (Theorem 3.5).
+	GMDJ = engine.GMDJ
+	// GMDJOpt adds coalescing and tuple completion (§4).
+	GMDJOpt = engine.GMDJOpt
+	// Auto lets the built-in cost model pick among the other four.
+	Auto = engine.Auto
+)
+
+// DB is an in-memory database: a catalog of tables plus the query
+// engine. A DB is not safe for concurrent mutation; concurrent
+// read-only queries are safe.
+type DB struct {
+	cat *storage.Catalog
+	eng *engine.Engine
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	cat := storage.NewCatalog()
+	return &DB{cat: cat, eng: engine.New(cat)}
+}
+
+// SetParallelism sets the number of workers used by GMDJ detail scans
+// (0 or 1 means serial).
+func (db *DB) SetParallelism(workers int) { db.eng.SetGMDJWorkers(workers) }
+
+// SetUseIndexes toggles secondary-index use by the Native strategy.
+// GMDJ evaluation never depends on it — one of the paper's points.
+func (db *DB) SetUseIndexes(on bool) { db.eng.SetUseIndexes(on) }
+
+// SetMemoizeSubqueries toggles invariant reuse (Rao & Ross) in the
+// Native strategy: subquery outcomes are cached per distinct outer
+// correlation binding, so duplicate bindings share one evaluation.
+func (db *DB) SetMemoizeSubqueries(on bool) { db.eng.SetMemoizeSubqueries(on) }
+
+// CreateTable registers an empty table.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	if name == "" {
+		return fmt.Errorf("gmdj: empty table name")
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("gmdj: table %q needs at least one column", name)
+	}
+	rcols := make([]relation.Column, len(cols))
+	seen := map[string]bool{}
+	for i, c := range cols {
+		if c.Name == "" {
+			return fmt.Errorf("gmdj: table %q column %d has no name", name, i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("gmdj: table %q has duplicate column %q", name, c.Name)
+		}
+		seen[c.Name] = true
+		rcols[i] = relation.Column{Qualifier: name, Name: c.Name, Type: c.Type.kind()}
+	}
+	db.cat.Register(storage.NewTable(name, relation.New(relation.NewSchema(rcols...))))
+	return nil
+}
+
+// MustCreateTable is CreateTable panicking on error (setup code).
+func (db *DB) MustCreateTable(name string, cols ...Column) {
+	if err := db.CreateTable(name, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// Insert appends rows to a table. Row values may be int, int64,
+// float64, string, bool, or nil (NULL); each row must match the table
+// width and column types.
+func (db *DB) Insert(table string, rows ...[]any) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	for ri, row := range rows {
+		if len(row) != t.Rel.Schema.Len() {
+			return fmt.Errorf("gmdj: row %d has %d values, table %q has %d columns",
+				ri, len(row), table, t.Rel.Schema.Len())
+		}
+		tup := make(relation.Tuple, len(row))
+		for i, v := range row {
+			cv, err := toValue(v)
+			if err != nil {
+				return fmt.Errorf("gmdj: row %d column %q: %w", ri, t.Rel.Schema.Columns[i].Name, err)
+			}
+			if !cv.IsNull() {
+				want := t.Rel.Schema.Columns[i].Type
+				if want != value.KindNull && cv.Kind() != want &&
+					!(want == value.KindFloat && cv.Kind() == value.KindInt) {
+					return fmt.Errorf("gmdj: row %d column %q: cannot store %v into %v",
+						ri, t.Rel.Schema.Columns[i].Name, cv.Kind(), want)
+				}
+				if want == value.KindFloat && cv.Kind() == value.KindInt {
+					cv = value.Float(float64(cv.AsInt()))
+				}
+			}
+			tup[i] = cv
+		}
+		t.Rel.Append(tup)
+	}
+	return nil
+}
+
+// MustInsert is Insert panicking on error (setup code).
+func (db *DB) MustInsert(table string, rows ...[]any) {
+	if err := db.Insert(table, rows...); err != nil {
+		panic(err)
+	}
+}
+
+func toValue(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null, nil
+	case int:
+		return value.Int(int64(x)), nil
+	case int64:
+		return value.Int(x), nil
+	case float64:
+		return value.Float(x), nil
+	case string:
+		return value.Str(x), nil
+	case bool:
+		return value.Bool(x), nil
+	default:
+		return value.Null, fmt.Errorf("unsupported Go value of type %T", v)
+	}
+}
+
+func fromValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindInt:
+		return v.AsInt()
+	case value.KindFloat:
+		return v.AsFloat()
+	case value.KindString:
+		return v.AsString()
+	case value.KindBool:
+		return v.AsBool()
+	default:
+		return nil
+	}
+}
+
+// BuildHashIndex creates an equality index on table.col (used by the
+// Native strategy).
+func (db *DB) BuildHashIndex(table, col string) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.BuildHashIndex(col)
+}
+
+// BuildSortedIndex creates a range index on table.col.
+func (db *DB) BuildSortedIndex(table, col string) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.BuildSortedIndex(col)
+}
+
+// DropIndexes removes all secondary indexes from a table.
+func (db *DB) DropIndexes(table string) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	t.DropIndexes()
+	return nil
+}
+
+// Tables lists registered table names.
+func (db *DB) Tables() []string { return db.cat.Names() }
+
+// Result is a materialized query result.
+type Result struct {
+	// Columns are the output column names.
+	Columns []string
+	// Rows hold one []any per result row; cell types mirror Insert's.
+	Rows [][]any
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Query parses and runs a SQL query under the GMDJOpt strategy.
+func (db *DB) Query(query string) (*Result, error) {
+	return db.QueryStrategy(query, GMDJOpt)
+}
+
+// QueryStrategy parses and runs a SQL query under an explicit
+// strategy. All strategies return the same bag of rows; they differ
+// only in evaluation cost.
+func (db *DB) QueryStrategy(query string, s Strategy) (*Result, error) {
+	plan, err := sql.ParseAndResolve(query, db.eng)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := db.eng.Run(plan, s)
+	if err != nil {
+		return nil, err
+	}
+	return toResult(rel), nil
+}
+
+// Explain returns the physical plan a strategy would execute for a
+// query, as an indented operator tree.
+func (db *DB) Explain(query string, s Strategy) (string, error) {
+	plan, err := sql.ParseAndResolve(query, db.eng)
+	if err != nil {
+		return "", err
+	}
+	return db.eng.Explain(plan, s)
+}
+
+func toResult(rel *relation.Relation) *Result {
+	res := &Result{Columns: make([]string, rel.Schema.Len())}
+	for i, c := range rel.Schema.Columns {
+		res.Columns[i] = c.Name
+	}
+	res.Rows = make([][]any, rel.Len())
+	for i, row := range rel.Rows {
+		out := make([]any, len(row))
+		for j, v := range row {
+			out[j] = fromValue(v)
+		}
+		res.Rows[i] = out
+	}
+	return res
+}
+
+// LoadCSV bulk-loads CSV (header row of column names, \N for NULL)
+// into an existing table; the header must match the table's columns.
+func (db *DB) LoadCSV(table string, r io.Reader) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	rel, err := storage.ReadCSV(r, t.Rel.Schema)
+	if err != nil {
+		return err
+	}
+	t.Rel.Rows = append(t.Rel.Rows, rel.Rows...)
+	return nil
+}
+
+// DumpCSV writes a table as CSV.
+func (db *DB) DumpCSV(table string, w io.Writer) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	return storage.WriteCSV(w, t.Rel)
+}

@@ -1,0 +1,306 @@
+package gmdj
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func flowDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	db.MustCreateTable("flows",
+		Col("src", String), Col("dst", String), Col("start", Int),
+		Col("proto", String), Col("bytes", Int))
+	db.MustInsert("flows",
+		[]any{"10.0.0.1", "167.167.167.0", 43, "HTTP", 12},
+		[]any{"10.0.0.2", "168.168.168.0", 86, "HTTP", 36},
+		[]any{"10.0.0.1", "10.0.0.2", 99, "FTP", 48},
+		[]any{"10.0.0.3", "168.168.168.0", 132, "HTTP", 24},
+		[]any{"10.0.0.2", "10.0.0.1", 156, "HTTP", 24},
+		[]any{"10.0.0.3", "169.169.169.0", 161, "FTP", 48},
+	)
+	db.MustCreateTable("hours",
+		Col("hr", Int), Col("lo", Int), Col("hi", Int))
+	db.MustInsert("hours",
+		[]any{1, 0, 60}, []any{2, 61, 120}, []any{3, 121, 180})
+	return db
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := Open()
+	if err := db.CreateTable(""); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := db.CreateTable("t"); err == nil {
+		t.Error("no columns must fail")
+	}
+	if err := db.CreateTable("t", Col("", Int)); err == nil {
+		t.Error("unnamed column must fail")
+	}
+	if err := db.CreateTable("t", Col("a", Int), Col("a", Int)); err == nil {
+		t.Error("duplicate column must fail")
+	}
+	if err := db.CreateTable("t", Col("a", Int)); err != nil {
+		t.Errorf("valid create failed: %v", err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := Open()
+	db.MustCreateTable("t", Col("a", Int), Col("b", String))
+	if err := db.Insert("missing", []any{1, "x"}); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if err := db.Insert("t", []any{1}); err == nil {
+		t.Error("short row must fail")
+	}
+	if err := db.Insert("t", []any{"oops", "x"}); err == nil {
+		t.Error("type mismatch must fail")
+	}
+	if err := db.Insert("t", []any{1, []byte("nope")}); err == nil {
+		t.Error("unsupported Go type must fail")
+	}
+	if err := db.Insert("t", []any{nil, nil}); err != nil {
+		t.Errorf("NULLs must be accepted: %v", err)
+	}
+	if err := db.Insert("t", []any{int64(5), "ok"}); err != nil {
+		t.Errorf("int64 must be accepted: %v", err)
+	}
+}
+
+func TestInsertIntIntoFloatWidens(t *testing.T) {
+	db := Open()
+	db.MustCreateTable("t", Col("f", Float))
+	db.MustInsert("t", []any{3})
+	res, err := db.Query("SELECT f FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := res.Rows[0][0].(float64); !ok || got != 3.0 {
+		t.Errorf("got %v (%T)", res.Rows[0][0], res.Rows[0][0])
+	}
+}
+
+func TestBasicQuery(t *testing.T) {
+	db := flowDB(t)
+	res, err := db.Query("SELECT src, bytes FROM flows WHERE proto = 'FTP'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || len(res.Columns) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Columns[0] != "src" || res.Columns[1] != "bytes" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestQueryAllStrategiesAgree(t *testing.T) {
+	db := flowDB(t)
+	q := `SELECT h.hr FROM hours h WHERE EXISTS (
+	        SELECT * FROM flows f
+	        WHERE f.start >= h.lo AND f.start < h.hi AND f.proto = 'FTP')`
+	var results []string
+	for _, s := range []Strategy{Native, Unnest, GMDJ, GMDJOpt} {
+		res, err := db.QueryStrategy(q, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		var keys []string
+		for _, row := range res.Rows {
+			keys = append(keys, fmt.Sprint(row[0]))
+		}
+		sort.Strings(keys)
+		results = append(results, strings.Join(keys, ","))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Errorf("strategy %d result %q differs from %q", i, results[i], results[0])
+		}
+	}
+	if results[0] != "2,3" {
+		t.Errorf("FTP hours = %q, want 2,3", results[0])
+	}
+}
+
+func TestGroupByThroughFacade(t *testing.T) {
+	db := flowDB(t)
+	res, err := db.Query("SELECT proto, COUNT(*) AS n, SUM(bytes) AS b FROM flows GROUP BY proto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][2]int64{}
+	for _, row := range res.Rows {
+		got[row[0].(string)] = [2]int64{row[1].(int64), row[2].(int64)}
+	}
+	if got["HTTP"] != [2]int64{4, 96} || got["FTP"] != [2]int64{2, 96} {
+		t.Errorf("groups = %v", got)
+	}
+}
+
+func TestExplainShowsGMDJ(t *testing.T) {
+	db := flowDB(t)
+	q := `SELECT h.hr FROM hours h WHERE EXISTS (
+	        SELECT * FROM flows f WHERE f.start >= h.lo AND f.start < h.hi)`
+	plan, err := db.Explain(q, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "GMDJ") {
+		t.Errorf("GMDJOpt explain lacks a GMDJ node:\n%s", plan)
+	}
+	nativePlan, err := db.Explain(q, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(nativePlan, "GMDJ") {
+		t.Errorf("native explain should not contain GMDJ:\n%s", nativePlan)
+	}
+}
+
+func TestNullRoundTrip(t *testing.T) {
+	db := Open()
+	db.MustCreateTable("t", Col("a", Int))
+	db.MustInsert("t", []any{nil}, []any{7})
+	res, err := db.Query("SELECT a FROM t WHERE a IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0][0] != nil {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestCSVThroughFacade(t *testing.T) {
+	db := flowDB(t)
+	var buf bytes.Buffer
+	if err := db.DumpCSV("flows", &buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open()
+	db2.MustCreateTable("flows",
+		Col("src", String), Col("dst", String), Col("start", Int),
+		Col("proto", String), Col("bytes", Int))
+	if err := db2.LoadCSV("flows", &buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Query("SELECT COUNT(*) AS n FROM flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 6 {
+		t.Errorf("loaded rows = %v", res.Rows[0][0])
+	}
+	if err := db2.DumpCSV("missing", &buf); err == nil {
+		t.Error("dumping unknown table must fail")
+	}
+	if err := db2.LoadCSV("missing", &buf); err == nil {
+		t.Error("loading unknown table must fail")
+	}
+}
+
+func TestIndexManagementThroughFacade(t *testing.T) {
+	db := flowDB(t)
+	if err := db.BuildHashIndex("flows", "src"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildSortedIndex("flows", "start"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildHashIndex("flows", "nope"); err == nil {
+		t.Error("indexing unknown column must fail")
+	}
+	if err := db.DropIndexes("flows"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropIndexes("missing"); err == nil {
+		t.Error("dropping on unknown table must fail")
+	}
+}
+
+func TestTables(t *testing.T) {
+	db := flowDB(t)
+	names := db.Tables()
+	if len(names) != 2 || names[0] != "flows" || names[1] != "hours" {
+		t.Errorf("Tables = %v", names)
+	}
+}
+
+func TestSamples(t *testing.T) {
+	nf := OpenNetflowSample(1000)
+	res, err := nf.Query("SELECT COUNT(*) AS n FROM Flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 1000 {
+		t.Errorf("netflow rows = %v", res.Rows[0][0])
+	}
+	tp := OpenTPCRSample(0.1)
+	res, err = tp.Query("SELECT COUNT(*) AS n FROM customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 100 {
+		t.Errorf("customers = %v", res.Rows[0][0])
+	}
+}
+
+func TestSubqueryThroughFacadeMatchesPaperSemantics(t *testing.T) {
+	db := Open()
+	db.MustCreateTable("l", Col("n", Int))
+	db.MustCreateTable("r", Col("n", Int))
+	db.MustInsert("l", []any{1}, []any{2}, []any{3}, []any{nil})
+	db.MustInsert("r", []any{2}, []any{nil})
+	res, err := db.Query("SELECT n FROM l WHERE n NOT IN (SELECT n FROM r)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("NOT IN over NULL set = %d rows, want 0", res.Len())
+	}
+}
+
+func TestParallelQueryEquivalence(t *testing.T) {
+	db := OpenNetflowSample(20_000)
+	q := `SELECT h.HourDsc FROM Hours h WHERE EXISTS (
+	        SELECT * FROM Flow f
+	        WHERE f.StartTime >= h.StartInterval AND f.StartTime < h.EndInterval
+	          AND f.Protocol = 'FTP')`
+	serial, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetParallelism(4)
+	par, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() != par.Len() {
+		t.Errorf("parallel rows %d != serial rows %d", par.Len(), serial.Len())
+	}
+}
+
+func TestSaveDirOpenDir(t *testing.T) {
+	dir := t.TempDir()
+	db := flowDB(t)
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.Query("SELECT COUNT(*) AS n FROM flows WHERE proto = 'FTP'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Errorf("restored DB query = %v", res.Rows[0][0])
+	}
+	if _, err := OpenDir("/nope/missing"); err == nil {
+		t.Error("missing dir must error")
+	}
+}

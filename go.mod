@@ -1,0 +1,3 @@
+module github.com/olaplab/gmdj
+
+go 1.22

@@ -1,0 +1,66 @@
+package agg
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Merge folds accumulator src into dst. Both must come from the same
+// Spec. It powers the parallel GMDJ evaluation: each worker folds its
+// partition of the detail relation locally and the partials are merged.
+func Merge(dst, src Accumulator) error {
+	switch d := dst.(type) {
+	case *countAcc:
+		s, ok := src.(*countAcc)
+		if !ok {
+			return mergeMismatch(dst, src)
+		}
+		d.n += s.n
+	case *sumAcc:
+		s, ok := src.(*sumAcc)
+		if !ok {
+			return mergeMismatch(dst, src)
+		}
+		d.any = d.any || s.any
+		d.isFloat = d.isFloat || s.isFloat
+		d.i += s.i
+		d.f += s.f
+	case *avgAcc:
+		s, ok := src.(*avgAcc)
+		if !ok {
+			return mergeMismatch(dst, src)
+		}
+		d.n += s.n
+		d.f += s.f
+	case *extremeAcc:
+		s, ok := src.(*extremeAcc)
+		if !ok || s.want != d.want {
+			return mergeMismatch(dst, src)
+		}
+		if !s.any {
+			return nil
+		}
+		if !d.any {
+			d.best, d.any = s.best, true
+			return nil
+		}
+		c, ok := value.Compare(s.best, d.best)
+		if !ok {
+			return fmt.Errorf("agg: merging min/max over mixed kinds")
+		}
+		if c == d.want {
+			d.best = s.best
+		}
+	default:
+		if handled, err := mergeExtended(dst, src); handled {
+			return err
+		}
+		return mergeMismatch(dst, src)
+	}
+	return nil
+}
+
+func mergeMismatch(dst, src Accumulator) error {
+	return fmt.Errorf("agg: cannot merge %T into %T", src, dst)
+}

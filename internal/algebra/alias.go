@@ -1,0 +1,34 @@
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/relation"
+)
+
+// Alias re-qualifies every column of its input to one new qualifier
+// (R → A over an arbitrary subplan). The rewriter uses it when pushing
+// an outer base-values table down into a detail plan (Theorems 3.3 and
+// 3.4): the pushed copy must carry a fresh qualifier so the glue
+// predicate can tell the two copies apart.
+type Alias struct {
+	Input Node
+	Name  string
+}
+
+// NewAlias wraps input under a new qualifier.
+func NewAlias(input Node, name string) *Alias { return &Alias{Input: input, Name: name} }
+
+// Schema renames all qualifiers.
+func (a *Alias) Schema(res SchemaResolver) (*relation.Schema, error) {
+	in, err := a.Input.Schema(res)
+	if err != nil {
+		return nil, err
+	}
+	return in.Rename(a.Name), nil
+}
+
+// Children returns the input.
+func (a *Alias) Children() []Node { return []Node{a.Input} }
+
+func (a *Alias) String() string { return fmt.Sprintf("(%s)->%s", a.Input, a.Name) }

@@ -1,0 +1,169 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+)
+
+// GMDJCond pairs one θᵢ condition with its aggregate list lᵢ
+// (Definition 2.1 of the paper).
+type GMDJCond struct {
+	Theta expr.Expr
+	Aggs  []agg.Spec
+}
+
+func (c GMDJCond) String() string {
+	aggs := make([]string, len(c.Aggs))
+	for i, a := range c.Aggs {
+		aggs[i] = a.String()
+	}
+	return fmt.Sprintf("(%s | θ: %s)", strings.Join(aggs, ", "), c.Theta)
+}
+
+// GMDJ is the generalized multi-dimensional join
+// MD(B, R, (l₁,…,lₘ), (θ₁,…,θₘ)): every base tuple b ∈ B yields one
+// output tuple consisting of b extended with, for each condition i,
+// the aggregates lᵢ folded over RNG(b, R, θᵢ) = {r ∈ R | θᵢ(b,r)}.
+//
+// Completion, when non-nil, encodes the tuple-completion optimization
+// of §4.2 (Theorems 4.1/4.2); it is attached by the optimizer, never
+// required for correctness.
+type GMDJ struct {
+	Base   Node
+	Detail Node
+	Conds  []GMDJCond
+
+	Completion *CompletionInfo
+}
+
+// NewGMDJ builds a GMDJ node.
+func NewGMDJ(base, detail Node, conds ...GMDJCond) *GMDJ {
+	return &GMDJ{Base: base, Detail: detail, Conds: conds}
+}
+
+// Schema is the base schema extended with one column per aggregate
+// spec, in condition order. Aggregate output columns are unqualified
+// and named by each spec's As.
+func (g *GMDJ) Schema(res SchemaResolver) (*relation.Schema, error) {
+	base, err := g.Base.Schema(res)
+	if err != nil {
+		return nil, err
+	}
+	cols := append([]relation.Column{}, base.Columns...)
+	seen := map[string]bool{}
+	for _, c := range base.Columns {
+		seen[c.Name] = true
+	}
+	detailName := "R"
+	if sc, ok := g.Detail.(*Scan); ok {
+		detailName = sc.EffectiveAlias()
+	}
+	for _, cond := range g.Conds {
+		for _, col := range agg.OutputSchema(cond.Aggs, detailName) {
+			if seen[col.Name] {
+				return nil, fmt.Errorf("algebra: duplicate GMDJ output column %q (rename the aggregate)", col.Name)
+			}
+			seen[col.Name] = true
+			cols = append(cols, col)
+		}
+	}
+	return relation.NewSchema(cols...), nil
+}
+
+// Children returns base and detail.
+func (g *GMDJ) Children() []Node { return []Node{g.Base, g.Detail} }
+
+func (g *GMDJ) String() string {
+	conds := make([]string, len(g.Conds))
+	for i, c := range g.Conds {
+		conds[i] = c.String()
+	}
+	suffix := ""
+	if g.Completion != nil {
+		suffix = "+completion"
+	}
+	return fmt.Sprintf("MD%s(%s, %s, %s)", suffix, g.Base, g.Detail, strings.Join(conds, ", "))
+}
+
+// ---------------------------------------------------------------------------
+// Tuple completion (§4.2)
+
+// AtomKind classifies a count atom in the downstream selection.
+type AtomKind uint8
+
+const (
+	// AtomZero is "cntᵢ = 0": decided False the moment θᵢ matches.
+	AtomZero AtomKind = iota
+	// AtomNonZero is "cntᵢ > 0" (also cntᵢ <> 0, cntᵢ >= 1): decided
+	// True the moment θᵢ matches.
+	AtomNonZero
+)
+
+// CompletionAtom ties a condition index to the decision its first
+// match induces.
+type CompletionAtom struct {
+	Cond int // index into GMDJ.Conds; that condition must be a lone count(*)
+	Kind AtomKind
+}
+
+// BoolTree is a tiny boolean formula over completion atoms, mirroring
+// the downstream selection's structure so the evaluator can decide a
+// base tuple the moment the formula's value is determined under Kleene
+// evaluation (undecided atoms = Unknown).
+type BoolTree struct {
+	// Leaf >= 0 indexes Atoms; interior nodes have Leaf == -1.
+	Leaf int
+	Op   BoolOp
+	Kids []*BoolTree
+}
+
+// BoolOp is the connective of an interior BoolTree node.
+type BoolOp uint8
+
+const (
+	// BoolLeaf marks a leaf (Op unused).
+	BoolLeaf BoolOp = iota
+	// BoolAnd is conjunction.
+	BoolAnd
+	// BoolOr is disjunction.
+	BoolOr
+	// BoolNot is negation (one child).
+	BoolNot
+	// BoolOpaque marks a sub-formula the optimizer could not analyze;
+	// it evaluates to Unknown forever, so the surrounding formula can
+	// only decide early when the analyzable atoms force a value.
+	BoolOpaque
+)
+
+// CompletionInfo is the optimizer's proof that a base tuple's fate
+// under the downstream selection can be decided early. FreezeTrue
+// reports whether tuples decided True may be emitted with frozen
+// aggregates (Theorem 4.1 requires the projection above to discard all
+// aggregate columns not fixed by the decision); tuples decided False
+// are always safe to drop (Theorem 4.2).
+type CompletionInfo struct {
+	Atoms      []CompletionAtom
+	Tree       *BoolTree
+	FreezeTrue bool
+}
+
+// Leaf builds a leaf tree node.
+func Leaf(atom int) *BoolTree { return &BoolTree{Leaf: atom, Op: BoolLeaf} }
+
+// AndTree builds a conjunction.
+func AndTree(kids ...*BoolTree) *BoolTree { return &BoolTree{Leaf: -1, Op: BoolAnd, Kids: kids} }
+
+// OrTree builds a disjunction.
+func OrTree(kids ...*BoolTree) *BoolTree { return &BoolTree{Leaf: -1, Op: BoolOr, Kids: kids} }
+
+// NotTree builds a negation.
+func NotTree(kid *BoolTree) *BoolTree {
+	return &BoolTree{Leaf: -1, Op: BoolNot, Kids: []*BoolTree{kid}}
+}
+
+// OpaqueTree builds a permanently-Unknown leaf.
+func OpaqueTree() *BoolTree { return &BoolTree{Leaf: -1, Op: BoolOpaque} }

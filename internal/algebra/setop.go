@@ -1,0 +1,74 @@
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/relation"
+)
+
+// SetOpKind enumerates SQL set operations.
+type SetOpKind uint8
+
+const (
+	// Union is UNION (distinct).
+	Union SetOpKind = iota
+	// UnionAll is UNION ALL (bag concatenation).
+	UnionAll
+	// Except is EXCEPT (distinct rows of the left not in the right) —
+	// the set-difference primitive classical unnesting rewrites ALL
+	// predicates into.
+	Except
+	// Intersect is INTERSECT (distinct rows in both).
+	Intersect
+)
+
+// String names the operation.
+func (k SetOpKind) String() string {
+	switch k {
+	case Union:
+		return "∪"
+	case UnionAll:
+		return "∪all"
+	case Except:
+		return "−"
+	case Intersect:
+		return "∩"
+	default:
+		return "?"
+	}
+}
+
+// SetOp combines two union-compatible inputs.
+type SetOp struct {
+	Kind        SetOpKind
+	Left, Right Node
+}
+
+// NewSetOp builds a set operation node.
+func NewSetOp(kind SetOpKind, left, right Node) *SetOp {
+	return &SetOp{Kind: kind, Left: left, Right: right}
+}
+
+// Schema is the left input's schema; the right must have the same
+// width (checked here) — column names need not match, as in SQL.
+func (s *SetOp) Schema(res SchemaResolver) (*relation.Schema, error) {
+	l, err := s.Left.Schema(res)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.Right.Schema(res)
+	if err != nil {
+		return nil, err
+	}
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("algebra: %s operands have %d and %d columns", s.Kind, l.Len(), r.Len())
+	}
+	return l, nil
+}
+
+// Children returns both inputs.
+func (s *SetOp) Children() []Node { return []Node{s.Left, s.Right} }
+
+func (s *SetOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", s.Left, s.Kind, s.Right)
+}

@@ -1,0 +1,57 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+)
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	E    expr.Expr
+	Desc bool
+}
+
+func (k SortKey) String() string {
+	if k.Desc {
+		return k.E.String() + " DESC"
+	}
+	return k.E.String()
+}
+
+// Sort orders its input by the keys (NULLs first ascending, last
+// descending, matching the comparison order of the value package) and
+// optionally truncates to Limit rows. Limit < 0 means no limit; a Sort
+// with no keys is a pure LIMIT.
+type Sort struct {
+	Input Node
+	Keys  []SortKey
+	Limit int
+}
+
+// NewSort builds an ORDER BY / LIMIT node.
+func NewSort(input Node, keys []SortKey, limit int) *Sort {
+	return &Sort{Input: input, Keys: keys, Limit: limit}
+}
+
+// Schema is the input schema.
+func (s *Sort) Schema(res SchemaResolver) (*relation.Schema, error) {
+	return s.Input.Schema(res)
+}
+
+// Children returns the input.
+func (s *Sort) Children() []Node { return []Node{s.Input} }
+
+func (s *Sort) String() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.String()
+	}
+	out := fmt.Sprintf("τ[%s]", strings.Join(parts, ", "))
+	if s.Limit >= 0 {
+		out += fmt.Sprintf("limit %d", s.Limit)
+	}
+	return out + "(" + s.Input.String() + ")"
+}

@@ -1,0 +1,180 @@
+package benchlab
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/engine"
+)
+
+// tinyRunner keeps tests fast: ~1/500 of paper scale.
+func tinyRunner() *Runner {
+	return &Runner{Scale: 1.0 / 500.0, Repeat: 1, Verify: true}
+}
+
+// TestAllExperimentsAgreeAcrossStrategies is the harness's core
+// guarantee: every variant of every figure computes the same answer.
+func TestAllExperimentsAgreeAcrossStrategies(t *testing.T) {
+	r := tinyRunner()
+	for _, exp := range r.Experiments() {
+		results, err := r.RunExperiment(exp)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		if len(results) == 0 {
+			t.Fatalf("%s: no results", exp.ID)
+		}
+		// At tiny scale nothing should be skipped at the smallest size.
+		ranAny := false
+		for _, res := range results {
+			if !res.Skipped {
+				ranAny = true
+				if res.Elapsed <= 0 {
+					t.Errorf("%s/%s/%s: non-positive elapsed", res.Figure, res.Variant, res.Label)
+				}
+			}
+		}
+		if !ranAny {
+			t.Errorf("%s: every cell skipped", exp.ID)
+		}
+	}
+}
+
+func TestExperimentLookup(t *testing.T) {
+	r := tinyRunner()
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig5"} {
+		exp, err := r.Experiment(id)
+		if err != nil || exp.ID != id {
+			t.Errorf("Experiment(%q) = %v, %v", id, exp, err)
+		}
+	}
+	if _, err := r.Experiment("fig9"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestSizeCapsMarkSkipped(t *testing.T) {
+	r := tinyRunner()
+	exp := r.Fig4()
+	// The largest fig4 size must exceed the caps for unnest/basic gmdj.
+	big := exp.Sizes[len(exp.Sizes)-1]
+	for _, v := range exp.Variants {
+		if v.Name != "unnest" && v.Name != "gmdj" {
+			continue
+		}
+		res, err := r.RunCell(exp, big, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Skipped {
+			t.Errorf("%s at %s should be capped", v.Name, big.Label)
+		}
+		if res.SkipNote == "" {
+			t.Errorf("%s skip lacks a note", v.Name)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	results := []Result{
+		{Figure: "fig2", Variant: "native", Label: "1000/300k", Elapsed: 12 * time.Millisecond, Rows: 42},
+		{Figure: "fig2", Variant: "gmdj", Label: "1000/300k", Elapsed: 3 * time.Millisecond, Rows: 42},
+		{Figure: "fig2", Variant: "unnest", Label: "1000/600k", Skipped: true, SkipNote: "too big"},
+	}
+	out := FormatTable(results)
+	for _, want := range []string{"native", "gmdj", "1000/300k", "DNF*", "too big", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if FormatTable(nil) == "" {
+		t.Error("empty results should render a placeholder")
+	}
+}
+
+func TestRunnerVerifyCatchesMismatches(t *testing.T) {
+	// Sanity for the Verify machinery itself: with Verify off, nothing
+	// is compared even for mismatched variants.
+	r := tinyRunner()
+	r.Verify = false
+	exp := r.Fig2()
+	if _, err := r.RunExperiment(exp); err != nil {
+		t.Fatalf("unexpected error with Verify off: %v", err)
+	}
+}
+
+func TestFig4ShapesAtTinyScale(t *testing.T) {
+	// The optimized GMDJ should beat the basic GMDJ on the ALL query —
+	// the effect completion exists for. Use a slightly larger scale so
+	// the quadratic term is visible but quick.
+	r := &Runner{Scale: 1.0 / 50.0, Repeat: 1, Verify: true}
+	exp := r.Fig4()
+	s := exp.Sizes[1] // 80k/50 = 1600 rows
+	var basic, opt time.Duration
+	for _, v := range exp.Variants {
+		if v.Name != "gmdj" && v.Name != "gmdj-opt" {
+			continue
+		}
+		res, err := r.RunCell(exp, s, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Skipped {
+			t.Fatalf("%s skipped at %s", v.Name, s.Label)
+		}
+		if v.Name == "gmdj" {
+			basic = res.Elapsed
+		} else {
+			opt = res.Elapsed
+		}
+	}
+	if opt >= basic {
+		t.Errorf("completion-optimized GMDJ (%v) should beat basic GMDJ (%v) on Figure 4", opt, basic)
+	}
+}
+
+func TestVariantsCoverExpectedStrategies(t *testing.T) {
+	r := tinyRunner()
+	for _, exp := range r.Experiments() {
+		hasGMDJOpt, hasNative := false, false
+		for _, v := range exp.Variants {
+			if v.Strategy == engine.GMDJOpt {
+				hasGMDJOpt = true
+			}
+			if v.Strategy == engine.Native {
+				hasNative = true
+			}
+		}
+		if !hasGMDJOpt || !hasNative {
+			t.Errorf("%s must include native and gmdj-opt variants", exp.ID)
+		}
+	}
+}
+
+func TestKiloFormatting(t *testing.T) {
+	cases := map[int]string{500: "500", 1500: "1k", 300_000: "300k", 1_200_000: "1.2M"}
+	for n, want := range cases {
+		if got := kilo(n); got != want {
+			t.Errorf("kilo(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestExtCoalesceExperiment(t *testing.T) {
+	r := &Runner{Scale: 1.0 / 2000.0, Repeat: 1, Verify: true}
+	exp, err := r.Experiment("ext-coalesce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.RunExperiment(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 { // 4 widths × 3 variants
+		t.Errorf("results = %d, want 12", len(results))
+	}
+	if len(r.AllExperiments()) != 5 {
+		t.Errorf("AllExperiments = %d, want 5", len(r.AllExperiments()))
+	}
+}

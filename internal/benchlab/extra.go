@@ -1,0 +1,70 @@
+package benchlab
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/datagen"
+	"github.com/olaplab/gmdj/internal/engine"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// ExtCoalesce is an extension experiment beyond the paper's figures:
+// it sweeps the NUMBER OF SUBQUERIES (all over the same detail table)
+// instead of the table size, isolating what Proposition 4.1 coalescing
+// buys. Basic GMDJ scans the detail table once per subquery; the
+// coalesced plan scans it exactly once regardless of k; join unnesting
+// performs k separate semi/anti-joins.
+//
+// The experiment reuses the Size struct: Outer = k (number of
+// subqueries), Inner = detail rows.
+func (r *Runner) ExtCoalesce() *Experiment {
+	detailRows := r.scaleN(800_000)
+	var sizes []Size
+	for _, k := range []int{1, 2, 4, 8} {
+		sizes = append(sizes, Size{
+			Label: fmt.Sprintf("%d subqueries", k),
+			Outer: k,
+			Inner: detailRows,
+		})
+	}
+	return &Experiment{
+		ID:    "ext-coalesce",
+		Title: "Coalescing width sweep (extension; Prop. 4.1)",
+		Sizes: sizes,
+		Variants: []Variant{
+			{Name: "unnest", Strategy: engine.Unnest, UseIndexes: true},
+			{Name: "gmdj", Strategy: engine.GMDJ, UseIndexes: true},
+			{Name: "gmdj-opt", Strategy: engine.GMDJOpt, UseIndexes: true},
+		},
+		Build: func(s Size) *storage.Catalog {
+			return datagen.Netflow(datagen.NetflowOpts{
+				Flows: s.Inner,
+				Hours: 24,
+				Users: 64,
+				Seed:  uint64(s.Inner),
+			})
+		},
+		Query: func(s Size) algebra.Node {
+			// k EXISTS subqueries over Flow, each on a different byte
+			// range so their conditions are disjoint (un-mergeable for
+			// joins, trivially coalescable for GMDJs).
+			preds := make([]algebra.Pred, s.Outer)
+			for i := 0; i < s.Outer; i++ {
+				alias := fmt.Sprintf("F%d", i)
+				lo := int64(i) * 100_000
+				preds[i] = algebra.ExistsPred(&algebra.Subquery{
+					Source: algebra.NewScan("Flow", alias),
+					Where: &algebra.Atom{E: expr.NewAnd(
+						expr.Eq(expr.C(alias+".SourceIP"), expr.C("U.IPAddress")),
+						expr.NewCmp(value.GE, expr.C(alias+".NumBytes"), expr.IntLit(lo)),
+						expr.NewCmp(value.LT, expr.C(alias+".NumBytes"), expr.IntLit(lo+100_000)),
+					)},
+				})
+			}
+			return algebra.NewRestrict(algebra.NewScan("User", "U"), algebra.And(preds...))
+		},
+	}
+}

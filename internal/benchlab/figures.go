@@ -1,0 +1,233 @@
+package benchlab
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/datagen"
+	"github.com/olaplab/gmdj/internal/engine"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// sizeLabel renders "1000/300k".
+func sizeLabel(outer, inner int) string {
+	return fmt.Sprintf("%d/%s", outer, kilo(inner))
+}
+
+func kilo(n int) string {
+	switch {
+	case n >= 1_000_000 && n%100_000 == 0:
+		return fmt.Sprintf("%.1fM", float64(n)/1_000_000)
+	case n >= 1_000:
+		return fmt.Sprintf("%dk", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// tpcrCatalog builds a customer/orders catalog with the requested
+// cardinalities (lineitems scaled to 2× orders for Figure 5 realism).
+func tpcrCatalog(customers, orders int) *storage.Catalog {
+	return datagen.TPCR(datagen.TPCROpts{
+		Customers: customers,
+		Orders:    orders,
+		Lineitems: 0,
+		Suppliers: 10,
+		Parts:     100,
+		Seed:      uint64(customers)*1_000_003 + uint64(orders),
+	})
+}
+
+func indexOrdersCustkey(cat *storage.Catalog) error {
+	t, err := cat.Table("orders")
+	if err != nil {
+		return err
+	}
+	return t.BuildHashIndex("o_custkey")
+}
+
+// Fig2 — EXISTS subquery. Outer block 1000 rows (customers), subquery
+// block 300k..1.2M rows (orders). Series: native with and without
+// indexes, join unnesting, GMDJ. Paper shape: GMDJ ≈ joins; the DBMS's
+// specialized EXISTS evaluation trails them (our in-memory native with
+// a hash index is faster than the paper's disk-based DBMS, so the
+// unindexed native line is the one comparable to the paper's native).
+func (r *Runner) Fig2() *Experiment {
+	var sizes []Size
+	outer := 1000
+	for _, inner := range []int{300_000, 600_000, 900_000, 1_200_000} {
+		in := r.scaleN(inner)
+		sizes = append(sizes, Size{Label: sizeLabel(outer, in), Outer: outer, Inner: in})
+	}
+	return &Experiment{
+		ID:    "fig2",
+		Title: "EXISTS subquery (Figure 2)",
+		Sizes: sizes,
+		Variants: []Variant{
+			{Name: "native", Strategy: engine.Native, UseIndexes: true},
+			{Name: "native-noidx", Strategy: engine.Native, UseIndexes: false,
+				MaxInner: r.scaleN(600_000),
+				SkipNote: "unindexed tuple iteration scans the full inner block per outer row; capped to keep runs finite"},
+			{Name: "unnest", Strategy: engine.Unnest, UseIndexes: true},
+			{Name: "gmdj", Strategy: engine.GMDJ, UseIndexes: true},
+			{Name: "gmdj-opt", Strategy: engine.GMDJOpt, UseIndexes: true},
+		},
+		Build: func(s Size) *storage.Catalog {
+			return tpcrCatalog(s.Outer, s.Inner)
+		},
+		Prepare: indexOrdersCustkey,
+		Query: func(Size) algebra.Node {
+			sub := &algebra.Subquery{
+				Source: algebra.NewScan("orders", "O"),
+				Where: &algebra.Atom{E: expr.NewAnd(
+					expr.Eq(expr.C("O.o_custkey"), expr.C("C.c_custkey")),
+					expr.NewCmp(value.GT, expr.C("O.o_totalprice"), expr.FloatLit(400_000)),
+				)},
+			}
+			return algebra.NewRestrict(algebra.NewScan("customer", "C"), algebra.ExistsPred(sub))
+		},
+	}
+}
+
+// Fig3 — comparison predicate against an aggregate subquery. Outer
+// block 500..2000 rows, subquery block 300k..1.2M rows. The paper's
+// native engine ran a plain nested loop; the unindexed native variant
+// reproduces that line, while join unnesting (aggregate-then-outer-
+// join) and the GMDJ stay flat.
+func (r *Runner) Fig3() *Experiment {
+	var sizes []Size
+	outers := []int{500, 1000, 1500, 2000}
+	inners := []int{300_000, 600_000, 900_000, 1_200_000}
+	for i := range outers {
+		out, in := r.scaleN(outers[i]), r.scaleN(inners[i])
+		sizes = append(sizes, Size{Label: sizeLabel(out, in), Outer: out, Inner: in})
+	}
+	return &Experiment{
+		ID:    "fig3",
+		Title: "Aggregate comparison subquery (Figure 3)",
+		Sizes: sizes,
+		Variants: []Variant{
+			{Name: "native-nl", Strategy: engine.Native, UseIndexes: false,
+				MaxInner: r.scaleN(600_000),
+				SkipNote: "plain nested loop is O(|outer|·|inner|); capped to keep runs finite (the paper's native line)"},
+			{Name: "native-idx", Strategy: engine.Native, UseIndexes: true},
+			{Name: "unnest", Strategy: engine.Unnest, UseIndexes: true},
+			{Name: "gmdj", Strategy: engine.GMDJ, UseIndexes: true},
+			{Name: "gmdj-opt", Strategy: engine.GMDJOpt, UseIndexes: true},
+		},
+		Build: func(s Size) *storage.Catalog {
+			return tpcrCatalog(s.Outer, s.Inner)
+		},
+		Prepare: indexOrdersCustkey,
+		Query: func(Size) algebra.Node {
+			// Customers whose account balance (in cents) exceeds the
+			// average price of their own orders.
+			sub := &algebra.Subquery{
+				Source: algebra.NewScan("orders", "O"),
+				Where:  &algebra.Atom{E: expr.Eq(expr.C("O.o_custkey"), expr.C("C.c_custkey"))},
+				Agg:    &agg.Spec{Func: agg.Avg, Arg: expr.C("O.o_totalprice")},
+			}
+			left := expr.NewArith(expr.OpMul, expr.C("C.c_acctbal"), expr.IntLit(25))
+			return algebra.NewRestrict(algebra.NewScan("customer", "C"),
+				&algebra.SubPred{Kind: algebra.ScalarCmp, Op: value.GT, Left: left, Sub: sub})
+		},
+	}
+}
+
+// Fig4 — quantified ALL with a ≠ correlation on key attributes; both
+// blocks 40k..160k rows. No equality binding exists anywhere, so hash
+// strategies are useless: the native smart nested loop (early exit on
+// the first counterexample) and the completion-optimized GMDJ do well;
+// the basic GMDJ degenerates to tuple iteration and classical join
+// unnesting materializes a quadratic counterexample join (the paper
+// reports > 7 hours at 20k rows; we cap both).
+func (r *Runner) Fig4() *Experiment {
+	var sizes []Size
+	for _, n := range []int{40_000, 80_000, 120_000, 160_000} {
+		rows := r.scaleN(n)
+		sizes = append(sizes, Size{Label: sizeLabel(rows, rows), Outer: rows, Inner: rows})
+	}
+	cap4 := r.scaleN(80_000)
+	return &Experiment{
+		ID:    "fig4",
+		Title: "Quantified ALL with ≠ correlation (Figure 4)",
+		Sizes: sizes,
+		Variants: []Variant{
+			{Name: "native", Strategy: engine.Native, UseIndexes: true},
+			{Name: "unnest", Strategy: engine.Unnest, UseIndexes: true,
+				MaxInner: cap4,
+				SkipNote: "set-difference unnesting materializes the quadratic counterexample join (paper: >7h at 20k rows)"},
+			{Name: "gmdj", Strategy: engine.GMDJ, UseIndexes: true,
+				MaxInner: cap4,
+				SkipNote: "basic GMDJ without completion mimics tuple iteration on bindingless θ (paper: 3 min at 20k rows)"},
+			{Name: "gmdj-opt", Strategy: engine.GMDJOpt, UseIndexes: true},
+		},
+		Build: func(s Size) *storage.Catalog {
+			return datagen.KeyPair(datagen.KeyPairOpts{Rows: s.Outer, Seed: uint64(s.Outer)})
+		},
+		Query: func(Size) algebra.Node {
+			// A-rows whose value differs from every B-value carried by
+			// a different key.
+			sub := &algebra.Subquery{
+				Source: algebra.NewScan("B", "B"),
+				Where:  &algebra.Atom{E: expr.NewCmp(value.NE, expr.C("B.b_key"), expr.C("A.a_key"))},
+				OutCol: expr.C("B.b_val"),
+			}
+			return algebra.NewRestrict(algebra.NewScan("A", "A"),
+				&algebra.SubPred{Kind: algebra.CmpAll, Op: value.NE, Left: expr.C("A.a_val"), Sub: sub})
+		},
+	}
+}
+
+// Fig5 — two tree-nested EXISTS subqueries over the same detail table
+// (disjoint predicates), outer block 1000 rows, inner blocks 300k..1.2M
+// rows each. Join unnesting needs two separate joins; the optimized
+// GMDJ coalesces both subqueries into a single scan. The unindexed
+// native variant shows the index dependence the paper highlights (GMDJ
+// performance is unchanged by dropping indexes).
+func (r *Runner) Fig5() *Experiment {
+	var sizes []Size
+	outer := 1000
+	for _, inner := range []int{300_000, 600_000, 900_000, 1_200_000} {
+		in := r.scaleN(inner)
+		sizes = append(sizes, Size{Label: sizeLabel(outer, in), Outer: outer, Inner: in})
+	}
+	return &Experiment{
+		ID:    "fig5",
+		Title: "Tree-nested EXISTS predicates (Figure 5)",
+		Sizes: sizes,
+		Variants: []Variant{
+			{Name: "native-idx", Strategy: engine.Native, UseIndexes: true},
+			{Name: "native-noidx", Strategy: engine.Native, UseIndexes: false,
+				MaxInner: r.scaleN(600_000),
+				SkipNote: "without indexes tuple iteration rescans both inner blocks per outer row; capped to keep runs finite"},
+			{Name: "unnest", Strategy: engine.Unnest, UseIndexes: true},
+			{Name: "gmdj", Strategy: engine.GMDJ, UseIndexes: true},
+			{Name: "gmdj-opt", Strategy: engine.GMDJOpt, UseIndexes: true},
+		},
+		Build: func(s Size) *storage.Catalog {
+			return tpcrCatalog(s.Outer, s.Inner)
+		},
+		Prepare: indexOrdersCustkey,
+		Query: func(Size) algebra.Node {
+			mk := func(alias, status string, op value.CmpOp, price float64) *algebra.Subquery {
+				return &algebra.Subquery{
+					Source: algebra.NewScan("orders", alias),
+					Where: &algebra.Atom{E: expr.NewAnd(
+						expr.Eq(expr.C(alias+".o_custkey"), expr.C("C.c_custkey")),
+						expr.Eq(expr.C(alias+".o_orderstatus"), expr.StrLit(status)),
+						expr.NewCmp(op, expr.C(alias+".o_totalprice"), expr.FloatLit(price)),
+					)},
+				}
+			}
+			return algebra.NewRestrict(algebra.NewScan("customer", "C"),
+				algebra.And(
+					algebra.ExistsPred(mk("O1", "O", value.GT, 300_000)),
+					algebra.ExistsPred(mk("O2", "F", value.LT, 150_000)),
+				))
+		},
+	}
+}

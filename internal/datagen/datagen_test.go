@@ -1,0 +1,191 @@
+package datagen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/olaplab/gmdj/internal/storage"
+)
+
+func TestPRNGDeterministic(t *testing.T) {
+	a, b := NewPRNG(99), NewPRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewPRNG(100)
+	same := true
+	a2 := NewPRNG(99)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestPRNGZeroSeed(t *testing.T) {
+	r := NewPRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must not produce the all-zero stream")
+	}
+}
+
+func TestPRNGBounds(t *testing.T) {
+	r := NewPRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int63n(1000); v < 0 || v >= 1000 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestPRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	NewPRNG(1).Intn(0)
+}
+
+func TestPRNGUniformity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewPRNG(seed)
+		buckets := make([]int, 10)
+		for i := 0; i < 10000; i++ {
+			buckets[r.Intn(10)]++
+		}
+		for _, c := range buckets {
+			if c < 700 || c > 1300 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func tableLen(t *testing.T, cat *storage.Catalog, name string) int {
+	t.Helper()
+	tbl, err := cat.Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.Rel.Len()
+}
+
+func TestNetflowShape(t *testing.T) {
+	opts := NetflowOpts{Flows: 1000, Hours: 12, Users: 20, Seed: 1}
+	cat := Netflow(opts)
+	if got := tableLen(t, cat, "Flow"); got != 1000 {
+		t.Errorf("flows = %d", got)
+	}
+	if got := tableLen(t, cat, "Hours"); got != 12 {
+		t.Errorf("hours = %d", got)
+	}
+	if got := tableLen(t, cat, "User"); got != 20 {
+		t.Errorf("users = %d", got)
+	}
+	// StartTime must lie within the hour range.
+	flow, _ := cat.Table("Flow")
+	for _, row := range flow.Rel.Rows {
+		ts := row[2].AsInt()
+		if ts < 0 || ts >= 12*60 {
+			t.Fatalf("StartTime %d outside dimension range", ts)
+		}
+	}
+	// Some flows must hit well-known destinations (the examples rely
+	// on it).
+	hits := 0
+	for _, row := range flow.Rel.Rows {
+		for _, d := range wellKnownDests {
+			if row[1].AsString() == d {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no flows to well-known destinations")
+	}
+}
+
+func TestNetflowDeterministic(t *testing.T) {
+	a := Netflow(NetflowOpts{Flows: 500, Hours: 6, Users: 10, Seed: 5})
+	b := Netflow(NetflowOpts{Flows: 500, Hours: 6, Users: 10, Seed: 5})
+	fa, _ := a.Table("Flow")
+	fb, _ := b.Table("Flow")
+	if !fa.Rel.EqualBag(fb.Rel) {
+		t.Error("same seed must reproduce identical Flow tables")
+	}
+}
+
+func TestTPCRShape(t *testing.T) {
+	opts := TPCROpts{Customers: 100, Orders: 500, Lineitems: 900, Suppliers: 10, Parts: 50, Seed: 2}
+	cat := TPCR(opts)
+	for name, want := range map[string]int{
+		"customer": 100, "orders": 500, "lineitem": 900,
+		"supplier": 10, "part": 50, "region": len(regions), "nation": len(nations),
+	} {
+		if got := tableLen(t, cat, name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// Foreign keys must be in range.
+	orders, _ := cat.Table("orders")
+	for _, row := range orders.Rel.Rows {
+		ck := row[1].AsInt()
+		if ck < 1 || ck > 100 {
+			t.Fatalf("o_custkey %d out of range", ck)
+		}
+	}
+	li, _ := cat.Table("lineitem")
+	for _, row := range li.Rel.Rows {
+		if ok := row[0].AsInt(); ok < 1 || ok > 500 {
+			t.Fatalf("l_orderkey %d out of range", ok)
+		}
+	}
+}
+
+func TestTPCRDeterministic(t *testing.T) {
+	o := TPCROpts{Customers: 50, Orders: 200, Lineitems: 300, Suppliers: 5, Parts: 20, Seed: 11}
+	a, b := TPCR(o), TPCR(o)
+	oa, _ := a.Table("orders")
+	ob, _ := b.Table("orders")
+	if !oa.Rel.EqualBag(ob.Rel) {
+		t.Error("same seed must reproduce identical orders tables")
+	}
+}
+
+func TestKeyPairShape(t *testing.T) {
+	cat := KeyPair(KeyPairOpts{Rows: 300, Seed: 3})
+	if tableLen(t, cat, "A") != 300 || tableLen(t, cat, "B") != 300 {
+		t.Fatal("sizes wrong")
+	}
+	a, _ := cat.Table("A")
+	seen := map[int64]bool{}
+	for _, row := range a.Rel.Rows {
+		k := row[0].AsInt()
+		if seen[k] {
+			t.Fatalf("duplicate a_key %d", k)
+		}
+		seen[k] = true
+	}
+	b, _ := cat.Table("B")
+	for _, row := range b.Rel.Rows {
+		if k := row[0].AsInt(); k < 0 || k >= 300 {
+			t.Fatalf("b_key %d out of domain", k)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package datagen
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// NetflowOpts sizes the paper's motivating-example schema.
+type NetflowOpts struct {
+	// Flows is the number of rows in the Flow fact table.
+	Flows int
+	// Hours is the number of hour buckets in the time dimension.
+	Hours int
+	// Users is the number of registered user accounts; each maps to
+	// one source IP.
+	Users int
+	// Seed drives the PRNG.
+	Seed uint64
+}
+
+// DefaultNetflow are laptop-friendly defaults for examples.
+func DefaultNetflow() NetflowOpts {
+	return NetflowOpts{Flows: 50_000, Hours: 24, Users: 40, Seed: 42}
+}
+
+// wellKnownDests are destination IPs the paper's examples filter on.
+var wellKnownDests = []string{"167.167.167.0", "168.168.168.0", "169.169.169.0"}
+
+// Netflow registers the Flow, Hours, and User tables into a fresh
+// catalog.
+//
+// Flow(SourceIP, DestIP, StartTime, Protocol, NumBytes): StartTime is
+// minutes since epoch within [0, Hours*60); ~1/8 of destinations hit
+// the paper's well-known IPs so EXISTS-style filters select non-trivial
+// subsets.
+func Netflow(opts NetflowOpts) *storage.Catalog {
+	rng := NewPRNG(opts.Seed)
+	cat := storage.NewCatalog()
+
+	userIPs := make([]string, opts.Users)
+	for i := range userIPs {
+		userIPs[i] = fmt.Sprintf("10.0.%d.%d", i/250, i%250+1)
+	}
+
+	user := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "User", Name: "Name", Type: value.KindString},
+		relation.Column{Qualifier: "User", Name: "IPAddress", Type: value.KindString},
+	))
+	for i, ip := range userIPs {
+		user.Append(relation.Tuple{value.Str(fmt.Sprintf("user%04d", i)), value.Str(ip)})
+	}
+	cat.Register(storage.NewTable("User", user))
+
+	hours := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "Hours", Name: "HourDsc", Type: value.KindInt},
+		relation.Column{Qualifier: "Hours", Name: "StartInterval", Type: value.KindInt},
+		relation.Column{Qualifier: "Hours", Name: "EndInterval", Type: value.KindInt},
+	))
+	for h := 0; h < opts.Hours; h++ {
+		hours.Append(relation.Tuple{
+			value.Int(int64(h + 1)),
+			value.Int(int64(h * 60)),
+			value.Int(int64((h + 1) * 60)),
+		})
+	}
+	cat.Register(storage.NewTable("Hours", hours))
+
+	protocols := []string{"HTTP", "HTTP", "HTTP", "FTP", "SMTP", "DNS"} // HTTP-heavy mix
+	flow := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "Flow", Name: "SourceIP", Type: value.KindString},
+		relation.Column{Qualifier: "Flow", Name: "DestIP", Type: value.KindString},
+		relation.Column{Qualifier: "Flow", Name: "StartTime", Type: value.KindInt},
+		relation.Column{Qualifier: "Flow", Name: "Protocol", Type: value.KindString},
+		relation.Column{Qualifier: "Flow", Name: "NumBytes", Type: value.KindInt},
+	))
+	for i := 0; i < opts.Flows; i++ {
+		src := userIPs[rng.Intn(len(userIPs))]
+		var dst string
+		if rng.Intn(8) == 0 {
+			dst = wellKnownDests[rng.Intn(len(wellKnownDests))]
+		} else {
+			dst = fmt.Sprintf("192.168.%d.%d", rng.Intn(256), rng.Intn(254)+1)
+		}
+		flow.Append(relation.Tuple{
+			value.Str(src),
+			value.Str(dst),
+			value.Int(rng.Int63n(int64(opts.Hours) * 60)),
+			value.Str(protocols[rng.Intn(len(protocols))]),
+			value.Int(40 + rng.Int63n(1_000_000)),
+		})
+	}
+	cat.Register(storage.NewTable("Flow", flow))
+
+	return cat
+}

@@ -1,0 +1,214 @@
+package datagen
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// TPCROpts sizes the TPC-R-like warehouse. The paper derived its test
+// databases (50–200 MB) from the TPC-R dbgen program; this generator
+// reproduces the table shapes at benchmark-selectable cardinalities.
+type TPCROpts struct {
+	Customers int
+	Orders    int
+	Lineitems int
+	Suppliers int
+	Parts     int
+	Seed      uint64
+}
+
+// DefaultTPCR is a small configuration for examples and tests.
+func DefaultTPCR() TPCROpts {
+	return TPCROpts{
+		Customers: 1_000,
+		Orders:    10_000,
+		Lineitems: 40_000,
+		Suppliers: 100,
+		Parts:     2_000,
+		Seed:      7,
+	}
+}
+
+var (
+	regions  = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations  = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+	segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	statuses = []string{"O", "F", "P"}
+	brands   = []string{"Brand#11", "Brand#12", "Brand#21", "Brand#33", "Brand#44", "Brand#55"}
+)
+
+// orderDateRange is the span of o_orderdate values (days).
+const orderDateRange = 2400
+
+// TPCR generates the warehouse into a fresh catalog. Foreign keys are
+// uniformly distributed; monetary amounts follow dbgen-like ranges so
+// aggregate comparisons select non-degenerate fractions of the data.
+func TPCR(opts TPCROpts) *storage.Catalog {
+	rng := NewPRNG(opts.Seed)
+	cat := storage.NewCatalog()
+
+	region := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "region", Name: "r_regionkey", Type: value.KindInt},
+		relation.Column{Qualifier: "region", Name: "r_name", Type: value.KindString},
+	))
+	for i, name := range regions {
+		region.Append(relation.Tuple{value.Int(int64(i)), value.Str(name)})
+	}
+	cat.Register(storage.NewTable("region", region))
+
+	nation := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "nation", Name: "n_nationkey", Type: value.KindInt},
+		relation.Column{Qualifier: "nation", Name: "n_name", Type: value.KindString},
+		relation.Column{Qualifier: "nation", Name: "n_regionkey", Type: value.KindInt},
+	))
+	for i, name := range nations {
+		nation.Append(relation.Tuple{
+			value.Int(int64(i)), value.Str(name), value.Int(int64(i % len(regions))),
+		})
+	}
+	cat.Register(storage.NewTable("nation", nation))
+
+	supplier := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "supplier", Name: "s_suppkey", Type: value.KindInt},
+		relation.Column{Qualifier: "supplier", Name: "s_name", Type: value.KindString},
+		relation.Column{Qualifier: "supplier", Name: "s_nationkey", Type: value.KindInt},
+		relation.Column{Qualifier: "supplier", Name: "s_acctbal", Type: value.KindFloat},
+	))
+	for i := 0; i < opts.Suppliers; i++ {
+		supplier.Append(relation.Tuple{
+			value.Int(int64(i + 1)),
+			value.Str(fmt.Sprintf("Supplier#%09d", i+1)),
+			value.Int(int64(rng.Intn(len(nations)))),
+			value.Float(float64(rng.Int63n(1_099_999))/100 - 999.99),
+		})
+	}
+	cat.Register(storage.NewTable("supplier", supplier))
+
+	part := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "part", Name: "p_partkey", Type: value.KindInt},
+		relation.Column{Qualifier: "part", Name: "p_name", Type: value.KindString},
+		relation.Column{Qualifier: "part", Name: "p_brand", Type: value.KindString},
+		relation.Column{Qualifier: "part", Name: "p_retailprice", Type: value.KindFloat},
+	))
+	for i := 0; i < opts.Parts; i++ {
+		part.Append(relation.Tuple{
+			value.Int(int64(i + 1)),
+			value.Str(fmt.Sprintf("Part#%09d", i+1)),
+			value.Str(brands[rng.Intn(len(brands))]),
+			value.Float(900 + float64(rng.Int63n(120_000))/100),
+		})
+	}
+	cat.Register(storage.NewTable("part", part))
+
+	customer := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "customer", Name: "c_custkey", Type: value.KindInt},
+		relation.Column{Qualifier: "customer", Name: "c_name", Type: value.KindString},
+		relation.Column{Qualifier: "customer", Name: "c_nationkey", Type: value.KindInt},
+		relation.Column{Qualifier: "customer", Name: "c_acctbal", Type: value.KindFloat},
+		relation.Column{Qualifier: "customer", Name: "c_mktsegment", Type: value.KindString},
+	))
+	for i := 0; i < opts.Customers; i++ {
+		customer.Append(relation.Tuple{
+			value.Int(int64(i + 1)),
+			value.Str(fmt.Sprintf("Customer#%09d", i+1)),
+			value.Int(int64(rng.Intn(len(nations)))),
+			value.Float(float64(rng.Int63n(1_099_999))/100 - 999.99),
+			value.Str(segments[rng.Intn(len(segments))]),
+		})
+	}
+	cat.Register(storage.NewTable("customer", customer))
+
+	orders := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "orders", Name: "o_orderkey", Type: value.KindInt},
+		relation.Column{Qualifier: "orders", Name: "o_custkey", Type: value.KindInt},
+		relation.Column{Qualifier: "orders", Name: "o_totalprice", Type: value.KindFloat},
+		relation.Column{Qualifier: "orders", Name: "o_orderdate", Type: value.KindInt},
+		relation.Column{Qualifier: "orders", Name: "o_orderstatus", Type: value.KindString},
+	))
+	for i := 0; i < opts.Orders; i++ {
+		orders.Append(relation.Tuple{
+			value.Int(int64(i + 1)),
+			value.Int(rng.Int63n(int64(opts.Customers)) + 1),
+			value.Float(1_000 + float64(rng.Int63n(45_000_000))/100),
+			value.Int(rng.Int63n(orderDateRange)),
+			value.Str(statuses[rng.Intn(len(statuses))]),
+		})
+	}
+	cat.Register(storage.NewTable("orders", orders))
+
+	lineitem := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "lineitem", Name: "l_orderkey", Type: value.KindInt},
+		relation.Column{Qualifier: "lineitem", Name: "l_partkey", Type: value.KindInt},
+		relation.Column{Qualifier: "lineitem", Name: "l_suppkey", Type: value.KindInt},
+		relation.Column{Qualifier: "lineitem", Name: "l_quantity", Type: value.KindInt},
+		relation.Column{Qualifier: "lineitem", Name: "l_extendedprice", Type: value.KindFloat},
+		relation.Column{Qualifier: "lineitem", Name: "l_shipdate", Type: value.KindInt},
+	))
+	for i := 0; i < opts.Lineitems; i++ {
+		lineitem.Append(relation.Tuple{
+			value.Int(rng.Int63n(int64(max(opts.Orders, 1))) + 1),
+			value.Int(rng.Int63n(int64(max(opts.Parts, 1))) + 1),
+			value.Int(rng.Int63n(int64(max(opts.Suppliers, 1))) + 1),
+			value.Int(1 + rng.Int63n(50)),
+			value.Float(900 + float64(rng.Int63n(9_500_000))/100),
+			value.Int(rng.Int63n(orderDateRange + 120)),
+		})
+	}
+	cat.Register(storage.NewTable("lineitem", lineitem))
+
+	return cat
+}
+
+// KeyPairOpts sizes the Figure 4 experiment tables.
+type KeyPairOpts struct {
+	// Rows is the cardinality of both tables.
+	Rows int
+	Seed uint64
+}
+
+// valDomain bounds a_val/b_val: small enough that most A rows meet a
+// counterexample within ~valDomain B rows, so early-exit strategies
+// (smart nested loop, GMDJ completion) terminate quickly while full
+// strategies pay the quadratic cost — the Figure 4 regime.
+const valDomain = 1_000
+
+// KeyPair generates the two key tables of the quantified-ALL
+// experiment: A(a_key, a_val) with unique keys 0..n−1, and
+// B(b_key, b_val) with keys drawn uniformly from the same domain.
+// The benchmark's ALL predicate uses a ≠ correlation on the keys, so
+// no equality binding exists anywhere — the adversarial case for both
+// hash-based unnesting and the basic GMDJ.
+func KeyPair(opts KeyPairOpts) *storage.Catalog {
+	rng := NewPRNG(opts.Seed)
+	cat := storage.NewCatalog()
+
+	a := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "A", Name: "a_key", Type: value.KindInt},
+		relation.Column{Qualifier: "A", Name: "a_val", Type: value.KindInt},
+	))
+	for i := 0; i < opts.Rows; i++ {
+		a.Append(relation.Tuple{value.Int(int64(i)), value.Int(rng.Int63n(valDomain))})
+	}
+	cat.Register(storage.NewTable("A", a))
+
+	b := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "b_key", Type: value.KindInt},
+		relation.Column{Qualifier: "B", Name: "b_val", Type: value.KindInt},
+	))
+	for i := 0; i < opts.Rows; i++ {
+		b.Append(relation.Tuple{value.Int(rng.Int63n(int64(opts.Rows))), value.Int(rng.Int63n(valDomain))})
+	}
+	cat.Register(storage.NewTable("B", b))
+
+	return cat
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

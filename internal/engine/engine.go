@@ -1,0 +1,228 @@
+// Package engine is the query-engine facade: it owns a catalog, plans
+// nested-algebra queries under a chosen evaluation strategy, executes
+// them, and explains the resulting physical plans. The four strategies
+// are the paper's experimental contenders:
+//
+//	Native   — tuple-iteration semantics with vendor-style refinements
+//	           (index lookups, first-match EXISTS, smart-nested-loop ALL)
+//	Unnest   — classical join/outer-join unnesting
+//	GMDJ     — Algorithm SubqueryToGMDJ, basic (Theorem 3.5)
+//	GMDJOpt  — GMDJ plus coalescing and tuple completion (§4)
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/exec"
+	"github.com/olaplab/gmdj/internal/gmdj"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/rewrite"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/unnest"
+)
+
+// Strategy selects how subqueries are evaluated.
+type Strategy uint8
+
+const (
+	// Native evaluates subquery predicates with tuple-iteration
+	// semantics (plus index acceleration when available).
+	Native Strategy = iota
+	// Unnest rewrites subqueries into joins/outer-joins first.
+	Unnest
+	// GMDJ rewrites subqueries into GMDJ expressions (basic algorithm).
+	GMDJ
+	// GMDJOpt additionally applies coalescing and tuple completion.
+	GMDJOpt
+	// Auto prices the four rewritings with the built-in cost model and
+	// runs the cheapest — the cost-based integration the paper's
+	// conclusion sketches.
+	Auto
+)
+
+// String names the strategy as used in benchmark output.
+func (s Strategy) String() string {
+	switch s {
+	case Native:
+		return "native"
+	case Unnest:
+		return "unnest"
+	case GMDJ:
+		return "gmdj"
+	case GMDJOpt:
+		return "gmdj-opt"
+	case Auto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Strategies lists all strategies in presentation order.
+func Strategies() []Strategy { return []Strategy{Native, Unnest, GMDJ, GMDJOpt} }
+
+// Engine executes queries against a catalog.
+type Engine struct {
+	cat  *storage.Catalog
+	exec *exec.Executor
+}
+
+// New creates an engine over a catalog, with index use enabled.
+func New(cat *storage.Catalog) *Engine {
+	return &Engine{cat: cat, exec: exec.New(cat)}
+}
+
+// Catalog returns the underlying catalog.
+func (e *Engine) Catalog() *storage.Catalog { return e.cat }
+
+// SetUseIndexes toggles index use by the native strategy (the
+// "unindexed" benchmark variants). GMDJ plans are unaffected.
+func (e *Engine) SetUseIndexes(on bool) { e.exec.UseIndexes = on }
+
+// SetGMDJWorkers sets GMDJ scan parallelism (0/1 = serial).
+func (e *Engine) SetGMDJWorkers(n int) { e.exec.GMDJWorkers = n }
+
+// SetMemoizeSubqueries toggles Rao-Ross invariant reuse in the native
+// strategy: subquery outcomes are cached per distinct correlation
+// binding.
+func (e *Engine) SetMemoizeSubqueries(on bool) { e.exec.MemoizeSubqueries = on }
+
+// GMDJStats exposes the GMDJ operator counters collector.
+func (e *Engine) GMDJStats() *gmdj.Stats {
+	if e.exec.GMDJStats == nil {
+		e.exec.GMDJStats = &gmdj.Stats{}
+	}
+	return e.exec.GMDJStats
+}
+
+// TableSchema implements algebra.SchemaResolver.
+func (e *Engine) TableSchema(name string) (*relation.Schema, error) {
+	return e.exec.TableSchema(name)
+}
+
+// Plan rewrites a logical plan according to the strategy, returning
+// the plan that will actually execute.
+func (e *Engine) Plan(plan algebra.Node, s Strategy) (algebra.Node, error) {
+	switch s {
+	case Native:
+		return plan, nil
+	case Unnest:
+		return unnest.Unnest(plan, e.exec)
+	case GMDJ:
+		return rewrite.SubqueryToGMDJ(plan, e.exec)
+	case GMDJOpt:
+		p, err := rewrite.SubqueryToGMDJOpts(plan, e.exec, rewrite.Options{AllCounterexample: true})
+		if err != nil {
+			return nil, err
+		}
+		return rewrite.Optimize(p, e.exec)
+	case Auto:
+		p, _, err := e.PlanAuto(plan)
+		return p, err
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %v", s)
+	}
+}
+
+// PlanAuto prices the Native, Unnest, GMDJ, and GMDJOpt rewritings of
+// the plan and returns the cheapest along with the strategy chosen.
+// Rewritings that fail (e.g. Unnest on disjunctive subqueries) are
+// simply not considered; Native always succeeds.
+func (e *Engine) PlanAuto(plan algebra.Node) (algebra.Node, Strategy, error) {
+	m := e.model()
+	best, bestStrategy := plan, Native
+	bestCost := math.Inf(1)
+	for _, s := range Strategies() {
+		p, err := e.Plan(plan, s)
+		if err != nil {
+			continue
+		}
+		if c := m.node(p).cost; c < bestCost {
+			best, bestStrategy, bestCost = p, s, c
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return plan, Native, nil
+	}
+	return best, bestStrategy, nil
+}
+
+// Run plans and executes.
+func (e *Engine) Run(plan algebra.Node, s Strategy) (*relation.Relation, error) {
+	p, err := e.Plan(plan, s)
+	if err != nil {
+		return nil, err
+	}
+	return e.exec.Run(p)
+}
+
+// Explain renders the physical plan chosen for a strategy as an
+// indented operator tree.
+func (e *Engine) Explain(plan algebra.Node, s Strategy) (string, error) {
+	p, err := e.Plan(plan, s)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s\n", s)
+	explainNode(&b, p, 0)
+	return b.String(), nil
+}
+
+func explainNode(b *strings.Builder, n algebra.Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch node := n.(type) {
+	case *algebra.Scan:
+		fmt.Fprintf(b, "%sScan %s\n", indent, node)
+	case *algebra.Raw:
+		fmt.Fprintf(b, "%sRaw %s (%d rows)\n", indent, node.Name, node.Rel.Len())
+	case *algebra.Alias:
+		fmt.Fprintf(b, "%sAlias -> %s\n", indent, node.Name)
+		explainNode(b, node.Input, depth+1)
+	case *algebra.Number:
+		fmt.Fprintf(b, "%sNumber -> %s\n", indent, node.As)
+		explainNode(b, node.Input, depth+1)
+	case *algebra.Restrict:
+		fmt.Fprintf(b, "%sSelect [%s]\n", indent, node.Where)
+		explainNode(b, node.Input, depth+1)
+	case *algebra.Project:
+		d := ""
+		if node.Distinct {
+			d = " distinct"
+		}
+		items := make([]string, len(node.Items))
+		for i, it := range node.Items {
+			items[i] = it.String()
+		}
+		fmt.Fprintf(b, "%sProject%s [%s]\n", indent, d, strings.Join(items, ", "))
+		explainNode(b, node.Input, depth+1)
+	case *algebra.Distinct:
+		fmt.Fprintf(b, "%sDistinct\n", indent)
+		explainNode(b, node.Input, depth+1)
+	case *algebra.Join:
+		fmt.Fprintf(b, "%sJoin %s [%s]\n", indent, node.Kind, node.On)
+		explainNode(b, node.Left, depth+1)
+		explainNode(b, node.Right, depth+1)
+	case *algebra.GroupBy:
+		fmt.Fprintf(b, "%sGroupBy %s\n", indent, node)
+	case *algebra.GMDJ:
+		comp := ""
+		if node.Completion != nil {
+			comp = " +completion"
+			if node.Completion.FreezeTrue {
+				comp += "+freeze"
+			}
+		}
+		fmt.Fprintf(b, "%sGMDJ%s (%d conditions)\n", indent, comp, len(node.Conds))
+		for _, c := range node.Conds {
+			fmt.Fprintf(b, "%s  cond: %s\n", indent, c)
+		}
+		explainNode(b, node.Base, depth+1)
+		explainNode(b, node.Detail, depth+1)
+	default:
+		fmt.Fprintf(b, "%s%s\n", indent, n)
+	}
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/datagen"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+func testEngine() *Engine {
+	cat := datagen.Netflow(datagen.NetflowOpts{Flows: 300, Hours: 4, Users: 6, Seed: 3})
+	return New(cat)
+}
+
+func existsPlan() algebra.Node {
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("Flow", "F"),
+		Where: &algebra.Atom{E: expr.NewAnd(
+			expr.NewCmp(value.GE, expr.C("F.StartTime"), expr.C("H.StartInterval")),
+			expr.NewCmp(value.LT, expr.C("F.StartTime"), expr.C("H.EndInterval")),
+			expr.Eq(expr.C("F.Protocol"), expr.StrLit("FTP")),
+		)},
+	}
+	return algebra.NewRestrict(algebra.NewScan("Hours", "H"), algebra.ExistsPred(sub))
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{Native: "native", Unnest: "unnest", GMDJ: "gmdj", GMDJOpt: "gmdj-opt"}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if len(Strategies()) != 4 {
+		t.Error("Strategies() should list all four")
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	e := testEngine()
+	plan := existsPlan()
+	base, err := e.Run(plan, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Unnest, GMDJ, GMDJOpt} {
+		got, err := e.Run(plan, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if d := base.Diff(got); d != "" {
+			t.Errorf("%v differs: %s", s, d)
+		}
+	}
+}
+
+func TestPlanShapesPerStrategy(t *testing.T) {
+	e := testEngine()
+	plan := existsPlan()
+
+	native, err := e.Plan(plan, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if native != plan {
+		t.Error("native planning must be the identity")
+	}
+
+	un, err := e.Plan(plan, Unnest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(un.String(), "⋉") {
+		t.Errorf("unnest plan lacks a semi-join: %s", un)
+	}
+
+	g, err := e.Plan(plan, GMDJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.String(), "MD(") {
+		t.Errorf("gmdj plan lacks a GMDJ: %s", g)
+	}
+
+	opt, err := e.Plan(plan, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(opt.String(), "completion") {
+		t.Errorf("gmdj-opt plan lacks completion: %s", opt)
+	}
+
+	if _, err := e.Plan(plan, Strategy(99)); err == nil {
+		t.Error("unknown strategy must error")
+	}
+}
+
+func TestExplainOutputs(t *testing.T) {
+	e := testEngine()
+	plan := existsPlan()
+	for _, s := range Strategies() {
+		out, err := e.Explain(plan, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !strings.Contains(out, "strategy: "+s.String()) {
+			t.Errorf("%v explain lacks header:\n%s", s, out)
+		}
+		if !strings.Contains(out, "Scan") {
+			t.Errorf("%v explain lacks scans:\n%s", s, out)
+		}
+	}
+	out, _ := e.Explain(plan, GMDJOpt)
+	if !strings.Contains(out, "GMDJ +completion") {
+		t.Errorf("gmdj-opt explain should flag completion:\n%s", out)
+	}
+}
+
+func TestGMDJStatsCollection(t *testing.T) {
+	e := testEngine()
+	stats := e.GMDJStats()
+	if _, err := e.Run(existsPlan(), GMDJ); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DetailRows == 0 {
+		t.Error("stats should record detail rows scanned")
+	}
+}
+
+func TestSetUseIndexesAffectsOnlyNative(t *testing.T) {
+	cat := datagen.Netflow(datagen.NetflowOpts{Flows: 500, Hours: 4, Users: 6, Seed: 4})
+	flow, _ := cat.Table("Flow")
+	if err := flow.BuildSortedIndex("StartTime"); err != nil {
+		t.Fatal(err)
+	}
+	e := New(cat)
+	plan := existsPlan()
+	a, err := e.Run(plan, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetUseIndexes(false)
+	b, err := e.Run(plan, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Diff(b); d != "" {
+		t.Errorf("index toggle changed native results: %s", d)
+	}
+	g1, err := e.Run(plan, GMDJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Diff(g1); d != "" {
+		t.Errorf("gmdj differs: %s", d)
+	}
+}
+
+func TestParallelWorkersAgree(t *testing.T) {
+	e := testEngine()
+	plan := existsPlan()
+	serial, err := e.Run(plan, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetGMDJWorkers(4)
+	par, err := e.Run(plan, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := serial.Diff(par); d != "" {
+		t.Errorf("parallel GMDJ differs: %s", d)
+	}
+}
+
+func TestTableSchemaResolver(t *testing.T) {
+	e := testEngine()
+	s, err := e.TableSchema("Flow")
+	if err != nil || s.Len() != 5 {
+		t.Errorf("TableSchema(Flow) = %v, %v", s, err)
+	}
+	if _, err := e.TableSchema("Missing"); err == nil {
+		t.Error("unknown table must error")
+	}
+}

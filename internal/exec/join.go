@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// evalJoin evaluates all join kinds. When the predicate contains
+// equi-conjuncts across the two sides, a hash join is used (build on
+// the right, probe from the left); otherwise it degrades to a nested
+// loop — which is exactly the degradation the paper's Figure 4 join
+// baseline suffers under a ≠ correlation.
+func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error) {
+	left, err := e.eval(j.Left, ev)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.eval(j.Right, ev)
+	if err != nil {
+		return nil, err
+	}
+	combined := left.Schema.Concat(right.Schema)
+	on, err := j.On.Bind(combined)
+	if err != nil {
+		return nil, err
+	}
+	leftQ := schemaQualifiers(left.Schema)
+	rightQ := schemaQualifiers(right.Schema)
+	bindings, _ := expr.SplitBindings(j.On, leftQ, rightQ)
+
+	var outSchema *relation.Schema
+	switch j.Kind {
+	case algebra.SemiJoin, algebra.AntiJoin:
+		outSchema = left.Schema
+	default:
+		outSchema = combined
+	}
+	out := relation.New(outSchema)
+	fullRow := make(relation.Tuple, combined.Len())
+	lw := left.Schema.Len()
+
+	matchRows := func(lRow relation.Tuple, candidates []int) (bool, error) {
+		copy(fullRow, lRow)
+		matched := false
+		for _, ri := range candidates {
+			copy(fullRow[lw:], right.Rows[ri])
+			tr, err := expr.EvalTri(on, fullRow)
+			if err != nil {
+				return false, err
+			}
+			if tr != value.True {
+				continue
+			}
+			matched = true
+			switch j.Kind {
+			case algebra.InnerJoin, algebra.LeftOuterJoin:
+				out.Append(fullRow.Clone())
+			case algebra.SemiJoin:
+				out.Append(lRow)
+				return true, nil // first match suffices
+			case algebra.AntiJoin:
+				return true, nil // first match disqualifies
+			}
+		}
+		return matched, nil
+	}
+
+	// Keep only bindings that verifiably resolve on exactly one side:
+	// probe keys must be sound (the full predicate re-checks every pair,
+	// but a wrong key would wrongly *miss* pairs).
+	var leftPos, rightPos []int
+	for _, b := range bindings {
+		lp, lerr := left.Schema.Find(b.Left.Qualifier, b.Left.Name)
+		rp, rerr := right.Schema.Find(b.Right.Qualifier, b.Right.Name)
+		if lerr != nil || rerr != nil {
+			continue
+		}
+		if _, err := right.Schema.Find(b.Left.Qualifier, b.Left.Name); err == nil {
+			continue // also resolves on the right — ambiguous, skip
+		}
+		if _, err := left.Schema.Find(b.Right.Qualifier, b.Right.Name); err == nil {
+			continue
+		}
+		leftPos = append(leftPos, lp)
+		rightPos = append(rightPos, rp)
+	}
+
+	var probe func(lRow relation.Tuple) ([]int, bool)
+	if len(leftPos) > 0 {
+		// Hash join: build on right.
+		index := make(map[uint64][]int, len(right.Rows))
+		for ri, row := range right.Rows {
+			if h, ok := hashKey(row, rightPos); ok {
+				index[h] = append(index[h], ri)
+			}
+		}
+		probe = func(lRow relation.Tuple) ([]int, bool) {
+			h, ok := hashKey(lRow, leftPos)
+			if !ok {
+				return nil, false
+			}
+			return index[h], true
+		}
+	} else {
+		all := make([]int, len(right.Rows))
+		for i := range all {
+			all[i] = i
+		}
+		probe = func(relation.Tuple) ([]int, bool) { return all, true }
+	}
+
+	nullPad := make(relation.Tuple, right.Schema.Len())
+	for _, lRow := range left.Rows {
+		candidates, keyOK := probe(lRow)
+		matched := false
+		if keyOK {
+			var err error
+			matched, err = matchRows(lRow, candidates)
+			if err != nil {
+				return nil, err
+			}
+		}
+		switch j.Kind {
+		case algebra.LeftOuterJoin:
+			if !matched {
+				out.Append(lRow.Concat(nullPad))
+			}
+		case algebra.AntiJoin:
+			if !matched {
+				out.Append(lRow)
+			}
+		}
+	}
+	return out, nil
+}
+
+func schemaQualifiers(s *relation.Schema) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range s.Columns {
+		out[c.Qualifier] = true
+	}
+	return out
+}
+
+func hashKey(row relation.Tuple, pos []int) (uint64, bool) {
+	var h uint64 = 14695981039346656037
+	for _, p := range pos {
+		v := row[p]
+		if v.IsNull() {
+			return 0, false
+		}
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h, true
+}

@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// memoCatalog: outer table with heavily duplicated correlation keys.
+func memoCatalog() *storage.Catalog {
+	cat := storage.NewCatalog()
+	outer := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "O", Name: "k", Type: value.KindInt},
+		relation.Column{Qualifier: "O", Name: "id", Type: value.KindInt},
+	))
+	for i := 0; i < 200; i++ {
+		outer.Append(relation.Tuple{value.Int(int64(i % 5)), value.Int(int64(i))})
+	}
+	cat.Register(storage.NewTable("O", outer))
+	inner := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "I", Name: "k", Type: value.KindInt},
+	))
+	for i := int64(0); i < 3; i++ { // keys 0..2 exist, 3..4 do not
+		inner.Append(relation.Tuple{value.Int(i)})
+	}
+	cat.Register(storage.NewTable("I", inner))
+	return cat
+}
+
+func existsMemoPlan() algebra.Node {
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("I", "I"),
+		Where:  &algebra.Atom{E: expr.Eq(expr.C("I.k"), expr.C("O.k"))},
+	}
+	return algebra.NewRestrict(algebra.NewScan("O", "O"), algebra.ExistsPred(sub))
+}
+
+func TestMemoizationMatchesUncached(t *testing.T) {
+	cat := memoCatalog()
+	plain := New(cat)
+	memo := New(cat)
+	memo.MemoizeSubqueries = true
+	a := run(t, plain, existsMemoPlan())
+	b := run(t, memo, existsMemoPlan())
+	if d := a.Diff(b); d != "" {
+		t.Errorf("memoized result differs: %s", d)
+	}
+	// 200 outer rows with 5 distinct keys; keys 0..2 exist → 120 rows.
+	if a.Len() != 120 {
+		t.Errorf("rows = %d, want 120", a.Len())
+	}
+}
+
+func TestMemoizationScalarAggregate(t *testing.T) {
+	cat := memoCatalog()
+	memo := New(cat)
+	memo.MemoizeSubqueries = true
+	plain := New(cat)
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("I", "I"),
+		Where:  &algebra.Atom{E: expr.Eq(expr.C("I.k"), expr.C("O.k"))},
+		Agg:    &agg.Spec{Func: agg.Max, Arg: expr.C("I.k"), As: "m"},
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("O", "O"),
+		&algebra.SubPred{Kind: algebra.ScalarCmp, Op: value.GE, Left: expr.C("O.k"), Sub: sub})
+	a := run(t, plain, plan)
+	b := run(t, memo, plan)
+	if d := a.Diff(b); d != "" {
+		t.Errorf("memoized aggregate subquery differs: %s", d)
+	}
+}
+
+func TestMemoizationNullKeysShareEntry(t *testing.T) {
+	cat := storage.NewCatalog()
+	outer := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "O", Name: "k", Type: value.KindInt},
+	))
+	outer.Append(relation.Tuple{value.Null})
+	outer.Append(relation.Tuple{value.Null})
+	outer.Append(relation.Tuple{value.Int(1)})
+	cat.Register(storage.NewTable("O", outer))
+	inner := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "I", Name: "k", Type: value.KindInt},
+	))
+	inner.Append(relation.Tuple{value.Int(1)})
+	cat.Register(storage.NewTable("I", inner))
+
+	memo := New(cat)
+	memo.MemoizeSubqueries = true
+	out := run(t, memo, algebra.NewRestrict(algebra.NewScan("O", "O"),
+		algebra.ExistsPred(&algebra.Subquery{
+			Source: algebra.NewScan("I", "I"),
+			Where:  &algebra.Atom{E: expr.Eq(expr.C("I.k"), expr.C("O.k"))},
+		})))
+	if out.Len() != 1 || !value.Equal(out.Rows[0][0], value.Int(1)) {
+		t.Errorf("NULL keys must not match: %v", out.Rows)
+	}
+}

@@ -1,0 +1,75 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/relation"
+)
+
+// evalSetOp implements SQL set-operation semantics: UNION, EXCEPT, and
+// INTERSECT are duplicate-eliminating; UNION ALL concatenates bags.
+func (e *Executor) evalSetOp(s *algebra.SetOp, ev *env) (*relation.Relation, error) {
+	l, err := e.eval(s.Left, ev)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(s.Right, ev)
+	if err != nil {
+		return nil, err
+	}
+	if l.Schema.Len() != r.Schema.Len() {
+		return nil, fmt.Errorf("exec: %s operands have %d and %d columns", s.Kind, l.Schema.Len(), r.Schema.Len())
+	}
+	out := relation.New(l.Schema)
+	switch s.Kind {
+	case algebra.UnionAll:
+		out.Rows = append(append(out.Rows, l.Rows...), r.Rows...)
+		return out, nil
+	case algebra.Union:
+		seen := map[string]bool{}
+		for _, rows := range [][]relation.Tuple{l.Rows, r.Rows} {
+			for _, row := range rows {
+				k := row.Key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				out.Append(row)
+			}
+		}
+		return out, nil
+	case algebra.Except:
+		right := map[string]bool{}
+		for _, row := range r.Rows {
+			right[row.Key()] = true
+		}
+		emitted := map[string]bool{}
+		for _, row := range l.Rows {
+			k := row.Key()
+			if right[k] || emitted[k] {
+				continue
+			}
+			emitted[k] = true
+			out.Append(row)
+		}
+		return out, nil
+	case algebra.Intersect:
+		right := map[string]bool{}
+		for _, row := range r.Rows {
+			right[row.Key()] = true
+		}
+		emitted := map[string]bool{}
+		for _, row := range l.Rows {
+			k := row.Key()
+			if !right[k] || emitted[k] {
+				continue
+			}
+			emitted[k] = true
+			out.Append(row)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown set operation %v", s.Kind)
+	}
+}

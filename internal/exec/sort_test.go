@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+func sortCatalog() *storage.Catalog {
+	cat := storage.NewCatalog()
+	r := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "T", Name: "a", Type: value.KindInt},
+		relation.Column{Qualifier: "T", Name: "b", Type: value.KindString},
+	))
+	rows := []struct {
+		a value.Value
+		b string
+	}{
+		{value.Int(3), "x"}, {value.Int(1), "y"}, {value.Null, "z"},
+		{value.Int(2), "x"}, {value.Int(1), "x"},
+	}
+	for _, row := range rows {
+		r.Append(relation.Tuple{row.a, value.Str(row.b)})
+	}
+	cat.Register(storage.NewTable("T", r))
+	return cat
+}
+
+func TestSortAscendingNullsFirst(t *testing.T) {
+	e := New(sortCatalog())
+	out := run(t, e, algebra.NewSort(algebra.NewScan("T", "T"),
+		[]algebra.SortKey{{E: expr.C("T.a")}}, -1))
+	if !out.Rows[0][0].IsNull() {
+		t.Errorf("NULL should sort first ascending: %v", out.Rows)
+	}
+	var prev int64 = -1 << 62
+	for _, row := range out.Rows[1:] {
+		v := row[0].AsInt()
+		if v < prev {
+			t.Fatalf("ascending order violated: %v", out.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestSortDescendingNullsLast(t *testing.T) {
+	e := New(sortCatalog())
+	out := run(t, e, algebra.NewSort(algebra.NewScan("T", "T"),
+		[]algebra.SortKey{{E: expr.C("T.a"), Desc: true}}, -1))
+	if !out.Rows[len(out.Rows)-1][0].IsNull() {
+		t.Errorf("NULL should sort last descending: %v", out.Rows)
+	}
+	if out.Rows[0][0].AsInt() != 3 {
+		t.Errorf("descending should start at 3: %v", out.Rows)
+	}
+}
+
+func TestSortSecondaryKeyAndStability(t *testing.T) {
+	e := New(sortCatalog())
+	out := run(t, e, algebra.NewSort(algebra.NewScan("T", "T"),
+		[]algebra.SortKey{
+			{E: expr.C("T.b")},
+			{E: expr.C("T.a"), Desc: true},
+		}, -1))
+	// b groups: x,x,x then y then z; within x: a = 3,2,1.
+	if out.Rows[0][0].AsInt() != 3 || out.Rows[1][0].AsInt() != 2 || out.Rows[2][0].AsInt() != 1 {
+		t.Errorf("secondary key order wrong: %v", out.Rows)
+	}
+}
+
+func TestSortLimit(t *testing.T) {
+	e := New(sortCatalog())
+	out := run(t, e, algebra.NewSort(algebra.NewScan("T", "T"),
+		[]algebra.SortKey{{E: expr.C("T.a"), Desc: true}}, 2))
+	if out.Len() != 2 {
+		t.Errorf("limit 2 gave %d rows", out.Len())
+	}
+	// Limit 0 and limit beyond size.
+	out = run(t, e, algebra.NewSort(algebra.NewScan("T", "T"), nil, 0))
+	if out.Len() != 0 {
+		t.Errorf("limit 0 gave %d rows", out.Len())
+	}
+	out = run(t, e, algebra.NewSort(algebra.NewScan("T", "T"), nil, 99))
+	if out.Len() != 5 {
+		t.Errorf("limit 99 gave %d rows", out.Len())
+	}
+}
+
+func TestSortByExpression(t *testing.T) {
+	e := New(sortCatalog())
+	out := run(t, e, algebra.NewSort(algebra.NewScan("T", "T"),
+		[]algebra.SortKey{{E: expr.NewArith(expr.OpMul, expr.C("T.a"), expr.IntLit(-1))}}, -1))
+	// -a ascending = a descending (NULL*-1 = NULL, still first).
+	if !out.Rows[0][0].IsNull() || out.Rows[1][0].AsInt() != 3 {
+		t.Errorf("expression sort wrong: %v", out.Rows)
+	}
+}
+
+func TestSortErrorsOnBadKey(t *testing.T) {
+	e := New(sortCatalog())
+	_, err := e.Run(algebra.NewSort(algebra.NewScan("T", "T"),
+		[]algebra.SortKey{{E: expr.C("T.missing")}}, -1))
+	if err == nil {
+		t.Error("unknown sort key must error")
+	}
+}

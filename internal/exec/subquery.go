@@ -1,0 +1,522 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// compiledPred is a predicate compiled against a fixed outer schema;
+// eval receives the full concatenated outer row.
+type compiledPred interface {
+	eval(row relation.Tuple) (value.Tri, error)
+}
+
+type cpAtom struct{ e expr.Expr }
+
+func (c *cpAtom) eval(row relation.Tuple) (value.Tri, error) { return expr.EvalTri(c.e, row) }
+
+type cpAnd struct{ terms []compiledPred }
+
+func (c *cpAnd) eval(row relation.Tuple) (value.Tri, error) {
+	acc := value.True
+	for _, t := range c.terms {
+		tr, err := t.eval(row)
+		if err != nil {
+			return value.Unknown, err
+		}
+		acc = acc.And(tr)
+		if acc == value.False {
+			return value.False, nil
+		}
+	}
+	return acc, nil
+}
+
+type cpOr struct{ terms []compiledPred }
+
+func (c *cpOr) eval(row relation.Tuple) (value.Tri, error) {
+	acc := value.False
+	for _, t := range c.terms {
+		tr, err := t.eval(row)
+		if err != nil {
+			return value.Unknown, err
+		}
+		acc = acc.Or(tr)
+		if acc == value.True {
+			return value.True, nil
+		}
+	}
+	return acc, nil
+}
+
+type cpNot struct{ p compiledPred }
+
+func (c *cpNot) eval(row relation.Tuple) (value.Tri, error) {
+	tr, err := c.p.eval(row)
+	if err != nil {
+		return value.Unknown, err
+	}
+	return tr.Not(), nil
+}
+
+// compilePred compiles a predicate tree against the outer schema
+// (already including any enclosing blocks). Subquery sources are
+// materialized once — the "reuse of invariants" refinement — and their
+// correlation predicates are compiled against outer ++ inner.
+func (e *Executor) compilePred(p algebra.Pred, outer *relation.Schema) (compiledPred, error) {
+	switch n := p.(type) {
+	case *algebra.Atom:
+		b, err := n.E.Bind(outer)
+		if err != nil {
+			return nil, err
+		}
+		return &cpAtom{e: b}, nil
+	case *algebra.PredAnd:
+		terms := make([]compiledPred, len(n.Terms))
+		for i, t := range n.Terms {
+			c, err := e.compilePred(t, outer)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = c
+		}
+		return &cpAnd{terms: terms}, nil
+	case *algebra.PredOr:
+		terms := make([]compiledPred, len(n.Terms))
+		for i, t := range n.Terms {
+			c, err := e.compilePred(t, outer)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = c
+		}
+		return &cpOr{terms: terms}, nil
+	case *algebra.PredNot:
+		c, err := e.compilePred(n.P, outer)
+		if err != nil {
+			return nil, err
+		}
+		return &cpNot{p: c}, nil
+	case *algebra.SubPred:
+		return e.compileSubPred(n, outer)
+	default:
+		return nil, fmt.Errorf("exec: unknown predicate node %T", p)
+	}
+}
+
+// accessPath is an optional index acceleration for one subquery: probe
+// an equality index and/or narrow a range via a sorted index, instead
+// of scanning all inner rows per outer tuple.
+type accessPath struct {
+	hash    *storage.HashIndex
+	hashKey expr.Expr // bound to outer schema; evaluated per outer row
+
+	sorted         *storage.SortedIndex
+	lo, hi         expr.Expr // bounds over outer schema (nil = open)
+	loIncl, hiIncl bool
+}
+
+// cpSub evaluates one subquery predicate with tuple-iteration
+// semantics.
+type cpSub struct {
+	kind algebra.SubKind
+	op   value.CmpOp
+	left expr.Expr // bound to outer schema; nil for EXISTS kinds
+
+	inner     *relation.Relation // materialized subquery source
+	innerPred compiledPred       // compiled against outer ++ inner; nil = TRUE
+	outPos    int                // position of OutCol in inner schema; -1
+	aggSpec   *agg.Spec          // bound against outer ++ inner; nil unless aggregate subquery
+	outerW    int
+	innerW    int
+	path      *accessPath
+	memo      *subqueryMemo // non-nil when invariant reuse is enabled
+}
+
+func (e *Executor) compileSubPred(sp *algebra.SubPred, outer *relation.Schema) (compiledPred, error) {
+	inner, err := e.eval(sp.Sub.Source, emptyEnv())
+	if err != nil {
+		return nil, err
+	}
+	cs := &cpSub{
+		kind:   sp.Kind,
+		op:     sp.Op,
+		outPos: -1,
+		inner:  inner,
+		outerW: outer.Len(),
+		innerW: inner.Schema.Len(),
+	}
+	if sp.Left != nil {
+		b, err := sp.Left.Bind(outer)
+		if err != nil {
+			return nil, fmt.Errorf("exec: binding subquery operand %s: %w", sp.Left, err)
+		}
+		cs.left = b
+	}
+	combined := outer.Concat(inner.Schema)
+	if sp.Sub.Where != nil {
+		cp, err := e.compilePred(sp.Sub.Where, combined)
+		if err != nil {
+			return nil, err
+		}
+		cs.innerPred = cp
+	}
+	if sp.Sub.OutCol != nil {
+		pos, err := inner.Schema.Find(sp.Sub.OutCol.Qualifier, sp.Sub.OutCol.Name)
+		if err != nil {
+			return nil, err
+		}
+		cs.outPos = pos
+	}
+	if sp.Sub.Agg != nil {
+		bound, err := sp.Sub.Agg.Bind(combined)
+		if err != nil {
+			return nil, err
+		}
+		cs.aggSpec = &bound
+	}
+	switch sp.Kind {
+	case algebra.CmpSome, algebra.CmpAll:
+		if cs.outPos < 0 {
+			return nil, fmt.Errorf("exec: %v subquery requires an output column", sp.Kind)
+		}
+	case algebra.ScalarCmp:
+		if cs.outPos < 0 && cs.aggSpec == nil {
+			return nil, fmt.Errorf("exec: scalar subquery requires an output column or aggregate")
+		}
+	}
+	if e.UseIndexes {
+		cs.path = e.findAccessPath(sp, outer, inner.Schema)
+	}
+	if e.MemoizeSubqueries {
+		if memo, ok := newSubqueryMemo(sp, outer); ok {
+			cs.memo = memo
+		}
+	}
+	return cs, nil
+}
+
+// findAccessPath inspects the subquery's correlation condition for
+// conjuncts of the form innerCol = outerExpr (hash index) or
+// innerCol φ outerExpr with φ a range operator (sorted index), where
+// the source is a base-table scan carrying a matching index.
+func (e *Executor) findAccessPath(sp *algebra.SubPred, outer, innerSchema *relation.Schema) *accessPath {
+	scan, ok := sp.Sub.Source.(*algebra.Scan)
+	if !ok {
+		return nil
+	}
+	tbl, err := e.Cat.Table(scan.Table)
+	if err != nil {
+		return nil
+	}
+	atom, ok := sp.Sub.Where.(*algebra.Atom)
+	if !ok {
+		// Conjunctive tops are common too.
+		if a, isAnd := sp.Sub.Where.(*algebra.PredAnd); isAnd {
+			// Synthesize a pseudo-atom from the expr-only terms.
+			var exprs []expr.Expr
+			for _, t := range a.Terms {
+				if at, isAtom := t.(*algebra.Atom); isAtom {
+					exprs = append(exprs, at.E)
+				}
+			}
+			if len(exprs) == 0 {
+				return nil
+			}
+			atom = &algebra.Atom{E: expr.Conj(exprs)}
+		} else {
+			return nil
+		}
+	}
+	resolvesInner := func(c *expr.Col) (string, bool) {
+		if _, err := innerSchema.Find(c.Qualifier, c.Name); err != nil {
+			return "", false
+		}
+		return c.Name, true
+	}
+	outerOnly := func(x expr.Expr) bool {
+		for _, c := range expr.Cols(x) {
+			if _, err := outer.Find(c.Qualifier, c.Name); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	var path accessPath
+	for _, cj := range expr.Conjuncts(atom.E) {
+		cmp, ok := cj.(*expr.Cmp)
+		if !ok {
+			continue
+		}
+		// Normalize to innerCol φ outerExpr.
+		var innerCol *expr.Col
+		var rhs expr.Expr
+		op := cmp.Op
+		if c, ok := cmp.L.(*expr.Col); ok {
+			if _, isInner := resolvesInner(c); isInner && outerOnly(cmp.R) {
+				innerCol, rhs = c, cmp.R
+			}
+		}
+		if innerCol == nil {
+			if c, ok := cmp.R.(*expr.Col); ok {
+				if _, isInner := resolvesInner(c); isInner && outerOnly(cmp.L) {
+					innerCol, rhs, op = c, cmp.L, cmp.Op.Flip()
+				}
+			}
+		}
+		if innerCol == nil {
+			continue
+		}
+		boundRHS, err := rhs.Bind(outer)
+		if err != nil {
+			continue
+		}
+		switch op {
+		case value.EQ:
+			if path.hash == nil {
+				if ix, ok := tbl.HashIndexOn(innerCol.Name); ok {
+					path.hash = ix
+					path.hashKey = boundRHS
+				}
+			}
+		case value.GE, value.GT:
+			if ix, ok := tbl.SortedIndexOn(innerCol.Name); ok {
+				if path.sorted == nil || path.sorted == ix {
+					path.sorted = ix
+					path.lo = boundRHS
+					path.loIncl = op == value.GE
+				}
+			}
+		case value.LE, value.LT:
+			if ix, ok := tbl.SortedIndexOn(innerCol.Name); ok {
+				if path.sorted == nil || path.sorted == ix {
+					path.sorted = ix
+					path.hi = boundRHS
+					path.hiIncl = op == value.LE
+				}
+			}
+		}
+	}
+	if path.hash == nil && path.sorted == nil {
+		return nil
+	}
+	return &path
+}
+
+// candidates returns the inner row positions to visit for one outer
+// row via the access path; hasPath is false when no access path exists
+// and the caller must scan all inner rows. With a path, an empty (even
+// nil) slice genuinely means "no candidates".
+func (c *cpSub) candidates(outerRow relation.Tuple) (cand []int, hasPath bool, err error) {
+	if c.path == nil {
+		return nil, false, nil
+	}
+	if c.path.hash != nil {
+		v, err := c.path.hashKey.Eval(outerRow)
+		if err != nil {
+			return nil, true, err
+		}
+		return c.path.hash.Lookup(v), true, nil
+	}
+	lo, hi := value.Null, value.Null
+	loIncl, hiIncl := false, false
+	if c.path.lo != nil {
+		v, err := c.path.lo.Eval(outerRow)
+		if err != nil {
+			return nil, true, err
+		}
+		lo, loIncl = v, c.path.loIncl
+		if v.IsNull() {
+			return nil, true, nil // NULL bound matches nothing
+		}
+	}
+	if c.path.hi != nil {
+		v, err := c.path.hi.Eval(outerRow)
+		if err != nil {
+			return nil, true, err
+		}
+		hi, hiIncl = v, c.path.hiIncl
+		if v.IsNull() {
+			return nil, true, nil
+		}
+	}
+	return c.path.sorted.Range(lo, loIncl, hi, hiIncl), true, nil
+}
+
+// eval implements the SQL semantics of each construct (the proof
+// obligations of Theorem 3.1), with the native engine's early exits:
+// EXISTS stops on first match, ALL stops on first counterexample (the
+// "smart nested loop"), SOME stops on first witness.
+func (c *cpSub) eval(outerRow relation.Tuple) (value.Tri, error) {
+	if c.memo != nil {
+		k := c.memo.key(outerRow)
+		if tr, err, ok := c.memo.lookup(k); ok {
+			return tr, err
+		}
+		tr, err := c.evalUncached(outerRow)
+		c.memo.store(k, tr, err)
+		return tr, err
+	}
+	return c.evalUncached(outerRow)
+}
+
+func (c *cpSub) evalUncached(outerRow relation.Tuple) (value.Tri, error) {
+	full := make(relation.Tuple, c.outerW+c.innerW)
+	copy(full, outerRow[:c.outerW])
+
+	cand, hasPath, err := c.candidates(outerRow)
+	if err != nil {
+		return value.Unknown, err
+	}
+	visit := func(fn func(innerRow relation.Tuple) (stop bool, err error)) error {
+		if hasPath {
+			for _, ri := range cand {
+				stop, err := fn(c.inner.Rows[ri])
+				if err != nil || stop {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, row := range c.inner.Rows {
+			stop, err := fn(row)
+			if err != nil || stop {
+				return err
+			}
+		}
+		return nil
+	}
+	qualify := func(innerRow relation.Tuple) (value.Tri, error) {
+		if c.innerPred == nil {
+			return value.True, nil
+		}
+		copy(full[c.outerW:], innerRow)
+		return c.innerPred.eval(full)
+	}
+
+	switch c.kind {
+	case algebra.Exists, algebra.NotExists:
+		found := false
+		err := visit(func(innerRow relation.Tuple) (bool, error) {
+			tr, err := qualify(innerRow)
+			if err != nil {
+				return false, err
+			}
+			if tr == value.True {
+				found = true
+				return true, nil
+			}
+			return false, nil
+		})
+		if err != nil {
+			return value.Unknown, err
+		}
+		if c.kind == algebra.Exists {
+			return value.TriOf(found), nil
+		}
+		return value.TriOf(!found), nil
+
+	case algebra.CmpSome:
+		leftV, err := c.left.Eval(outerRow)
+		if err != nil {
+			return value.Unknown, err
+		}
+		result := value.False // empty S ⇒ false
+		err = visit(func(innerRow relation.Tuple) (bool, error) {
+			tr, err := qualify(innerRow)
+			if err != nil {
+				return false, err
+			}
+			if tr != value.True {
+				return false, nil
+			}
+			cmp := c.op.Apply(leftV, innerRow[c.outPos])
+			result = result.Or(cmp)
+			return result == value.True, nil
+		})
+		if err != nil {
+			return value.Unknown, err
+		}
+		return result, nil
+
+	case algebra.CmpAll:
+		leftV, err := c.left.Eval(outerRow)
+		if err != nil {
+			return value.Unknown, err
+		}
+		result := value.True // empty S ⇒ true
+		err = visit(func(innerRow relation.Tuple) (bool, error) {
+			tr, err := qualify(innerRow)
+			if err != nil {
+				return false, err
+			}
+			if tr != value.True {
+				return false, nil
+			}
+			cmp := c.op.Apply(leftV, innerRow[c.outPos])
+			result = result.And(cmp)
+			return result == value.False, nil // smart nested loop
+		})
+		if err != nil {
+			return value.Unknown, err
+		}
+		return result, nil
+
+	case algebra.ScalarCmp:
+		leftV, err := c.left.Eval(outerRow)
+		if err != nil {
+			return value.Unknown, err
+		}
+		if c.aggSpec != nil {
+			acc := agg.NewAccumulator(*c.aggSpec)
+			err := visit(func(innerRow relation.Tuple) (bool, error) {
+				tr, err := qualify(innerRow)
+				if err != nil {
+					return false, err
+				}
+				if tr != value.True {
+					return false, nil
+				}
+				copy(full[c.outerW:], innerRow)
+				return false, acc.Add(full)
+			})
+			if err != nil {
+				return value.Unknown, err
+			}
+			return c.op.Apply(leftV, acc.Result()), nil
+		}
+		var found bool
+		var scalar value.Value
+		err = visit(func(innerRow relation.Tuple) (bool, error) {
+			tr, err := qualify(innerRow)
+			if err != nil {
+				return false, err
+			}
+			if tr != value.True {
+				return false, nil
+			}
+			if found {
+				return false, fmt.Errorf("exec: scalar subquery returned more than one row")
+			}
+			found = true
+			scalar = innerRow[c.outPos]
+			return false, nil
+		})
+		if err != nil {
+			return value.Unknown, err
+		}
+		if !found {
+			return value.Unknown, nil // empty scalar subquery is NULL
+		}
+		return c.op.Apply(leftV, scalar), nil
+
+	default:
+		return value.Unknown, fmt.Errorf("exec: unknown subquery kind %v", c.kind)
+	}
+}

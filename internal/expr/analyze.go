@@ -1,0 +1,173 @@
+package expr
+
+import (
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Conjuncts flattens nested conjunctions into a list of terms. A
+// non-AND expression is its own single conjunct. The rewriter and the
+// GMDJ's binding extractor both work conjunct-by-conjunct.
+func Conjuncts(e Expr) []Expr {
+	if a, ok := e.(*And); ok {
+		var out []Expr
+		for _, t := range a.Terms {
+			out = append(out, Conjuncts(t)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+// Conj rebuilds a conjunction from terms; an empty list yields TRUE.
+func Conj(terms []Expr) Expr {
+	switch len(terms) {
+	case 0:
+		return TrueExpr()
+	case 1:
+		return terms[0]
+	default:
+		return &And{Terms: terms}
+	}
+}
+
+// Walk visits e and all descendants in pre-order, stopping a branch
+// when fn returns false.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	for _, c := range e.Children() {
+		Walk(c, fn)
+	}
+}
+
+// Cols returns every column reference in e, in visit order.
+func Cols(e Expr) []*Col {
+	var out []*Col
+	Walk(e, func(x Expr) bool {
+		if c, ok := x.(*Col); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Qualifiers returns the set of distinct qualifiers referenced by e.
+func Qualifiers(e Expr) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range Cols(e) {
+		out[c.Qualifier] = true
+	}
+	return out
+}
+
+// RefersOnly reports whether every column in e has a qualifier in the
+// allowed set. Used to detect free references / correlation predicates
+// (a predicate with a qualifier outside the local scope is correlated).
+func RefersOnly(e Expr, allowed map[string]bool) bool {
+	for _, c := range Cols(e) {
+		if !allowed[c.Qualifier] {
+			return false
+		}
+	}
+	return true
+}
+
+// EquiBinding is an equality conjunct "left.x = right.y" split by side.
+// The GMDJ evaluator hashes base tuples on Left and probes with Right.
+type EquiBinding struct {
+	Left  *Col // column of the base (outer) side
+	Right *Col // column of the detail (inner) side
+}
+
+// SplitBindings partitions the conjuncts of theta into equi-bindings
+// between the two given qualifier sets and a residual predicate.
+// A conjunct qualifies as a binding when it is `a = b` with a referring
+// only to leftQuals and b only to rightQuals (either order). Everything
+// else — non-equality comparisons, complex terms — lands in residual.
+//
+// This mirrors the paper's hash-index GMDJ strategy: bindings feed the
+// hash index over the base values; the residual is checked per probed
+// pair. When no binding exists the evaluator degrades to scanning the
+// active base entries (the Fig. 4 situation).
+func SplitBindings(theta Expr, leftQuals, rightQuals map[string]bool) (bindings []EquiBinding, residual []Expr) {
+	for _, c := range Conjuncts(theta) {
+		cmp, ok := c.(*Cmp)
+		if !ok || cmp.Op != value.EQ {
+			residual = append(residual, c)
+			continue
+		}
+		lc, lok := cmp.L.(*Col)
+		rc, rok := cmp.R.(*Col)
+		if !lok || !rok {
+			residual = append(residual, c)
+			continue
+		}
+		switch {
+		case leftQuals[lc.Qualifier] && rightQuals[rc.Qualifier]:
+			bindings = append(bindings, EquiBinding{Left: lc, Right: rc})
+		case leftQuals[rc.Qualifier] && rightQuals[lc.Qualifier]:
+			bindings = append(bindings, EquiBinding{Left: rc, Right: lc})
+		default:
+			residual = append(residual, c)
+		}
+	}
+	return bindings, residual
+}
+
+// RenameQualifier returns a copy of e with every column reference whose
+// qualifier is `from` re-qualified to `to`. Bound indices are
+// discarded (the caller re-binds against the new schema).
+func RenameQualifier(e Expr, from, to string) Expr {
+	return Rewrite(e, func(x Expr) Expr {
+		if c, ok := x.(*Col); ok && c.Qualifier == from {
+			return NewCol(to, c.Name)
+		}
+		return x
+	})
+}
+
+// Rewrite rebuilds the tree bottom-up, replacing each node by fn(node).
+// fn receives a node whose children are already rewritten.
+func Rewrite(e Expr, fn func(Expr) Expr) Expr {
+	switch n := e.(type) {
+	case *Col, *Lit:
+		return fn(e)
+	case *Arith:
+		return fn(&Arith{Op: n.Op, L: Rewrite(n.L, fn), R: Rewrite(n.R, fn)})
+	case *Cmp:
+		return fn(&Cmp{Op: n.Op, L: Rewrite(n.L, fn), R: Rewrite(n.R, fn)})
+	case *And:
+		terms := make([]Expr, len(n.Terms))
+		for i, t := range n.Terms {
+			terms[i] = Rewrite(t, fn)
+		}
+		return fn(&And{Terms: terms})
+	case *Or:
+		terms := make([]Expr, len(n.Terms))
+		for i, t := range n.Terms {
+			terms[i] = Rewrite(t, fn)
+		}
+		return fn(&Or{Terms: terms})
+	case *Not:
+		return fn(&Not{E: Rewrite(n.E, fn)})
+	case *IsNull:
+		return fn(&IsNull{E: Rewrite(n.E, fn), Negated: n.Negated})
+	case *Like:
+		return fn(&Like{E: Rewrite(n.E, fn), Pattern: n.Pattern, Negated: n.Negated})
+	default:
+		return fn(e)
+	}
+}
+
+// Clone deep-copies an expression tree, dropping bound indices on
+// columns (use Bind to re-resolve).
+func Clone(e Expr) Expr {
+	return Rewrite(e, func(x Expr) Expr {
+		if c, ok := x.(*Col); ok {
+			return NewCol(c.Qualifier, c.Name)
+		}
+		return x
+	})
+}

@@ -1,0 +1,437 @@
+// Package expr implements scalar and boolean expression trees over
+// tuples: column references, literals, arithmetic, comparisons, and
+// Kleene boolean connectives. Expressions are built unbound (columns
+// addressed by name), then Bind resolves references against a schema,
+// producing an immutable tree that evaluates positionally.
+//
+// Predicates evaluate under SQL three-valued logic: a boolean-valued
+// expression yields value.Bool(...) or value.Null (= Unknown). EvalTri
+// converts that to value.Tri for WHERE-clause truncation.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Expr is a node of an expression tree. Bind returns a copy of the
+// tree with all column references resolved against the schema; only
+// bound trees may be evaluated.
+type Expr interface {
+	fmt.Stringer
+	// Bind resolves column references against s and returns the bound
+	// tree. The receiver is not modified.
+	Bind(s *relation.Schema) (Expr, error)
+	// Eval evaluates the (bound) expression over row. Calling Eval on
+	// an unbound column reference returns an error.
+	Eval(row relation.Tuple) (value.Value, error)
+	// Children returns the direct sub-expressions (nil for leaves).
+	Children() []Expr
+}
+
+// EvalTri evaluates a predicate expression and converts the result to
+// three-valued logic: NULL ⇒ Unknown, BOOL ⇒ its truth value. A
+// non-boolean non-NULL result is an error (the planner guarantees
+// predicates are boolean-typed, so this indicates a bug upstream).
+func EvalTri(e Expr, row relation.Tuple) (value.Tri, error) {
+	v, err := e.Eval(row)
+	if err != nil {
+		return value.Unknown, err
+	}
+	switch v.Kind() {
+	case value.KindNull:
+		return value.Unknown, nil
+	case value.KindBool:
+		return value.TriOf(v.AsBool()), nil
+	default:
+		return value.Unknown, fmt.Errorf("expr: predicate %s evaluated to non-boolean %s", e, v.Kind())
+	}
+}
+
+// Col references a column by qualifier and name. Its zero index value
+// (-1 after construction) marks it unbound.
+type Col struct {
+	Qualifier string
+	Name      string
+	idx       int
+}
+
+// NewCol builds an unbound column reference. qualifier may be empty.
+func NewCol(qualifier, name string) *Col {
+	return &Col{Qualifier: qualifier, Name: name, idx: -1}
+}
+
+// C is shorthand for NewCol, accepting "Q.Name" or "Name".
+func C(ref string) *Col {
+	if i := strings.IndexByte(ref, '.'); i >= 0 {
+		return NewCol(ref[:i], ref[i+1:])
+	}
+	return NewCol("", ref)
+}
+
+// Bind resolves the reference.
+func (c *Col) Bind(s *relation.Schema) (Expr, error) {
+	i, err := s.Find(c.Qualifier, c.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &Col{Qualifier: c.Qualifier, Name: c.Name, idx: i}, nil
+}
+
+// Index returns the bound position, or -1 if unbound.
+func (c *Col) Index() int { return c.idx }
+
+// Eval returns the referenced cell.
+func (c *Col) Eval(row relation.Tuple) (value.Value, error) {
+	if c.idx < 0 {
+		return value.Null, fmt.Errorf("expr: unbound column %s", c)
+	}
+	if c.idx >= len(row) {
+		return value.Null, fmt.Errorf("expr: column %s index %d out of range for row width %d", c, c.idx, len(row))
+	}
+	return row[c.idx], nil
+}
+
+// Children returns nil.
+func (c *Col) Children() []Expr { return nil }
+
+func (c *Col) String() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// Lit is a literal constant.
+type Lit struct {
+	V value.Value
+}
+
+// IntLit, FloatLit, StrLit and NullLit build literal nodes.
+func IntLit(i int64) *Lit     { return &Lit{V: value.Int(i)} }
+func FloatLit(f float64) *Lit { return &Lit{V: value.Float(f)} }
+func StrLit(s string) *Lit    { return &Lit{V: value.Str(s)} }
+func BoolLit(b bool) *Lit     { return &Lit{V: value.Bool(b)} }
+func NullLit() *Lit           { return &Lit{V: value.Null} }
+
+// Bind returns the literal unchanged.
+func (l *Lit) Bind(*relation.Schema) (Expr, error) { return l, nil }
+
+// Eval returns the constant.
+func (l *Lit) Eval(relation.Tuple) (value.Value, error) { return l.V, nil }
+
+// Children returns nil.
+func (l *Lit) Children() []Expr { return nil }
+
+func (l *Lit) String() string {
+	if l.V.Kind() == value.KindString {
+		return "'" + l.V.AsString() + "'"
+	}
+	return l.V.String()
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp byte
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = '+'
+	OpSub ArithOp = '-'
+	OpMul ArithOp = '*'
+	OpDiv ArithOp = '/'
+)
+
+// Arith is a binary arithmetic node with SQL NULL propagation.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// NewArith builds an arithmetic node.
+func NewArith(op ArithOp, l, r Expr) *Arith { return &Arith{Op: op, L: l, R: r} }
+
+// Bind binds both operands.
+func (a *Arith) Bind(s *relation.Schema) (Expr, error) {
+	l, err := a.L.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.R.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Arith{Op: a.Op, L: l, R: r}, nil
+}
+
+// Eval applies the operator.
+func (a *Arith) Eval(row relation.Tuple) (value.Value, error) {
+	l, err := a.L.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := a.R.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	switch a.Op {
+	case OpAdd:
+		return value.Add(l, r)
+	case OpSub:
+		return value.Sub(l, r)
+	case OpMul:
+		return value.Mul(l, r)
+	case OpDiv:
+		return value.Div(l, r)
+	default:
+		return value.Null, fmt.Errorf("expr: unknown arithmetic op %q", a.Op)
+	}
+}
+
+// Children returns the operands.
+func (a *Arith) Children() []Expr { return []Expr{a.L, a.R} }
+
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %c %s)", a.L, a.Op, a.R)
+}
+
+// Cmp is a comparison predicate l φ r evaluating under 3VL.
+type Cmp struct {
+	Op   value.CmpOp
+	L, R Expr
+}
+
+// NewCmp builds a comparison node.
+func NewCmp(op value.CmpOp, l, r Expr) *Cmp { return &Cmp{Op: op, L: l, R: r} }
+
+// Eq is shorthand for an equality comparison.
+func Eq(l, r Expr) *Cmp { return NewCmp(value.EQ, l, r) }
+
+// Bind binds both operands.
+func (c *Cmp) Bind(s *relation.Schema) (Expr, error) {
+	l, err := c.L.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.R.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Cmp{Op: c.Op, L: l, R: r}, nil
+}
+
+// Eval yields Bool or Null (Unknown).
+func (c *Cmp) Eval(row relation.Tuple) (value.Value, error) {
+	l, err := c.L.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := c.R.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	switch c.Op.Apply(l, r) {
+	case value.True:
+		return value.Bool(true), nil
+	case value.False:
+		return value.Bool(false), nil
+	default:
+		return value.Null, nil
+	}
+}
+
+// Children returns the operands.
+func (c *Cmp) Children() []Expr { return []Expr{c.L, c.R} }
+
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// And is Kleene conjunction over a list of operands (n-ary to keep
+// rewriter output flat and readable).
+type And struct {
+	Terms []Expr
+}
+
+// NewAnd builds a conjunction; with one term it is transparent.
+func NewAnd(terms ...Expr) Expr {
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return &And{Terms: terms}
+}
+
+// Bind binds all terms.
+func (a *And) Bind(s *relation.Schema) (Expr, error) {
+	out := make([]Expr, len(a.Terms))
+	for i, t := range a.Terms {
+		b, err := t.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return &And{Terms: out}, nil
+}
+
+// Eval folds Kleene AND with short-circuit on False.
+func (a *And) Eval(row relation.Tuple) (value.Value, error) {
+	acc := value.True
+	for _, t := range a.Terms {
+		tr, err := EvalTri(t, row)
+		if err != nil {
+			return value.Null, err
+		}
+		acc = acc.And(tr)
+		if acc == value.False {
+			return value.Bool(false), nil
+		}
+	}
+	return triValue(acc), nil
+}
+
+// Children returns the terms.
+func (a *And) Children() []Expr { return a.Terms }
+
+func (a *And) String() string { return joinTerms(a.Terms, " AND ") }
+
+// Or is Kleene disjunction over a list of operands.
+type Or struct {
+	Terms []Expr
+}
+
+// NewOr builds a disjunction; with one term it is transparent.
+func NewOr(terms ...Expr) Expr {
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return &Or{Terms: terms}
+}
+
+// Bind binds all terms.
+func (o *Or) Bind(s *relation.Schema) (Expr, error) {
+	out := make([]Expr, len(o.Terms))
+	for i, t := range o.Terms {
+		b, err := t.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return &Or{Terms: out}, nil
+}
+
+// Eval folds Kleene OR with short-circuit on True.
+func (o *Or) Eval(row relation.Tuple) (value.Value, error) {
+	acc := value.False
+	for _, t := range o.Terms {
+		tr, err := EvalTri(t, row)
+		if err != nil {
+			return value.Null, err
+		}
+		acc = acc.Or(tr)
+		if acc == value.True {
+			return value.Bool(true), nil
+		}
+	}
+	return triValue(acc), nil
+}
+
+// Children returns the terms.
+func (o *Or) Children() []Expr { return o.Terms }
+
+func (o *Or) String() string { return joinTerms(o.Terms, " OR ") }
+
+// Not is Kleene negation.
+type Not struct {
+	E Expr
+}
+
+// NewNot builds a negation node.
+func NewNot(e Expr) *Not { return &Not{E: e} }
+
+// Bind binds the operand.
+func (n *Not) Bind(s *relation.Schema) (Expr, error) {
+	b, err := n.E.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Not{E: b}, nil
+}
+
+// Eval negates under 3VL.
+func (n *Not) Eval(row relation.Tuple) (value.Value, error) {
+	tr, err := EvalTri(n.E, row)
+	if err != nil {
+		return value.Null, err
+	}
+	return triValue(tr.Not()), nil
+}
+
+// Children returns the operand.
+func (n *Not) Children() []Expr { return []Expr{n.E} }
+
+func (n *Not) String() string { return fmt.Sprintf("NOT (%s)", n.E) }
+
+// IsNull tests E IS [NOT] NULL; unlike comparisons it always yields a
+// definite boolean.
+type IsNull struct {
+	E       Expr
+	Negated bool
+}
+
+// NewIsNull builds an IS NULL (negated=false) or IS NOT NULL test.
+func NewIsNull(e Expr, negated bool) *IsNull { return &IsNull{E: e, Negated: negated} }
+
+// Bind binds the operand.
+func (n *IsNull) Bind(s *relation.Schema) (Expr, error) {
+	b, err := n.E.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &IsNull{E: b, Negated: n.Negated}, nil
+}
+
+// Eval returns a definite boolean.
+func (n *IsNull) Eval(row relation.Tuple) (value.Value, error) {
+	v, err := n.E.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	return value.Bool(v.IsNull() != n.Negated), nil
+}
+
+// Children returns the operand.
+func (n *IsNull) Children() []Expr { return []Expr{n.E} }
+
+func (n *IsNull) String() string {
+	if n.Negated {
+		return fmt.Sprintf("%s IS NOT NULL", n.E)
+	}
+	return fmt.Sprintf("%s IS NULL", n.E)
+}
+
+func triValue(t value.Tri) value.Value {
+	switch t {
+	case value.True:
+		return value.Bool(true)
+	case value.False:
+		return value.Bool(false)
+	default:
+		return value.Null
+	}
+}
+
+func joinTerms(terms []Expr, sep string) string {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// TrueExpr returns a predicate that is always true (the GMDJ's default
+// θ when a condition list entry is unconstrained).
+func TrueExpr() Expr { return BoolLit(true) }

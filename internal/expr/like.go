@@ -1,0 +1,84 @@
+package expr
+
+import (
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Like is the SQL LIKE predicate with % (any run) and _ (any single
+// character) wildcards. A NULL operand yields Unknown; a non-string
+// non-NULL operand is an evaluation error.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negated bool
+}
+
+// NewLike builds E [NOT] LIKE pattern.
+func NewLike(e Expr, pattern string, negated bool) *Like {
+	return &Like{E: e, Pattern: pattern, Negated: negated}
+}
+
+// Bind binds the operand.
+func (l *Like) Bind(s *relation.Schema) (Expr, error) {
+	b, err := l.E.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Like{E: b, Pattern: l.Pattern, Negated: l.Negated}, nil
+}
+
+// Eval matches the pattern under 3VL.
+func (l *Like) Eval(row relation.Tuple) (value.Value, error) {
+	v, err := l.E.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindString {
+		return value.Null, fmt.Errorf("expr: LIKE over %s", v.Kind())
+	}
+	m := likeMatch(v.AsString(), l.Pattern)
+	return value.Bool(m != l.Negated), nil
+}
+
+// Children returns the operand.
+func (l *Like) Children() []Expr { return []Expr{l.E} }
+
+func (l *Like) String() string {
+	if l.Negated {
+		return fmt.Sprintf("%s NOT LIKE '%s'", l.E, l.Pattern)
+	}
+	return fmt.Sprintf("%s LIKE '%s'", l.E, l.Pattern)
+}
+
+// likeMatch implements %-and-_ glob matching iteratively (the classic
+// two-pointer algorithm, linear in practice, no backtracking blow-up).
+func likeMatch(s, pat string) bool {
+	var si, pi int
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			starSi++
+			si = starSi
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}

@@ -1,0 +1,97 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"HTTP", "H%", true},
+		{"HTTP", "%P", true},
+		{"HTTP", "%TT%", true},
+		{"HTTP", "_TT_", true},
+		{"HTTP", "H_T", false},
+		{"HTTP", "", false},
+		{"", "", true},
+		{"", "%", true},
+		{"abc", "a%b%c", true},
+		{"abc", "%%%", true},
+		{"abc", "a_c", true},
+		{"abc", "a__c", false},
+		{"aXbXc", "a%c", true},
+		{"mississippi", "m%iss%pi", true},
+		{"mississippi", "m%iss%x", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestLikeEvalSemantics(t *testing.T) {
+	s := relation.NewSchema(relation.Column{Qualifier: "T", Name: "s", Type: value.KindString})
+	like, err := NewLike(C("T.s"), "a%", false).Bind(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := like.Eval(relation.Tuple{value.Str("abc")})
+	if err != nil || !v.AsBool() {
+		t.Errorf("abc LIKE a%% = %v, %v", v, err)
+	}
+	v, err = like.Eval(relation.Tuple{value.Null})
+	if err != nil || !v.IsNull() {
+		t.Errorf("NULL LIKE = %v, want NULL", v)
+	}
+	if _, err := like.Eval(relation.Tuple{value.Int(3)}); err == nil {
+		t.Error("LIKE over INT should error")
+	}
+	neg, _ := NewLike(C("T.s"), "a%", true).Bind(s)
+	v, _ = neg.Eval(relation.Tuple{value.Str("abc")})
+	if v.AsBool() {
+		t.Error("NOT LIKE should negate")
+	}
+}
+
+func TestLikeString(t *testing.T) {
+	if NewLike(C("s"), "a%", false).String() != "s LIKE 'a%'" {
+		t.Error("String wrong")
+	}
+	if !strings.Contains(NewLike(C("s"), "a%", true).String(), "NOT LIKE") {
+		t.Error("negated String wrong")
+	}
+}
+
+// Property: % alone matches everything; exact patterns (no wildcards)
+// match only equal strings.
+func TestLikeProperties(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true
+		}
+		return likeMatch(s, "%") && likeMatch(s, s) &&
+			(s == "" || likeMatch(s, "%"+s)) && (s == "" || likeMatch(s, s+"%"))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLikeCloneAndWalk(t *testing.T) {
+	e := NewLike(C("T.s"), "x%", false)
+	cl := Clone(e)
+	if cl.String() != e.String() {
+		t.Error("Clone changed LIKE")
+	}
+	if len(Cols(e)) != 1 {
+		t.Error("Cols should find the operand column")
+	}
+}

@@ -1,0 +1,689 @@
+// Package gmdj implements the physical evaluation of the generalized
+// multi-dimensional join operator MD(B, R, (l₁..lₘ), (θ₁..θₘ)) — the
+// paper's core mechanism for subquery evaluation.
+//
+// Evaluation follows the hash-index strategy of Chatziantoniou et al.
+// and Akinde & Böhlen: the base-values relation B is materialized in
+// memory; each θᵢ is compiled by splitting its conjuncts into
+//
+//   - equi-bindings B.x = R.y, which key a hash index over B,
+//   - base-only conjuncts, evaluated once per base tuple,
+//   - detail-only conjuncts, evaluated once per detail tuple, and
+//   - mixed residual conjuncts, evaluated per candidate pair;
+//
+// the detail relation R is then streamed exactly once, each detail
+// tuple probing the index (or, when θᵢ has no equi-binding, scanning
+// the active base entries) and folding into per-base aggregate
+// accumulators. Intermediate state is bounded by |B| — the property
+// the paper's cost argument rests on.
+//
+// The optional tuple-completion optimization (§4.2) drops a base tuple
+// from the active set the moment the downstream selection's outcome is
+// decided, which is what rescues the GMDJ on bindingless conditions
+// such as Figure 4's ≠ correlation.
+package gmdj
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Stats reports work performed by one Evaluate call. All counters are
+// cumulative across conditions.
+type Stats struct {
+	// DetailRows is the number of detail tuples scanned.
+	DetailRows int64
+	// Probes counts hash-index probes plus fallback base-entry visits.
+	Probes int64
+	// Matches counts (base, detail, θᵢ) triples that satisfied θᵢ.
+	Matches int64
+	// Completed counts base tuples retired early by tuple completion.
+	Completed int64
+	// FallbackConds is the number of conditions lacking equi-bindings
+	// (evaluated by scanning active base entries).
+	FallbackConds int
+}
+
+// Options tunes evaluation.
+type Options struct {
+	// Completion enables §4.2 tuple completion when non-nil.
+	Completion *algebra.CompletionInfo
+	// Workers > 1 partitions the detail scan across goroutines and
+	// merges per-worker accumulators. 0 and 1 mean serial.
+	Workers int
+	// MaxBaseRows bounds the in-memory base-values structure: when the
+	// base exceeds it, evaluation proceeds in base partitions of this
+	// size, scanning the detail relation once per partition — the
+	// paper's "well-defined cost" memory-management regime for bases
+	// that do not fit in memory. 0 means unbounded (single scan).
+	MaxBaseRows int
+	// Stats, when non-nil, receives evaluation counters.
+	Stats *Stats
+}
+
+// condProg is one compiled θᵢ with its aggregate list.
+type condProg struct {
+	baseKey    []int     // base-schema positions of equi-binding keys
+	detailKey  []int     // detail-schema positions of equi-binding keys
+	basePred   expr.Expr // bound to base schema; nil when absent
+	detailPred expr.Expr // bound to detail schema; nil when absent
+	mixedPred  expr.Expr // bound to base++detail; nil when absent
+	fullTheta  expr.Expr // bound to base++detail; used by fallback conds
+	specs      []agg.Spec
+	aggOffset  int   // position of this cond's first aggregate column
+	atoms      []int // completion atom indexes watching this condition
+
+	index map[uint64][]int32 // base positions by key hash (nil ⇒ fallback)
+}
+
+type program struct {
+	base, detail *relation.Relation
+	baseW        int
+	conds        []condProg
+	totalAggs    int
+	comp         *algebra.CompletionInfo
+	outSchema    *relation.Schema
+}
+
+// Evaluate computes the GMDJ of base and detail under conds.
+// The output schema is base's columns followed by each condition's
+// aggregate columns in order; output rows appear in base order (minus
+// tuples dropped by completion).
+func Evaluate(base, detail *relation.Relation, conds []algebra.GMDJCond, opts Options) (*relation.Relation, error) {
+	if opts.MaxBaseRows > 0 && len(base.Rows) > opts.MaxBaseRows {
+		return evaluatePartitioned(base, detail, conds, opts)
+	}
+	p, err := compile(base, detail, conds, opts.Completion)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Stats != nil {
+		for _, c := range p.conds {
+			if c.index == nil && len(c.baseKey) == 0 {
+				opts.Stats.FallbackConds++
+			}
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > 1 && len(detail.Rows) >= 2*workers {
+		return p.runParallel(workers, opts.Stats)
+	}
+	return p.runSerial(opts.Stats)
+}
+
+// compile binds and classifies every condition.
+func compile(base, detail *relation.Relation, conds []algebra.GMDJCond, comp *algebra.CompletionInfo) (*program, error) {
+	combined := base.Schema.Concat(detail.Schema)
+	p := &program{
+		base:   base,
+		detail: detail,
+		baseW:  base.Schema.Len(),
+		comp:   comp,
+		conds:  make([]condProg, len(conds)),
+	}
+	outCols := append([]relation.Column{}, base.Schema.Columns...)
+	for i, c := range conds {
+		cp := &p.conds[i]
+		cp.aggOffset = p.totalAggs
+		for _, spec := range c.Aggs {
+			bound, err := spec.Bind(detail.Schema)
+			if err != nil {
+				return nil, fmt.Errorf("gmdj: condition %d: %w", i, err)
+			}
+			cp.specs = append(cp.specs, bound)
+			p.totalAggs++
+		}
+		outCols = append(outCols, agg.OutputSchema(c.Aggs, "R")...)
+		if err := classifyTheta(cp, c.Theta, base.Schema, detail.Schema, combined); err != nil {
+			return nil, fmt.Errorf("gmdj: condition %d (%s): %w", i, c.Theta, err)
+		}
+	}
+	if comp != nil {
+		for ai, a := range comp.Atoms {
+			if a.Cond < 0 || a.Cond >= len(conds) {
+				return nil, fmt.Errorf("gmdj: completion atom %d references condition %d of %d", ai, a.Cond, len(conds))
+			}
+			p.conds[a.Cond].atoms = append(p.conds[a.Cond].atoms, ai)
+		}
+	}
+	p.outSchema = relation.NewSchema(outCols...)
+	// Build hash indexes for conditions with bindings.
+	for i := range p.conds {
+		cp := &p.conds[i]
+		if len(cp.baseKey) == 0 {
+			continue
+		}
+		cp.index = make(map[uint64][]int32, len(base.Rows))
+		for bi, row := range base.Rows {
+			h, ok := keyHash(row, cp.baseKey)
+			if !ok {
+				continue // NULL key never matches through equality
+			}
+			cp.index[h] = append(cp.index[h], int32(bi))
+		}
+	}
+	return p, nil
+}
+
+// classifyTheta splits θ's conjuncts into bindings and side-local
+// predicates as described in the package comment.
+func classifyTheta(cp *condProg, theta expr.Expr, baseS, detailS, combined *relation.Schema) error {
+	resolves := func(c *expr.Col, s *relation.Schema) bool {
+		_, err := s.Find(c.Qualifier, c.Name)
+		return err == nil
+	}
+	side := func(e expr.Expr) (baseOnly, detailOnly bool, err error) {
+		baseOnly, detailOnly = true, true
+		for _, c := range expr.Cols(e) {
+			inB, inD := resolves(c, baseS), resolves(c, detailS)
+			if inB && inD {
+				return false, false, fmt.Errorf("column %s is ambiguous between base and detail", c)
+			}
+			if !inB && !inD {
+				return false, false, fmt.Errorf("column %s resolves in neither base nor detail", c)
+			}
+			if !inB {
+				baseOnly = false
+			}
+			if !inD {
+				detailOnly = false
+			}
+		}
+		return baseOnly, detailOnly, nil
+	}
+
+	var basePreds, detailPreds, mixedPreds []expr.Expr
+	for _, cj := range expr.Conjuncts(theta) {
+		// Equi-binding detection: col = col across sides.
+		if cmp, ok := cj.(*expr.Cmp); ok && cmp.Op == value.EQ {
+			lc, lok := cmp.L.(*expr.Col)
+			rc, rok := cmp.R.(*expr.Col)
+			if lok && rok {
+				lInB, lInD := resolves(lc, baseS), resolves(lc, detailS)
+				rInB, rInD := resolves(rc, baseS), resolves(rc, detailS)
+				if lInB && !lInD && rInD && !rInB {
+					bi, _ := baseS.Find(lc.Qualifier, lc.Name)
+					di, _ := detailS.Find(rc.Qualifier, rc.Name)
+					cp.baseKey = append(cp.baseKey, bi)
+					cp.detailKey = append(cp.detailKey, di)
+					continue
+				}
+				if rInB && !rInD && lInD && !lInB {
+					bi, _ := baseS.Find(rc.Qualifier, rc.Name)
+					di, _ := detailS.Find(lc.Qualifier, lc.Name)
+					cp.baseKey = append(cp.baseKey, bi)
+					cp.detailKey = append(cp.detailKey, di)
+					continue
+				}
+			}
+		}
+		bOnly, dOnly, err := side(cj)
+		if err != nil {
+			return err
+		}
+		switch {
+		case bOnly && dOnly: // constant-only conjunct
+			mixedPreds = append(mixedPreds, cj)
+		case bOnly:
+			basePreds = append(basePreds, cj)
+		case dOnly:
+			detailPreds = append(detailPreds, cj)
+		default:
+			mixedPreds = append(mixedPreds, cj)
+		}
+	}
+
+	var err error
+	if len(basePreds) > 0 {
+		if cp.basePred, err = expr.Conj(basePreds).Bind(baseS); err != nil {
+			return err
+		}
+	}
+	if len(detailPreds) > 0 {
+		if cp.detailPred, err = expr.Conj(detailPreds).Bind(detailS); err != nil {
+			return err
+		}
+	}
+	if len(mixedPreds) > 0 {
+		if cp.mixedPred, err = expr.Conj(mixedPreds).Bind(combined); err != nil {
+			return err
+		}
+	}
+	if cp.fullTheta, err = theta.Bind(combined); err != nil {
+		return err
+	}
+	return nil
+}
+
+// keyHash hashes the key columns of a row; ok is false when any key
+// component is NULL.
+func keyHash(row relation.Tuple, key []int) (uint64, bool) {
+	var h uint64 = 14695981039346656037
+	for _, pos := range key {
+		v := row[pos]
+		if v.IsNull() {
+			return 0, false
+		}
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h, true
+}
+
+func keysEqual(baseRow, detailRow relation.Tuple, baseKey, detailKey []int) bool {
+	for k := range baseKey {
+		if !value.Equal(baseRow[baseKey[k]], detailRow[detailKey[k]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// state is the per-run mutable evaluation state (one per worker in
+// parallel mode).
+type state struct {
+	p        *program
+	accs     [][]agg.Accumulator // [base][agg]
+	active   []bool
+	decided  []int8 // 0 undecided, +1 accept (frozen), -1 drop
+	matched  [][]bool
+	combined relation.Tuple
+	// basePredOK[c][b] caches base-only conjunct outcomes.
+	basePredOK [][]bool
+	// condScan is, per condition, the fallback iteration list of base
+	// positions (nil for indexed conditions). Conditions with a
+	// base-only predicate list only the rows that pass it, so e.g. an
+	// "x IS NULL" counterexample condition costs nothing on NULL-free
+	// data. Lists are compacted lazily as completion retires entries.
+	condScan [][]int32
+	inactive int
+	stats    Stats
+}
+
+func (p *program) newState() (*state, error) {
+	nBase := len(p.base.Rows)
+	s := &state{
+		p:        p,
+		accs:     make([][]agg.Accumulator, nBase),
+		active:   make([]bool, nBase),
+		decided:  make([]int8, nBase),
+		combined: make(relation.Tuple, p.baseW+p.detail.Schema.Len()),
+	}
+	for bi := range s.accs {
+		s.active[bi] = true
+		row := make([]agg.Accumulator, 0, p.totalAggs)
+		for ci := range p.conds {
+			for _, spec := range p.conds[ci].specs {
+				row = append(row, agg.NewAccumulator(spec))
+			}
+		}
+		s.accs[bi] = row
+	}
+	if p.comp != nil {
+		s.matched = make([][]bool, nBase)
+		for bi := range s.matched {
+			s.matched[bi] = make([]bool, len(p.comp.Atoms))
+		}
+	}
+	s.basePredOK = make([][]bool, len(p.conds))
+	for ci := range p.conds {
+		cp := &p.conds[ci]
+		if cp.basePred == nil {
+			continue
+		}
+		oks := make([]bool, nBase)
+		for bi, row := range p.base.Rows {
+			tr, err := expr.EvalTri(cp.basePred, row)
+			if err != nil {
+				return nil, err
+			}
+			oks[bi] = tr == value.True
+		}
+		s.basePredOK[ci] = oks
+	}
+	s.condScan = make([][]int32, len(p.conds))
+	for ci := range p.conds {
+		if p.conds[ci].index != nil {
+			continue
+		}
+		list := make([]int32, 0, nBase)
+		oks := s.basePredOK[ci]
+		for bi := 0; bi < nBase; bi++ {
+			if oks == nil || oks[bi] {
+				list = append(list, int32(bi))
+			}
+		}
+		s.condScan[ci] = list
+	}
+	return s, nil
+}
+
+// feed folds one detail row (at detail position di) into the state.
+func (s *state) feed(di int) error {
+	p := s.p
+	detailRow := p.detail.Rows[di]
+	copy(s.combined[p.baseW:], detailRow)
+	s.stats.DetailRows++
+	for ci := range p.conds {
+		cp := &p.conds[ci]
+		if cp.detailPred != nil {
+			tr, err := expr.EvalTri(cp.detailPred, detailRow)
+			if err != nil {
+				return err
+			}
+			if tr != value.True {
+				continue
+			}
+		}
+		if cp.index != nil {
+			h, ok := keyHash(detailRow, cp.detailKey)
+			if !ok {
+				continue
+			}
+			for _, bi := range cp.index[h] {
+				s.stats.Probes++
+				if !s.active[bi] {
+					continue
+				}
+				baseRow := p.base.Rows[bi]
+				if !keysEqual(baseRow, detailRow, cp.baseKey, cp.detailKey) {
+					continue
+				}
+				if oks := s.basePredOK[ci]; oks != nil && !oks[bi] {
+					continue
+				}
+				if cp.mixedPred != nil {
+					copy(s.combined[:p.baseW], baseRow)
+					tr, err := expr.EvalTri(cp.mixedPred, s.combined)
+					if err != nil {
+						return err
+					}
+					if tr != value.True {
+						continue
+					}
+				}
+				if err := s.match(int(bi), ci, detailRow); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Fallback: no equi-binding — visit every active base entry
+		// that passes the condition's base-only predicate.
+		for _, bi := range s.condScan[ci] {
+			if !s.active[bi] {
+				continue
+			}
+			s.stats.Probes++
+			copy(s.combined[:p.baseW], p.base.Rows[bi])
+			tr, err := expr.EvalTri(cp.fullTheta, s.combined)
+			if err != nil {
+				return err
+			}
+			if tr != value.True {
+				continue
+			}
+			if err := s.match(int(bi), ci, detailRow); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// match records that detailRow satisfied condition ci for base entry
+// bi: aggregates are folded and completion is advanced.
+func (s *state) match(bi, ci int, detailRow relation.Tuple) error {
+	p := s.p
+	cp := &p.conds[ci]
+	s.stats.Matches++
+	accRow := s.accs[bi]
+	for k := range cp.specs {
+		if err := accRow[cp.aggOffset+k].Add(detailRow); err != nil {
+			return err
+		}
+	}
+	if p.comp == nil || len(cp.atoms) == 0 {
+		return nil
+	}
+	changed := false
+	for _, ai := range cp.atoms {
+		if !s.matched[bi][ai] {
+			s.matched[bi][ai] = true
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	switch evalTree(p.comp.Tree, p.comp.Atoms, s.matched[bi]) {
+	case value.False:
+		s.retire(bi, -1)
+	case value.True:
+		if p.comp.FreezeTrue {
+			s.retire(bi, 1)
+		}
+	}
+	return nil
+}
+
+// retire removes a base entry from the active set.
+func (s *state) retire(bi int, decision int8) {
+	if !s.active[bi] {
+		return
+	}
+	s.active[bi] = false
+	s.decided[bi] = decision
+	s.stats.Completed++
+	s.inactive++
+	if s.inactive*2 > len(s.p.base.Rows) {
+		for ci, list := range s.condScan {
+			if list == nil {
+				continue
+			}
+			kept := list[:0]
+			for _, x := range list {
+				if s.active[x] {
+					kept = append(kept, x)
+				}
+			}
+			s.condScan[ci] = kept
+		}
+		s.inactive = 0
+	}
+}
+
+// evalTree Kleene-evaluates the completion formula: unmatched atoms are
+// Unknown; a matched AtomZero is definitively False and a matched
+// AtomNonZero definitively True (counts only grow).
+func evalTree(t *algebra.BoolTree, atoms []algebra.CompletionAtom, matched []bool) value.Tri {
+	if t == nil {
+		return value.Unknown
+	}
+	switch t.Op {
+	case algebra.BoolLeaf:
+		if !matched[t.Leaf] {
+			return value.Unknown
+		}
+		if atoms[t.Leaf].Kind == algebra.AtomZero {
+			return value.False
+		}
+		return value.True
+	case algebra.BoolAnd:
+		acc := value.True
+		for _, k := range t.Kids {
+			acc = acc.And(evalTree(k, atoms, matched))
+			if acc == value.False {
+				return value.False
+			}
+		}
+		return acc
+	case algebra.BoolOr:
+		acc := value.False
+		for _, k := range t.Kids {
+			acc = acc.Or(evalTree(k, atoms, matched))
+			if acc == value.True {
+				return value.True
+			}
+		}
+		return acc
+	case algebra.BoolNot:
+		return evalTree(t.Kids[0], atoms, matched).Not()
+	case algebra.BoolOpaque:
+		return value.Unknown
+	default:
+		return value.Unknown
+	}
+}
+
+// emit materializes the output relation from final state.
+func (p *program) emit(decided []int8, accs [][]agg.Accumulator) *relation.Relation {
+	out := relation.New(p.outSchema)
+	for bi, baseRow := range p.base.Rows {
+		if decided[bi] == -1 {
+			continue
+		}
+		row := make(relation.Tuple, 0, p.baseW+p.totalAggs)
+		row = append(row, baseRow...)
+		for _, a := range accs[bi] {
+			row = append(row, a.Result())
+		}
+		out.Append(row)
+	}
+	return out
+}
+
+func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
+	s, err := p.newState()
+	if err != nil {
+		return nil, err
+	}
+	for di := range p.detail.Rows {
+		if err := s.feed(di); err != nil {
+			return nil, err
+		}
+	}
+	if stats != nil {
+		addStats(stats, &s.stats)
+	}
+	return p.emit(s.decided, s.accs), nil
+}
+
+// runParallel shards the detail scan. Each worker evaluates its chunk
+// with worker-local accumulators and completion flags; partials are
+// merged, and completion decisions are re-derived from the merged
+// match flags (sound because match counts only grow — a condition
+// matched in any worker is matched globally).
+func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, error) {
+	if workers > runtime.GOMAXPROCS(0)*4 {
+		workers = runtime.GOMAXPROCS(0) * 4
+	}
+	states := make([]*state, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	n := len(p.detail.Rows)
+	for w := 0; w < workers; w++ {
+		st, err := p.newState()
+		if err != nil {
+			return nil, err
+		}
+		states[w] = st
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(st *state, lo, hi int, slot *error) {
+			defer wg.Done()
+			for di := lo; di < hi; di++ {
+				if err := st.feed(di); err != nil {
+					*slot = err
+					return
+				}
+			}
+		}(st, lo, hi, &errs[w])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Merge worker partials into states[0].
+	root := states[0]
+	for w := 1; w < workers; w++ {
+		st := states[w]
+		for bi := range root.accs {
+			for k := range root.accs[bi] {
+				if err := agg.Merge(root.accs[bi][k], st.accs[bi][k]); err != nil {
+					return nil, err
+				}
+			}
+			if root.matched != nil {
+				for ai := range root.matched[bi] {
+					root.matched[bi][ai] = root.matched[bi][ai] || st.matched[bi][ai]
+				}
+			}
+		}
+		addStats(&root.stats, &st.stats)
+	}
+	decided := make([]int8, len(p.base.Rows))
+	if p.comp != nil {
+		for bi := range decided {
+			switch evalTree(p.comp.Tree, p.comp.Atoms, root.matched[bi]) {
+			case value.False:
+				decided[bi] = -1
+			case value.True:
+				decided[bi] = 1
+			}
+		}
+	}
+	if stats != nil {
+		addStats(stats, &root.stats)
+	}
+	return p.emit(decided, root.accs), nil
+}
+
+// evaluatePartitioned processes the base relation in bounded chunks,
+// scanning the detail relation once per chunk. Output order (base
+// order) and completion semantics are preserved: every base tuple's
+// aggregates and decisions depend only on its own matches.
+func evaluatePartitioned(base, detail *relation.Relation, conds []algebra.GMDJCond, opts Options) (*relation.Relation, error) {
+	chunkOpts := opts
+	chunkOpts.MaxBaseRows = 0
+	var out *relation.Relation
+	for lo := 0; lo < len(base.Rows); lo += opts.MaxBaseRows {
+		hi := lo + opts.MaxBaseRows
+		if hi > len(base.Rows) {
+			hi = len(base.Rows)
+		}
+		chunk := &relation.Relation{Schema: base.Schema, Rows: base.Rows[lo:hi]}
+		res, err := Evaluate(chunk, detail, conds, chunkOpts)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = res
+		} else {
+			out.Rows = append(out.Rows, res.Rows...)
+		}
+	}
+	if out == nil {
+		out = relation.New(base.Schema)
+	}
+	return out, nil
+}
+
+func addStats(dst, src *Stats) {
+	dst.DetailRows += src.DetailRows
+	dst.Probes += src.Probes
+	dst.Matches += src.Matches
+	dst.Completed += src.Completed
+}

@@ -1,0 +1,112 @@
+package gmdj
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// TestPartitionedMatchesUnbounded: bounding the base-values structure
+// must not change results, with or without completion.
+func TestPartitionedMatchesUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+	))
+	for i := 0; i < 137; i++ {
+		base.Append(relation.Tuple{value.Int(int64(rng.Intn(20)))})
+	}
+	detail := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+		relation.Column{Qualifier: "R", Name: "v", Type: value.KindInt},
+	))
+	for i := 0; i < 2000; i++ {
+		detail.Append(relation.Tuple{value.Int(int64(rng.Intn(20))), value.Int(int64(rng.Intn(100)))})
+	}
+	conds := []algebra.GMDJCond{{
+		Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+		Aggs: []agg.Spec{
+			{Func: agg.CountStar, As: "cnt"},
+			{Func: agg.Sum, Arg: expr.C("R.v"), As: "s"},
+		},
+	}}
+	full, err := Evaluate(base, detail, conds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, 64, 136, 137, 500} {
+		part, err := Evaluate(base, detail, conds, Options{MaxBaseRows: chunk})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if d := full.Diff(part); d != "" {
+			t.Errorf("chunk %d differs: %s", chunk, d)
+		}
+	}
+}
+
+func TestPartitionedWithCompletion(t *testing.T) {
+	base := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+	))
+	for i := int64(0); i < 60; i++ {
+		base.Append(relation.Tuple{value.Int(i)})
+	}
+	detail := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+	))
+	for i := int64(0); i < 30; i++ {
+		detail.Append(relation.Tuple{value.Int(i)})
+	}
+	comp := &algebra.CompletionInfo{
+		Atoms: []algebra.CompletionAtom{{Cond: 0, Kind: algebra.AtomZero}},
+		Tree:  algebra.Leaf(0),
+	}
+	conds := []algebra.GMDJCond{{
+		Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+		Aggs:  []agg.Spec{{Func: agg.CountStar, As: "cnt"}},
+	}}
+	full, err := Evaluate(base, detail, conds, Options{Completion: comp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Evaluate(base, detail, conds, Options{Completion: comp, MaxBaseRows: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 30 || part.Len() != 30 {
+		t.Fatalf("sizes: full %d, partitioned %d; want 30 survivors", full.Len(), part.Len())
+	}
+	if d := full.Diff(part); d != "" {
+		t.Errorf("partitioned completion differs: %s", d)
+	}
+}
+
+func TestPartitionedPreservesBaseOrder(t *testing.T) {
+	base := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+	))
+	for i := int64(0); i < 25; i++ {
+		base.Append(relation.Tuple{value.Int(i)})
+	}
+	detail := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+	))
+	out, err := Evaluate(base, detail, []algebra.GMDJCond{{
+		Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+		Aggs:  []agg.Spec{{Func: agg.CountStar, As: "cnt"}},
+	}}, Options{MaxBaseRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range out.Rows {
+		if row[0].AsInt() != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, row)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Tuple is one row: a slice of values positionally aligned with a
+// schema.
+type Tuple []value.Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Concat returns t followed by o as a new tuple.
+func (t Tuple) Concat(o Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(o))
+	out = append(out, t...)
+	out = append(out, o...)
+	return out
+}
+
+// Equal reports structural equality (NULL == NULL).
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !value.Equal(t[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash combines the hashes of all values; Equal tuples hash alike.
+func (t Tuple) Hash() uint64 {
+	var h uint64 = 14695981039346656037 // FNV offset basis
+	for _, v := range t {
+		h ^= v.Hash()
+		h *= 1099511628211 // FNV prime
+	}
+	return h
+}
+
+// Key renders the tuple as a canonical string, usable as a map key when
+// exact (collision-free) grouping is needed.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteByte(byte(v.Kind()) + '0')
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// String renders the tuple as "[a, b, c]".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Relation is a materialized bag of tuples with a schema. Operators
+// exchange Relations when pipelining is not possible (e.g. the GMDJ's
+// base-values argument must be materialized by definition).
+type Relation struct {
+	Schema *Schema
+	Rows   []Tuple
+}
+
+// New creates an empty relation with the given schema.
+func New(s *Schema) *Relation {
+	return &Relation{Schema: s}
+}
+
+// Append adds a row. The row length must match the schema; this is the
+// engine's single structural invariant and is checked eagerly.
+func (r *Relation) Append(t Tuple) {
+	if len(t) != r.Schema.Len() {
+		panic(fmt.Sprintf("relation: row width %d does not match schema width %d", len(t), r.Schema.Len()))
+	}
+	r.Rows = append(r.Rows, t)
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone deep-copies the relation (schema shared structurally, rows
+// copied).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Schema: r.Schema.Clone(), Rows: make([]Tuple, len(r.Rows))}
+	for i, t := range r.Rows {
+		out.Rows[i] = t.Clone()
+	}
+	return out
+}
+
+// Rename returns a shallow copy whose schema qualifiers are replaced by
+// alias. Rows are shared: renaming is metadata-only, as in the algebra.
+func (r *Relation) Rename(alias string) *Relation {
+	return &Relation{Schema: r.Schema.Rename(alias), Rows: r.Rows}
+}
+
+// canonicalRows returns sorted textual row keys, for order-insensitive
+// comparison.
+func (r *Relation) canonicalRows() []string {
+	keys := make([]string, len(r.Rows))
+	for i, t := range r.Rows {
+		keys[i] = t.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EqualBag reports whether two relations contain the same bag of rows,
+// ignoring order and schema qualifiers (but requiring equal width).
+// This is the equivalence the paper's correctness claims are about: all
+// evaluation strategies must yield the same bag.
+func (r *Relation) EqualBag(o *Relation) bool {
+	if r.Schema.Len() != o.Schema.Len() || len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	a, b := r.canonicalRows(), o.canonicalRows()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes the first difference between two relations as a
+// human-readable string, or "" when EqualBag holds. Useful in tests.
+func (r *Relation) Diff(o *Relation) string {
+	if r.Schema.Len() != o.Schema.Len() {
+		return fmt.Sprintf("width mismatch: %d vs %d", r.Schema.Len(), o.Schema.Len())
+	}
+	if len(r.Rows) != len(o.Rows) {
+		return fmt.Sprintf("row count mismatch: %d vs %d", len(r.Rows), len(o.Rows))
+	}
+	a, b := r.canonicalRows(), o.canonicalRows()
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("row %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+// String renders the relation as an aligned text table (header + rows),
+// truncated at 50 rows for sanity in logs.
+func (r *Relation) String() string {
+	var b strings.Builder
+	headers := make([]string, r.Schema.Len())
+	widths := make([]int, r.Schema.Len())
+	for i, c := range r.Schema.Columns {
+		headers[i] = c.QualifiedName()
+		widths[i] = len(headers[i])
+	}
+	limit := len(r.Rows)
+	const maxRows = 50
+	if limit > maxRows {
+		limit = maxRows
+	}
+	cells := make([][]string, limit)
+	for i := 0; i < limit; i++ {
+		row := make([]string, r.Schema.Len())
+		for j, v := range r.Rows[i] {
+			row[j] = v.String()
+			if len(row[j]) > widths[j] {
+				widths[j] = len(row[j])
+			}
+		}
+		cells[i] = row
+	}
+	writeRow := func(parts []string) {
+		for j, p := range parts {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(p)
+			for k := len(p); k < widths[j]; k++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for j := range headers {
+		if j > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[j]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	if len(r.Rows) > maxRows {
+		fmt.Fprintf(&b, "... (%d more rows)\n", len(r.Rows)-maxRows)
+	}
+	return b.String()
+}
+
+// SortByKey orders rows by their canonical key, giving deterministic
+// output for display and golden tests.
+func (r *Relation) SortByKey() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		return r.Rows[i].Key() < r.Rows[j].Key()
+	})
+}

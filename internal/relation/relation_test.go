@@ -1,0 +1,225 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Qualifier: "F", Name: "A", Type: value.KindInt},
+		Column{Qualifier: "F", Name: "B", Type: value.KindString},
+	)
+}
+
+func TestColumnQualifiedName(t *testing.T) {
+	c := Column{Qualifier: "F", Name: "X"}
+	if c.QualifiedName() != "F.X" {
+		t.Errorf("got %q", c.QualifiedName())
+	}
+	c.Qualifier = ""
+	if c.QualifiedName() != "X" {
+		t.Errorf("got %q", c.QualifiedName())
+	}
+}
+
+func TestSchemaFind(t *testing.T) {
+	s := testSchema()
+	if i, err := s.Find("F", "A"); err != nil || i != 0 {
+		t.Errorf("Find(F.A) = %d, %v", i, err)
+	}
+	if i, err := s.Find("", "B"); err != nil || i != 1 {
+		t.Errorf("Find(B) = %d, %v", i, err)
+	}
+	if _, err := s.Find("G", "A"); err == nil {
+		t.Error("Find(G.A) should fail")
+	}
+	if _, err := s.Find("", "Z"); err == nil {
+		t.Error("Find(Z) should fail")
+	}
+}
+
+func TestSchemaFindAmbiguous(t *testing.T) {
+	s := NewSchema(
+		Column{Qualifier: "A", Name: "X", Type: value.KindInt},
+		Column{Qualifier: "B", Name: "X", Type: value.KindInt},
+	)
+	if _, err := s.Find("", "X"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("bare X should be ambiguous, got %v", err)
+	}
+	if i, err := s.Find("B", "X"); err != nil || i != 1 {
+		t.Errorf("qualified B.X should resolve, got %d %v", i, err)
+	}
+}
+
+func TestSchemaConcatRename(t *testing.T) {
+	s := testSchema()
+	r := s.Rename("G")
+	if r.Columns[0].Qualifier != "G" || r.Columns[1].Qualifier != "G" {
+		t.Error("Rename did not replace qualifiers")
+	}
+	if s.Columns[0].Qualifier != "F" {
+		t.Error("Rename mutated the original")
+	}
+	c := s.Concat(r)
+	if c.Len() != 4 {
+		t.Errorf("Concat length = %d", c.Len())
+	}
+	if c.Columns[2].Qualifier != "G" {
+		t.Error("Concat order wrong")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a, b := testSchema(), testSchema()
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	if a.Equal(a.Rename("G")) {
+		t.Error("renamed schema should differ")
+	}
+	if a.Equal(NewSchema(a.Columns[0])) {
+		t.Error("different widths should differ")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	got := testSchema().String()
+	if got != "(F.A INT, F.B STRING)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	tp := Tuple{value.Int(1), value.Str("x")}
+	cl := tp.Clone()
+	cl[0] = value.Int(2)
+	if tp[0].AsInt() != 1 {
+		t.Error("Clone shares storage")
+	}
+	cc := tp.Concat(Tuple{value.Bool(true)})
+	if len(cc) != 3 || !cc[2].AsBool() {
+		t.Error("Concat wrong")
+	}
+	if !tp.Equal(Tuple{value.Int(1), value.Str("x")}) {
+		t.Error("Equal false negative")
+	}
+	if tp.Equal(Tuple{value.Int(1)}) {
+		t.Error("Equal across widths")
+	}
+	if tp.String() != "[1, x]" {
+		t.Errorf("String() = %q", tp.String())
+	}
+}
+
+func TestTupleHashKeyConsistency(t *testing.T) {
+	f := func(a, b int64, s string) bool {
+		t1 := Tuple{value.Int(a), value.Str(s), value.Int(b)}
+		t2 := Tuple{value.Int(a), value.Str(s), value.Int(b)}
+		return t1.Hash() == t2.Hash() && t1.Key() == t2.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleKeyDistinguishesKinds(t *testing.T) {
+	a := Tuple{value.Int(1)}
+	b := Tuple{value.Str("1")}
+	if a.Key() == b.Key() {
+		t.Error("Key must distinguish INT 1 from STRING \"1\"")
+	}
+	c := Tuple{value.Null}
+	d := Tuple{value.Str("NULL")}
+	if c.Key() == d.Key() {
+		t.Error("Key must distinguish NULL from the string \"NULL\"")
+	}
+}
+
+func TestRelationAppendPanicsOnWidth(t *testing.T) {
+	r := New(testSchema())
+	defer func() {
+		if recover() == nil {
+			t.Error("Append with wrong width must panic")
+		}
+	}()
+	r.Append(Tuple{value.Int(1)})
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	r := New(testSchema())
+	r.Append(Tuple{value.Int(1), value.Str("x")})
+	c := r.Clone()
+	c.Rows[0][0] = value.Int(9)
+	if r.Rows[0][0].AsInt() != 1 {
+		t.Error("Clone shares row storage")
+	}
+}
+
+func TestRelationRenameSharesRows(t *testing.T) {
+	r := New(testSchema())
+	r.Append(Tuple{value.Int(1), value.Str("x")})
+	rn := r.Rename("Z")
+	if rn.Schema.Columns[0].Qualifier != "Z" {
+		t.Error("Rename qualifier wrong")
+	}
+	if rn.Len() != 1 {
+		t.Error("Rename lost rows")
+	}
+}
+
+func TestEqualBagOrderInsensitive(t *testing.T) {
+	a, b := New(testSchema()), New(testSchema())
+	a.Append(Tuple{value.Int(1), value.Str("x")})
+	a.Append(Tuple{value.Int(2), value.Str("y")})
+	b.Append(Tuple{value.Int(2), value.Str("y")})
+	b.Append(Tuple{value.Int(1), value.Str("x")})
+	if !a.EqualBag(b) {
+		t.Error("EqualBag should ignore order")
+	}
+	if d := a.Diff(b); d != "" {
+		t.Errorf("Diff = %q, want empty", d)
+	}
+}
+
+func TestEqualBagCountsDuplicates(t *testing.T) {
+	a, b := New(testSchema()), New(testSchema())
+	row := Tuple{value.Int(1), value.Str("x")}
+	other := Tuple{value.Int(2), value.Str("y")}
+	a.Append(row)
+	a.Append(row.Clone())
+	b.Append(row.Clone())
+	b.Append(other)
+	if a.EqualBag(b) {
+		t.Error("EqualBag must respect multiplicities")
+	}
+	if a.Diff(b) == "" {
+		t.Error("Diff should report the difference")
+	}
+}
+
+func TestRelationStringTruncates(t *testing.T) {
+	r := New(NewSchema(Column{Name: "N", Type: value.KindInt}))
+	for i := 0; i < 60; i++ {
+		r.Append(Tuple{value.Int(int64(i))})
+	}
+	s := r.String()
+	if !strings.Contains(s, "10 more rows") {
+		t.Errorf("expected truncation notice, got:\n%s", s)
+	}
+}
+
+func TestSortByKeyDeterministic(t *testing.T) {
+	r := New(NewSchema(Column{Name: "N", Type: value.KindInt}))
+	for _, v := range []int64{3, 1, 2} {
+		r.Append(Tuple{value.Int(v)})
+	}
+	r.SortByKey()
+	got := []int64{r.Rows[0][0].AsInt(), r.Rows[1][0].AsInt(), r.Rows[2][0].AsInt()}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("SortByKey order = %v", got)
+	}
+}

@@ -1,0 +1,234 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Statement is one parsed SQL statement: a query or a DDL/DML command.
+type Statement interface{ isStatement() }
+
+// SelectStmt wraps a query plan.
+type SelectStmt struct {
+	Plan algebra.Node
+}
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name string
+	Cols []relation.Column
+}
+
+// InsertStmt is INSERT INTO name VALUES (...), (...). Only literal
+// values are supported.
+type InsertStmt struct {
+	Table string
+	Rows  []relation.Tuple
+}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Name string
+}
+
+func (*SelectStmt) isStatement()      {}
+func (*CreateTableStmt) isStatement() {}
+func (*InsertStmt) isStatement()      {}
+func (*DropTableStmt) isStatement()   {}
+
+// ddl keywords are recognized case-insensitively here rather than in
+// the shared keyword table (so they stay usable as identifiers inside
+// queries).
+func identIs(t token, word string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, word)
+}
+
+// ParseStatement parses a single statement: SELECT (returning a plan),
+// CREATE TABLE, INSERT INTO ... VALUES, or DROP TABLE.
+func ParseStatement(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 || toks[0].kind == tokEOF {
+		return nil, fmt.Errorf("sql: empty statement")
+	}
+	switch {
+	case toks[0].kind == tokKeyword && toks[0].text == "SELECT":
+		plan, err := Parse(input)
+		if err != nil {
+			return nil, err
+		}
+		return &SelectStmt{Plan: plan}, nil
+	case identIs(toks[0], "CREATE"):
+		return parseCreate(&parser{toks: toks, src: input})
+	case identIs(toks[0], "INSERT"):
+		return parseInsert(&parser{toks: toks, src: input})
+	case identIs(toks[0], "DROP"):
+		return parseDrop(&parser{toks: toks, src: input})
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement starting with %q", toks[0].text)
+	}
+}
+
+func parseCreate(p *parser) (Statement, error) {
+	p.next() // CREATE
+	if !identIs(p.peek(), "TABLE") {
+		return nil, p.errf("expected TABLE after CREATE")
+	}
+	p.next()
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	var cols []relation.Column
+	for {
+		cn, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		tt := p.next()
+		kind, err := typeKind(tt)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, relation.Column{Qualifier: name.text, Name: cn.text, Type: kind})
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input after CREATE TABLE")
+	}
+	return &CreateTableStmt{Name: name.text, Cols: cols}, nil
+}
+
+func typeKind(t token) (value.Kind, error) {
+	if t.kind != tokIdent && t.kind != tokKeyword {
+		return value.KindNull, fmt.Errorf("sql: expected a type name, found %q", t.text)
+	}
+	switch strings.ToUpper(t.text) {
+	case "INT", "INTEGER", "BIGINT":
+		return value.KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return value.KindFloat, nil
+	case "TEXT", "STRING", "VARCHAR", "CHAR":
+		return value.KindString, nil
+	case "BOOL", "BOOLEAN":
+		return value.KindBool, nil
+	default:
+		return value.KindNull, fmt.Errorf("sql: unknown type %q", t.text)
+	}
+}
+
+func parseInsert(p *parser) (Statement, error) {
+	p.next() // INSERT
+	if !identIs(p.peek(), "INTO") {
+		return nil, p.errf("expected INTO after INSERT")
+	}
+	p.next()
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if !identIs(p.peek(), "VALUES") {
+		return nil, p.errf("expected VALUES")
+	}
+	p.next()
+	var rows []relation.Tuple
+	for {
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		var row relation.Tuple
+		for {
+			v, err := parseLiteral(p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input after VALUES")
+	}
+	return &InsertStmt{Table: name.text, Rows: rows}, nil
+}
+
+func parseLiteral(p *parser) (value.Value, error) {
+	neg := p.accept(tokOp, "-")
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return value.Null, p.errf("bad number %q", t.text)
+			}
+			if neg {
+				f = -f
+			}
+			return value.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return value.Null, p.errf("bad number %q", t.text)
+		}
+		if neg {
+			n = -n
+		}
+		return value.Int(n), nil
+	case neg:
+		return value.Null, p.errf("expected a number after -")
+	case t.kind == tokString:
+		return value.Str(t.text), nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		return value.Null, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		return value.Bool(true), nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		return value.Bool(false), nil
+	default:
+		return value.Null, p.errf("expected a literal, found %q", t.text)
+	}
+}
+
+func parseDrop(p *parser) (Statement, error) {
+	p.next() // DROP
+	if !identIs(p.peek(), "TABLE") {
+		return nil, p.errf("expected TABLE after DROP")
+	}
+	p.next()
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input after DROP TABLE")
+	}
+	return &DropTableStmt{Name: name.text}, nil
+}

@@ -1,0 +1,143 @@
+// Package sql provides a small SQL front end for the engine: a lexer,
+// a recursive-descent parser, and a translator producing nested-algebra
+// plans (internal/algebra). The dialect covers the subquery constructs
+// the paper studies:
+//
+//	SELECT [DISTINCT] items FROM tables [WHERE pred] [GROUP BY cols]
+//
+// with predicates over comparisons, AND/OR/NOT, IS [NOT] NULL,
+// [NOT] BETWEEN, [NOT] LIKE, [NOT] EXISTS (...), [NOT] IN (...), and
+// φ ANY/SOME/ALL (...), plus scalar and aggregate subqueries in the
+// right-hand position of a comparison. Blocks additionally support
+// derived tables in FROM, HAVING (over SELECT aliases), ORDER BY, and
+// LIMIT.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp     // comparison and arithmetic operators, parens, commas
+	tokDotSep // '.' between identifiers
+)
+
+// token is one lexeme with position info for error messages.
+type token struct {
+	kind tokKind
+	text string // keywords are upper-cased; identifiers keep their case
+	pos  int
+}
+
+// keywords of the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "EXISTS": true, "IN": true, "ANY": true, "SOME": true,
+	"ALL": true, "IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"ORDER": true, "LIMIT": true, "HAVING": true, "BETWEEN": true,
+	"LIKE": true, "ASC": true, "DESC": true, "STDDEV": true,
+	"VARIANCE": true, "UNION": true, "EXCEPT": true, "INTERSECT": true,
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(input) {
+					return nil, fmt.Errorf("sql: unterminated string literal at offset %d", i)
+				}
+				if input[j] == '\'' {
+					// '' escapes a quote.
+					if j+1 < len(input) && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '.' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			j := i
+			seenDot := false
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case c == '.':
+			toks = append(toks, token{kind: tokDotSep, text: ".", pos: i})
+			i++
+		case strings.ContainsRune("(),*+-/=", c):
+			toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
+			i++
+		case c == '<':
+			if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{kind: tokOp, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: ">", pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: "<>", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

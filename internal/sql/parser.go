@@ -1,0 +1,849 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Parse translates one SELECT statement into a nested-algebra plan.
+// The plan is unbound: table and column resolution happens when the
+// engine executes (or rewrites) it.
+func Parse(query string) (algebra.Node, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: query}
+	plan, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return plan, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+// at reports whether the current token has the given kind and (when
+// text is non-empty) text.
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.peek().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// parseQuery parses a SELECT block optionally combined with further
+// blocks by UNION [ALL], EXCEPT, or INTERSECT (left-associative).
+// ORDER BY/LIMIT bind to individual blocks in this dialect.
+func (p *parser) parseQuery() (algebra.Node, error) {
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind algebra.SetOpKind
+		switch {
+		case p.accept(tokKeyword, "UNION"):
+			kind = algebra.Union
+			if p.accept(tokKeyword, "ALL") {
+				kind = algebra.UnionAll
+			}
+		case p.accept(tokKeyword, "EXCEPT"):
+			kind = algebra.Except
+		case p.accept(tokKeyword, "INTERSECT"):
+			kind = algebra.Intersect
+		default:
+			return left, nil
+		}
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		left = algebra.NewSetOp(kind, left, right)
+	}
+}
+
+// selectItem is one SELECT-list entry before translation.
+type selectItem struct {
+	star bool
+	e    expr.Expr
+	aggS *agg.Spec
+	as   string
+}
+
+// parseSelect parses a full SELECT block and translates it.
+func (p *parser) parseSelect() (algebra.Node, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	distinct := p.accept(tokKeyword, "DISTINCT")
+
+	items, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFrom()
+	if err != nil {
+		return nil, err
+	}
+
+	var where algebra.Pred
+	if p.accept(tokKeyword, "WHERE") {
+		where, err = p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var groupBy []*expr.Col
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, c)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+
+	var having algebra.Pred
+	if p.accept(tokKeyword, "HAVING") {
+		if len(groupBy) == 0 {
+			return nil, p.errf("HAVING requires GROUP BY")
+		}
+		having, err = p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var orderBy []algebra.SortKey
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := algebra.SortKey{E: e}
+			if p.accept(tokKeyword, "DESC") {
+				key.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			orderBy = append(orderBy, key)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+
+	limit := -1
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		limit = n
+	}
+
+	plan, err := assemble(from, where, items, distinct, groupBy, having)
+	if err != nil {
+		return nil, err
+	}
+	if len(orderBy) > 0 || limit >= 0 {
+		plan = algebra.NewSort(plan, orderBy, limit)
+	}
+	return plan, nil
+}
+
+// assemble builds the algebra plan for a parsed block. The HAVING
+// predicate (if any) applies over the grouped schema, so it may
+// reference group keys and aggregate aliases.
+func assemble(from algebra.Node, where algebra.Pred, items []selectItem, distinct bool, groupBy []*expr.Col, having algebra.Pred) (algebra.Node, error) {
+	plan := from
+	if where != nil {
+		plan = algebra.NewRestrict(plan, where)
+	}
+
+	hasAgg := false
+	for _, it := range items {
+		if it.aggS != nil {
+			hasAgg = true
+		}
+	}
+
+	if len(groupBy) > 0 || hasAgg {
+		var specs []agg.Spec
+		var projItems []algebra.ProjItem
+		for i, it := range items {
+			switch {
+			case it.star:
+				return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+			case it.aggS != nil:
+				s := *it.aggS
+				if s.As == "" {
+					if it.as != "" {
+						s.As = it.as
+					} else {
+						s.As = fmt.Sprintf("agg_%d", i+1)
+					}
+				}
+				specs = append(specs, s)
+				projItems = append(projItems, algebra.ProjItem{E: expr.NewCol("", s.As)})
+			default:
+				c, ok := it.e.(*expr.Col)
+				if !ok {
+					return nil, fmt.Errorf("sql: non-aggregate SELECT item %s must be a grouped column", it.e)
+				}
+				found := false
+				for _, g := range groupBy {
+					if g.Name == c.Name && (g.Qualifier == c.Qualifier || g.Qualifier == "" || c.Qualifier == "") {
+						found = true
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("sql: column %s is not in GROUP BY", c)
+				}
+				pi := algebra.ProjItem{E: expr.NewCol(c.Qualifier, c.Name), As: it.as}
+				projItems = append(projItems, pi)
+			}
+		}
+		plan = algebra.NewGroupBy(plan, groupBy, specs)
+		if having != nil {
+			plan = algebra.NewRestrict(plan, having)
+		}
+		plan = algebra.NewProject(plan, distinct, projItems...)
+		return plan, nil
+	}
+	if having != nil {
+		return nil, fmt.Errorf("sql: HAVING requires aggregation")
+	}
+
+	if len(items) == 1 && items[0].star {
+		if distinct {
+			return algebra.NewDistinct(plan), nil
+		}
+		return plan, nil
+	}
+	projItems := make([]algebra.ProjItem, len(items))
+	for i, it := range items {
+		if it.star {
+			return nil, fmt.Errorf("sql: * must be the only SELECT item")
+		}
+		projItems[i] = algebra.ProjItem{E: it.e, As: it.as}
+		if _, isCol := it.e.(*expr.Col); !isCol && it.as == "" {
+			projItems[i].As = fmt.Sprintf("col_%d", i+1)
+		}
+	}
+	return algebra.NewProject(plan, distinct, projItems...), nil
+}
+
+func (p *parser) parseSelectList() ([]selectItem, error) {
+	var items []selectItem
+	for {
+		if p.accept(tokOp, "*") {
+			items = append(items, selectItem{star: true})
+		} else if spec, ok, err := p.tryParseAggregate(); err != nil {
+			return nil, err
+		} else if ok {
+			it := selectItem{aggS: spec}
+			if as, err := p.parseOptionalAlias(); err != nil {
+				return nil, err
+			} else {
+				it.as = as
+			}
+			items = append(items, it)
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := selectItem{e: e}
+			if as, err := p.parseOptionalAlias(); err != nil {
+				return nil, err
+			} else {
+				it.as = as
+			}
+			items = append(items, it)
+		}
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+func (p *parser) parseOptionalAlias() (string, error) {
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		return t.text, nil
+	}
+	if p.at(tokIdent, "") {
+		return p.next().text, nil
+	}
+	return "", nil
+}
+
+// tryParseAggregate recognizes COUNT(*), COUNT(x), SUM/AVG/MIN/MAX(x).
+func (p *parser) tryParseAggregate() (*agg.Spec, bool, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, false, nil
+	}
+	var fn agg.Func
+	switch t.text {
+	case "COUNT":
+		fn = agg.Count
+	case "SUM":
+		fn = agg.Sum
+	case "AVG":
+		fn = agg.Avg
+	case "MIN":
+		fn = agg.Min
+	case "MAX":
+		fn = agg.Max
+	case "STDDEV":
+		fn = agg.StdDev
+	case "VARIANCE":
+		fn = agg.Var
+	default:
+		return nil, false, nil
+	}
+	p.next()
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, false, err
+	}
+	if fn == agg.Count && p.accept(tokOp, "*") {
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, false, err
+		}
+		return &agg.Spec{Func: agg.CountStar}, true, nil
+	}
+	if fn == agg.Count && p.accept(tokKeyword, "DISTINCT") {
+		fn = agg.CountDistinct
+	}
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, false, err
+	}
+	return &agg.Spec{Func: fn, Arg: arg}, true, nil
+}
+
+// parseFrom handles comma-separated table references (cross products)
+// and parenthesized derived tables: (SELECT ...) alias.
+func (p *parser) parseFrom() (algebra.Node, error) {
+	var nodes []algebra.Node
+	for {
+		if p.accept(tokOp, "(") {
+			sub, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			p.accept(tokKeyword, "AS")
+			a, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, p.errf("derived table requires an alias")
+			}
+			nodes = append(nodes, algebra.NewAlias(sub, a.text))
+		} else {
+			t, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			alias := ""
+			if p.accept(tokKeyword, "AS") {
+				a, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				alias = a.text
+			} else if p.at(tokIdent, "") {
+				alias = p.next().text
+			}
+			nodes = append(nodes, algebra.NewScan(t.text, alias))
+		}
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	plan := nodes[0]
+	for _, n := range nodes[1:] {
+		plan = algebra.NewJoin(algebra.InnerJoin, plan, n, expr.TrueExpr())
+	}
+	return plan, nil
+}
+
+// ---------------------------------------------------------------------------
+// Predicates
+
+func (p *parser) parsePred() (algebra.Pred, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (algebra.Pred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []algebra.Pred{left}
+	for p.accept(tokKeyword, "OR") {
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	return algebra.Or(terms...), nil
+}
+
+func (p *parser) parseAnd() (algebra.Pred, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	terms := []algebra.Pred{left}
+	for p.accept(tokKeyword, "AND") {
+		t, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	return algebra.And(terms...), nil
+}
+
+func (p *parser) parseNot() (algebra.Pred, error) {
+	if p.at(tokKeyword, "NOT") {
+		// Disambiguate: NOT EXISTS is a primary; otherwise NOT negates
+		// a predicate term.
+		save := p.save()
+		p.next()
+		if p.at(tokKeyword, "EXISTS") {
+			p.restore(save)
+			return p.parsePrimaryPred()
+		}
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Not(inner), nil
+	}
+	return p.parsePrimaryPred()
+}
+
+func (p *parser) parsePrimaryPred() (algebra.Pred, error) {
+	// [NOT] EXISTS (subquery)
+	if p.at(tokKeyword, "EXISTS") || p.at(tokKeyword, "NOT") {
+		negated := p.accept(tokKeyword, "NOT")
+		if p.accept(tokKeyword, "EXISTS") {
+			sub, err := p.parseSubquery(false)
+			if err != nil {
+				return nil, err
+			}
+			if negated {
+				return algebra.NotExistsPred(sub), nil
+			}
+			return algebra.ExistsPred(sub), nil
+		}
+		return nil, p.errf("expected EXISTS after NOT")
+	}
+
+	// Parenthesized predicate — but '(' may also open an arithmetic
+	// expression; try predicate first and fall back.
+	if p.at(tokOp, "(") {
+		save := p.save()
+		p.next()
+		if pr, err := p.parsePred(); err == nil {
+			if p.accept(tokOp, ")") {
+				// Guard: "(a + b) > c" parses `a` as a predicate and
+				// fails at '+'; reaching here means the full
+				// parenthesized unit was a valid predicate.
+				if !p.atExprContinuation() {
+					return pr, nil
+				}
+			}
+		}
+		p.restore(save)
+	}
+
+	// expr [NOT] IN (sub) | expr IS [NOT] NULL | expr φ [quantifier] rhs
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+
+	if p.accept(tokKeyword, "IS") {
+		negated := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &algebra.Atom{E: expr.NewIsNull(left, negated)}, nil
+	}
+
+	if p.at(tokKeyword, "NOT") || p.at(tokKeyword, "IN") ||
+		p.at(tokKeyword, "BETWEEN") || p.at(tokKeyword, "LIKE") {
+		negated := p.accept(tokKeyword, "NOT")
+		switch {
+		case p.accept(tokKeyword, "BETWEEN"):
+			lo, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			between := expr.NewAnd(
+				expr.NewCmp(value.GE, left, lo),
+				expr.NewCmp(value.LE, expr.Clone(left), hi),
+			)
+			if negated {
+				return &algebra.Atom{E: expr.NewNot(between)}, nil
+			}
+			return &algebra.Atom{E: between}, nil
+		case p.accept(tokKeyword, "LIKE"):
+			pt, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			return &algebra.Atom{E: expr.NewLike(left, pt.text, negated)}, nil
+		}
+		if _, err := p.expect(tokKeyword, "IN"); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSubquery(true)
+		if err != nil {
+			return nil, err
+		}
+		if negated {
+			return algebra.NotIn(left, sub), nil
+		}
+		return algebra.In(left, sub), nil
+	}
+
+	op, ok := p.parseCmpOp()
+	if !ok {
+		return nil, p.errf("expected a comparison operator, found %q", p.peek().text)
+	}
+
+	// Quantifier?
+	if p.at(tokKeyword, "ANY") || p.at(tokKeyword, "SOME") || p.at(tokKeyword, "ALL") {
+		q := p.next().text
+		sub, err := p.parseSubquery(true)
+		if err != nil {
+			return nil, err
+		}
+		kind := algebra.CmpSome
+		if q == "ALL" {
+			kind = algebra.CmpAll
+		}
+		return &algebra.SubPred{Kind: kind, Op: op, Left: left, Sub: sub}, nil
+	}
+
+	// Scalar subquery on the right?
+	if p.at(tokOp, "(") && p.toks[p.pos+1].kind == tokKeyword && p.toks[p.pos+1].text == "SELECT" {
+		sub, err := p.parseSubquery(true)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.SubPred{Kind: algebra.ScalarCmp, Op: op, Left: left, Sub: sub}, nil
+	}
+
+	right, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &algebra.Atom{E: expr.NewCmp(op, left, right)}, nil
+}
+
+// atExprContinuation reports whether the current token continues an
+// arithmetic expression or comparison (used by the parenthesized-
+// predicate fallback).
+func (p *parser) atExprContinuation() bool {
+	t := p.peek()
+	if t.kind != tokOp {
+		return false
+	}
+	switch t.text {
+	case "+", "-", "*", "/", "=", "<", ">", "<=", ">=", "<>":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseCmpOp() (value.CmpOp, bool) {
+	t := p.peek()
+	if t.kind != tokOp {
+		return 0, false
+	}
+	var op value.CmpOp
+	switch t.text {
+	case "=":
+		op = value.EQ
+	case "<>":
+		op = value.NE
+	case "<":
+		op = value.LT
+	case "<=":
+		op = value.LE
+	case ">":
+		op = value.GT
+	case ">=":
+		op = value.GE
+	default:
+		return 0, false
+	}
+	p.next()
+	return op, true
+}
+
+// parseSubquery parses "( SELECT ... )" into an algebra.Subquery.
+// When needsOutput is true the subquery must have exactly one output
+// item (a column or an aggregate).
+func (p *parser) parseSubquery(needsOutput bool) (*algebra.Subquery, error) {
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	p.accept(tokKeyword, "DISTINCT") // duplicates are irrelevant to the predicates
+
+	items, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFrom()
+	if err != nil {
+		return nil, err
+	}
+	var where algebra.Pred
+	if p.accept(tokKeyword, "WHERE") {
+		where, err = p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+
+	sub := &algebra.Subquery{Source: from, Where: where}
+	if needsOutput {
+		if len(items) != 1 || items[0].star {
+			return nil, fmt.Errorf("sql: subquery must select exactly one column or aggregate")
+		}
+		it := items[0]
+		switch {
+		case it.aggS != nil:
+			s := *it.aggS
+			if s.As == "" {
+				s.As = "sub_agg"
+			}
+			sub.Agg = &s
+		default:
+			c, ok := it.e.(*expr.Col)
+			if !ok {
+				return nil, fmt.Errorf("sql: subquery output %s must be a column or aggregate", it.e)
+			}
+			sub.OutCol = c
+		}
+	}
+	return sub, nil
+}
+
+// ---------------------------------------------------------------------------
+// Scalar expressions
+
+func (p *parser) parseExpr() (expr.Expr, error) {
+	return p.parseAdditive()
+}
+
+func (p *parser) parseAdditive() (expr.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.NewArith(expr.OpAdd, left, r)
+		case p.accept(tokOp, "-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.NewArith(expr.OpSub, left, r)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.NewArith(expr.OpMul, left, r)
+		case p.accept(tokOp, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.NewArith(expr.OpDiv, left, r)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.accept(tokOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewArith(expr.OpSub, expr.IntLit(0), e), nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (expr.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return expr.FloatLit(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return expr.IntLit(n), nil
+	case t.kind == tokString:
+		p.next()
+		return expr.StrLit(t.text), nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return expr.NullLit(), nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return expr.BoolLit(true), nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return expr.BoolLit(false), nil
+	case t.kind == tokIdent:
+		return p.parseColumnRef()
+	case t.kind == tokOp && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected an expression, found %q", t.text)
+	}
+}
+
+func (p *parser) parseColumnRef() (*expr.Col, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokDotSep, "") {
+		n, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCol(t.text, n.text), nil
+	}
+	return expr.NewCol("", t.text), nil
+}

@@ -1,0 +1,328 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+)
+
+// ParseAndResolve parses a query and then qualifies every bare column
+// reference against the catalog using SQL scoping rules: a reference
+// resolves in the innermost enclosing query block that provides the
+// column, searching outward (which is what makes correlated subqueries
+// work with unqualified names).
+func ParseAndResolve(query string, res algebra.SchemaResolver) (algebra.Node, error) {
+	plan, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Resolve(plan, res)
+}
+
+// Resolve qualifies bare column references throughout a plan.
+func Resolve(plan algebra.Node, res algebra.SchemaResolver) (algebra.Node, error) {
+	r := &resolver{res: res}
+	return r.node(plan, nil)
+}
+
+type resolver struct {
+	res algebra.SchemaResolver
+}
+
+// node resolves one plan node; outer is the stack of enclosing block
+// schemas, outermost first.
+func (r *resolver) node(n algebra.Node, outer []*relation.Schema) (algebra.Node, error) {
+	switch node := n.(type) {
+	case *algebra.Scan, *algebra.Raw:
+		return n, nil
+	case *algebra.Alias:
+		in, err := r.node(node.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewAlias(in, node.Name), nil
+	case *algebra.Restrict:
+		in, err := r.node(node.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		inSchema, err := in.Schema(r.res)
+		if err != nil {
+			return nil, err
+		}
+		w, err := r.pred(node.Where, append(stack(outer), inSchema))
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewRestrict(in, w), nil
+	case *algebra.Project:
+		in, err := r.node(node.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		inSchema, err := in.Schema(r.res)
+		if err != nil {
+			return nil, err
+		}
+		scopes := append(stack(outer), inSchema)
+		items := make([]algebra.ProjItem, len(node.Items))
+		for i, it := range node.Items {
+			e, err := r.expr(it.E, scopes)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = algebra.ProjItem{E: e, As: it.As}
+		}
+		return algebra.NewProject(in, node.Distinct, items...), nil
+	case *algebra.Distinct:
+		in, err := r.node(node.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewDistinct(in), nil
+	case *algebra.Join:
+		l, err := r.node(node.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := r.node(node.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := l.Schema(r.res)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := rt.Schema(r.res)
+		if err != nil {
+			return nil, err
+		}
+		on, err := r.expr(node.On, append(stack(outer), ls.Concat(rs)))
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewJoin(node.Kind, l, rt, on), nil
+	case *algebra.GroupBy:
+		in, err := r.node(node.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		inSchema, err := in.Schema(r.res)
+		if err != nil {
+			return nil, err
+		}
+		scopes := append(stack(outer), inSchema)
+		keys := make([]*expr.Col, len(node.Keys))
+		for i, k := range node.Keys {
+			e, err := r.expr(k, scopes)
+			if err != nil {
+				return nil, err
+			}
+			c, ok := e.(*expr.Col)
+			if !ok {
+				return nil, fmt.Errorf("sql: GROUP BY key %s is not a column", k)
+			}
+			keys[i] = c
+		}
+		aggs := make([]agg.Spec, len(node.Aggs))
+		for i, a := range node.Aggs {
+			arg := a.Arg
+			if arg != nil {
+				var err error
+				arg, err = r.expr(arg, scopes)
+				if err != nil {
+					return nil, err
+				}
+			}
+			aggs[i] = agg.Spec{Func: a.Func, Arg: arg, As: a.As}
+		}
+		return algebra.NewGroupBy(in, keys, aggs), nil
+	case *algebra.GMDJ:
+		// Parser output never contains GMDJs, but resolve them anyway
+		// for hand-built plans.
+		b, err := r.node(node.Base, outer)
+		if err != nil {
+			return nil, err
+		}
+		d, err := r.node(node.Detail, outer)
+		if err != nil {
+			return nil, err
+		}
+		g := algebra.NewGMDJ(b, d, node.Conds...)
+		g.Completion = node.Completion
+		return g, nil
+	case *algebra.Sort:
+		in, err := r.node(node.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		inSchema, err := in.Schema(r.res)
+		if err != nil {
+			return nil, err
+		}
+		scopes := append(stack(outer), inSchema)
+		keys := make([]algebra.SortKey, len(node.Keys))
+		for i, k := range node.Keys {
+			e, err := r.expr(k.E, scopes)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = algebra.SortKey{E: e, Desc: k.Desc}
+		}
+		return algebra.NewSort(in, keys, node.Limit), nil
+	case *algebra.Number:
+		in, err := r.node(node.Input, outer)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewNumber(in, node.As), nil
+	case *algebra.SetOp:
+		l, err := r.node(node.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := r.node(node.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewSetOp(node.Kind, l, rt), nil
+	default:
+		return n, nil
+	}
+}
+
+func stack(outer []*relation.Schema) []*relation.Schema {
+	return append([]*relation.Schema{}, outer...)
+}
+
+// pred resolves predicates; scopes is outermost-first and already
+// includes the current block's schema last.
+func (r *resolver) pred(p algebra.Pred, scopes []*relation.Schema) (algebra.Pred, error) {
+	switch n := p.(type) {
+	case *algebra.Atom:
+		e, err := r.expr(n.E, scopes)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Atom{E: e}, nil
+	case *algebra.PredAnd:
+		terms := make([]algebra.Pred, len(n.Terms))
+		for i, t := range n.Terms {
+			q, err := r.pred(t, scopes)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = q
+		}
+		return &algebra.PredAnd{Terms: terms}, nil
+	case *algebra.PredOr:
+		terms := make([]algebra.Pred, len(n.Terms))
+		for i, t := range n.Terms {
+			q, err := r.pred(t, scopes)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = q
+		}
+		return &algebra.PredOr{Terms: terms}, nil
+	case *algebra.PredNot:
+		q, err := r.pred(n.P, scopes)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.PredNot{P: q}, nil
+	case *algebra.SubPred:
+		return r.subPred(n, scopes)
+	default:
+		return nil, fmt.Errorf("sql: unknown predicate %T", p)
+	}
+}
+
+func (r *resolver) subPred(sp *algebra.SubPred, scopes []*relation.Schema) (algebra.Pred, error) {
+	var left expr.Expr
+	var err error
+	if sp.Left != nil {
+		// The left operand belongs to the enclosing block's scope.
+		left, err = r.expr(sp.Left, scopes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	source, err := r.node(sp.Sub.Source, nil)
+	if err != nil {
+		return nil, err
+	}
+	srcSchema, err := source.Schema(r.res)
+	if err != nil {
+		return nil, err
+	}
+	subScopes := append(stack(scopes), srcSchema)
+	var where algebra.Pred
+	if sp.Sub.Where != nil {
+		where, err = r.pred(sp.Sub.Where, subScopes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sub := &algebra.Subquery{Source: source, Where: where}
+	if sp.Sub.OutCol != nil {
+		e, err := r.expr(sp.Sub.OutCol, subScopes)
+		if err != nil {
+			return nil, err
+		}
+		c, ok := e.(*expr.Col)
+		if !ok {
+			return nil, fmt.Errorf("sql: subquery output must be a column")
+		}
+		sub.OutCol = c
+	}
+	if sp.Sub.Agg != nil {
+		arg := sp.Sub.Agg.Arg
+		if arg != nil {
+			arg, err = r.expr(arg, subScopes)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sub.Agg = &agg.Spec{Func: sp.Sub.Agg.Func, Arg: arg, As: sp.Sub.Agg.As}
+	}
+	return &algebra.SubPred{Kind: sp.Kind, Op: sp.Op, Left: left, Sub: sub}, nil
+}
+
+// expr qualifies bare columns innermost-scope-first.
+func (r *resolver) expr(e expr.Expr, scopes []*relation.Schema) (expr.Expr, error) {
+	var firstErr error
+	out := expr.Rewrite(e, func(x expr.Expr) expr.Expr {
+		c, ok := x.(*expr.Col)
+		if !ok || c.Qualifier != "" {
+			return x
+		}
+		for i := len(scopes) - 1; i >= 0; i-- {
+			pos, err := scopes[i].Find("", c.Name)
+			if err != nil {
+				if isAmbiguous(err) && firstErr == nil {
+					firstErr = fmt.Errorf("sql: ambiguous column %q", c.Name)
+				}
+				continue
+			}
+			col := scopes[i].Columns[pos]
+			return expr.NewCol(col.Qualifier, col.Name)
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("sql: unknown column %q", c.Name)
+		}
+		return x
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+func isAmbiguous(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "ambiguous")
+}

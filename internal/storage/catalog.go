@@ -1,0 +1,46 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog is the registry of named tables a query engine instance
+// works against.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register adds (or replaces) a table.
+func (c *Catalog) Register(t *Table) {
+	c.tables[t.Name] = t
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table; dropping an absent table is a no-op.
+func (c *Catalog) Drop(name string) {
+	delete(c.tables, name)
+}
+
+// Names lists all table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// nullMarker is the CSV representation of SQL NULL, chosen so it cannot
+// collide with a real string value starting differently.
+const nullMarker = `\N`
+
+// WriteCSV writes the relation as CSV: a header of column names
+// followed by rows. NULL cells are written as \N.
+func WriteCSV(w io.Writer, rel *relation.Relation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, rel.Schema.Len())
+	for i, c := range rel.Schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("storage: writing csv header: %w", err)
+	}
+	rec := make([]string, rel.Schema.Len())
+	for _, row := range rel.Rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = nullMarker
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads CSV produced by WriteCSV (or hand-authored with the
+// same header) into a relation typed by schema. The header must match
+// the schema's column names in order.
+func ReadCSV(r io.Reader, schema *relation.Schema) (*relation.Relation, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading csv header: %w", err)
+	}
+	if len(header) != schema.Len() {
+		return nil, fmt.Errorf("storage: csv has %d columns, schema wants %d", len(header), schema.Len())
+	}
+	for i, name := range header {
+		if schema.Columns[i].Name != name {
+			return nil, fmt.Errorf("storage: csv column %d is %q, schema wants %q", i, name, schema.Columns[i].Name)
+		}
+	}
+	rel := relation.New(schema)
+	for lineNo := 2; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: reading csv line %d: %w", lineNo, err)
+		}
+		row := make(relation.Tuple, len(rec))
+		for i, cell := range rec {
+			v, err := parseCell(cell, schema.Columns[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("storage: csv line %d column %q: %w", lineNo, header[i], err)
+			}
+			row[i] = v
+		}
+		rel.Append(row)
+	}
+	return rel, nil
+}
+
+func parseCell(cell string, kind value.Kind) (value.Value, error) {
+	if cell == nullMarker {
+		return value.Null, nil
+	}
+	switch kind {
+	case value.KindInt:
+		i, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("parsing %q as INT: %w", cell, err)
+		}
+		return value.Int(i), nil
+	case value.KindFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("parsing %q as FLOAT: %w", cell, err)
+		}
+		return value.Float(f), nil
+	case value.KindBool:
+		b, err := strconv.ParseBool(cell)
+		if err != nil {
+			return value.Null, fmt.Errorf("parsing %q as BOOL: %w", cell, err)
+		}
+		return value.Bool(b), nil
+	case value.KindString, value.KindNull:
+		return value.Str(cell), nil
+	default:
+		return value.Null, fmt.Errorf("unsupported column kind %v", kind)
+	}
+}

@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// SaveDir writes every table of the catalog into dir as
+// <table>.csv plus a <table>.schema sidecar recording column names and
+// types (CSV alone cannot round-trip types).
+func SaveDir(cat *Catalog, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: creating %s: %w", dir, err)
+	}
+	for _, name := range cat.Names() {
+		t, err := cat.Table(name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		if err := WriteCSV(f, t.Rel); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		var sb strings.Builder
+		for _, c := range t.Rel.Schema.Columns {
+			fmt.Fprintf(&sb, "%s %s\n", c.Name, c.Type)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".schema"), []byte(sb.String()), 0o644); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadDir reads a directory written by SaveDir into a fresh catalog.
+func LoadDir(dir string) (*Catalog, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading %s: %w", dir, err)
+	}
+	cat := NewCatalog()
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".schema") {
+			names = append(names, strings.TrimSuffix(e.Name(), ".schema"))
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		schemaBytes, err := os.ReadFile(filepath.Join(dir, name+".schema"))
+		if err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		schema, err := parseSchemaFile(name, string(schemaBytes))
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		rel, err := ReadCSV(f, schema)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("storage: table %s: %w", name, err)
+		}
+		cat.Register(NewTable(name, rel))
+	}
+	return cat, nil
+}
+
+// parseSchemaFile parses the "<col> <TYPE>" sidecar lines.
+func parseSchemaFile(table, content string) (*relation.Schema, error) {
+	var cols []relation.Column
+	for ln, line := range strings.Split(strings.TrimSpace(content), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("storage: %s.schema line %d: want \"name TYPE\", got %q", table, ln+1, line)
+		}
+		var kind value.Kind
+		switch strings.ToUpper(fields[1]) {
+		case "INT":
+			kind = value.KindInt
+		case "FLOAT":
+			kind = value.KindFloat
+		case "STRING":
+			kind = value.KindString
+		case "BOOL":
+			kind = value.KindBool
+		default:
+			return nil, fmt.Errorf("storage: %s.schema line %d: unknown type %q", table, ln+1, fields[1])
+		}
+		cols = append(cols, relation.Column{Qualifier: table, Name: fields[0], Type: kind})
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("storage: %s.schema declares no columns", table)
+	}
+	return relation.NewSchema(cols...), nil
+}

@@ -1,0 +1,209 @@
+// Package storage provides named in-memory tables, secondary indexes,
+// a catalog, and CSV persistence. It is the engine's "disk": the
+// native evaluation strategy depends on these indexes (the paper's
+// Figure 5 contrasts indexed and unindexed native/join evaluation),
+// while the GMDJ strategy deliberately does not.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// HashIndex is an equality index over one column, mapping value hashes
+// to row positions. Probes verify equality, so hash collisions are
+// harmless. NULLs are not indexed (SQL equality never matches NULL).
+type HashIndex struct {
+	col     int
+	rel     *relation.Relation
+	buckets map[uint64][]int
+}
+
+// NewHashIndex builds an index over column position col of rel.
+func NewHashIndex(rel *relation.Relation, col int) *HashIndex {
+	ix := &HashIndex{col: col, rel: rel, buckets: make(map[uint64][]int)}
+	for i, row := range rel.Rows {
+		v := row[col]
+		if v.IsNull() {
+			continue
+		}
+		h := v.Hash()
+		ix.buckets[h] = append(ix.buckets[h], i)
+	}
+	return ix
+}
+
+// Lookup returns the positions of rows whose indexed column equals v.
+// Looking up NULL returns nothing.
+func (ix *HashIndex) Lookup(v value.Value) []int {
+	if v.IsNull() {
+		return nil
+	}
+	cand := ix.buckets[v.Hash()]
+	if len(cand) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(cand))
+	for _, i := range cand {
+		if value.Equal(ix.rel.Rows[i][ix.col], v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Column returns the indexed column position.
+func (ix *HashIndex) Column() int { return ix.col }
+
+// SortedIndex orders row positions by one column, enabling range scans
+// for non-equality correlation predicates in the native strategy.
+// NULLs sort first and are excluded from range results.
+type SortedIndex struct {
+	col   int
+	rel   *relation.Relation
+	order []int // row positions sorted by column value, NULLs first
+	nulls int   // count of leading NULL entries
+}
+
+// NewSortedIndex builds a sorted index over column position col.
+func NewSortedIndex(rel *relation.Relation, col int) *SortedIndex {
+	ix := &SortedIndex{col: col, rel: rel, order: make([]int, len(rel.Rows))}
+	for i := range ix.order {
+		ix.order[i] = i
+	}
+	sort.SliceStable(ix.order, func(a, b int) bool {
+		va, vb := rel.Rows[ix.order[a]][col], rel.Rows[ix.order[b]][col]
+		if va.IsNull() {
+			return !vb.IsNull()
+		}
+		if vb.IsNull() {
+			return false
+		}
+		c, _ := value.Compare(va, vb)
+		return c < 0
+	})
+	for _, pos := range ix.order {
+		if !rel.Rows[pos][col].IsNull() {
+			break
+		}
+		ix.nulls++
+	}
+	return ix
+}
+
+// Range returns the positions of rows whose column value v satisfies
+// lo ≤/< v ≤/< hi. A NULL bound means unbounded on that side. NULL
+// cells never match.
+func (ix *SortedIndex) Range(lo value.Value, loIncl bool, hi value.Value, hiIncl bool) []int {
+	vals := ix.order[ix.nulls:]
+	at := func(i int) value.Value { return ix.rel.Rows[vals[i]][ix.col] }
+	start := 0
+	if !lo.IsNull() {
+		start = sort.Search(len(vals), func(i int) bool {
+			c, _ := value.Compare(at(i), lo)
+			if loIncl {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(vals)
+	if !hi.IsNull() {
+		end = sort.Search(len(vals), func(i int) bool {
+			c, _ := value.Compare(at(i), hi)
+			if hiIncl {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil
+	}
+	out := make([]int, end-start)
+	copy(out, vals[start:end])
+	return out
+}
+
+// Table is a named relation plus its secondary indexes. Index presence
+// is part of the experimental setup: benchmarks drop indexes to study
+// strategy stability, exactly as the paper does.
+type Table struct {
+	Name string
+	Rel  *relation.Relation
+
+	hashIdx   map[string]*HashIndex
+	sortedIdx map[string]*SortedIndex
+}
+
+// NewTable wraps a relation as a named table.
+func NewTable(name string, rel *relation.Relation) *Table {
+	return &Table{
+		Name:      name,
+		Rel:       rel,
+		hashIdx:   make(map[string]*HashIndex),
+		sortedIdx: make(map[string]*SortedIndex),
+	}
+}
+
+// BuildHashIndex creates (or rebuilds) a hash index over the named
+// column.
+func (t *Table) BuildHashIndex(col string) error {
+	pos, err := t.Rel.Schema.Find("", col)
+	if err != nil {
+		return fmt.Errorf("storage: table %s: %w", t.Name, err)
+	}
+	t.hashIdx[col] = NewHashIndex(t.Rel, pos)
+	return nil
+}
+
+// BuildSortedIndex creates (or rebuilds) a sorted index over the named
+// column.
+func (t *Table) BuildSortedIndex(col string) error {
+	pos, err := t.Rel.Schema.Find("", col)
+	if err != nil {
+		return fmt.Errorf("storage: table %s: %w", t.Name, err)
+	}
+	t.sortedIdx[col] = NewSortedIndex(t.Rel, pos)
+	return nil
+}
+
+// HashIndexOn returns the hash index on col, if one exists.
+func (t *Table) HashIndexOn(col string) (*HashIndex, bool) {
+	ix, ok := t.hashIdx[col]
+	return ix, ok
+}
+
+// SortedIndexOn returns the sorted index on col, if one exists.
+func (t *Table) SortedIndexOn(col string) (*SortedIndex, bool) {
+	ix, ok := t.sortedIdx[col]
+	return ix, ok
+}
+
+// DropIndexes removes all secondary indexes (for the unindexed
+// benchmark variants).
+func (t *Table) DropIndexes() {
+	t.hashIdx = make(map[string]*HashIndex)
+	t.sortedIdx = make(map[string]*SortedIndex)
+}
+
+// IndexedColumns lists columns that carry any index, sorted for
+// deterministic EXPLAIN output.
+func (t *Table) IndexedColumns() []string {
+	set := map[string]bool{}
+	for c := range t.hashIdx {
+		set[c] = true
+	}
+	for c := range t.sortedIdx {
+		set[c] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

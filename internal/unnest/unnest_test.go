@@ -1,0 +1,338 @@
+package unnest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/exec"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+func netflowCatalog(rng *rand.Rand, nFlows int) *storage.Catalog {
+	cat := storage.NewCatalog()
+	ips := []string{
+		"10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4",
+		"167.167.167.0", "168.168.168.0", "169.169.169.0",
+	}
+	protos := []string{"HTTP", "FTP", "SMTP"}
+	flow := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "Flow", Name: "SourceIP", Type: value.KindString},
+		relation.Column{Qualifier: "Flow", Name: "DestIP", Type: value.KindString},
+		relation.Column{Qualifier: "Flow", Name: "StartTime", Type: value.KindInt},
+		relation.Column{Qualifier: "Flow", Name: "Protocol", Type: value.KindString},
+		relation.Column{Qualifier: "Flow", Name: "NumBytes", Type: value.KindInt},
+	))
+	for i := 0; i < nFlows; i++ {
+		flow.Append(relation.Tuple{
+			value.Str(ips[rng.Intn(len(ips))]),
+			value.Str(ips[rng.Intn(len(ips))]),
+			value.Int(int64(rng.Intn(240))),
+			value.Str(protos[rng.Intn(len(protos))]),
+			value.Int(int64(1 + rng.Intn(100))),
+		})
+	}
+	cat.Register(storage.NewTable("Flow", flow))
+
+	hours := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "Hours", Name: "HourDsc", Type: value.KindInt},
+		relation.Column{Qualifier: "Hours", Name: "StartInterval", Type: value.KindInt},
+		relation.Column{Qualifier: "Hours", Name: "EndInterval", Type: value.KindInt},
+	))
+	for h := int64(0); h < 4; h++ {
+		hours.Append(relation.Tuple{value.Int(h + 1), value.Int(h * 60), value.Int((h + 1) * 60)})
+	}
+	cat.Register(storage.NewTable("Hours", hours))
+
+	user := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "User", Name: "Name", Type: value.KindString},
+		relation.Column{Qualifier: "User", Name: "IPAddress", Type: value.KindString},
+	))
+	for i, ip := range ips[:4] {
+		user.Append(relation.Tuple{value.Str("user" + string(rune('a'+i))), value.Str(ip)})
+	}
+	cat.Register(storage.NewTable("User", user))
+	return cat
+}
+
+func timeWindow(f, h string) expr.Expr {
+	return expr.NewAnd(
+		expr.NewCmp(value.GE, expr.C(f+".StartTime"), expr.C(h+".StartInterval")),
+		expr.NewCmp(value.LT, expr.C(f+".StartTime"), expr.C(h+".EndInterval")),
+	)
+}
+
+// runBoth checks native ≡ unnested-join evaluation.
+func runBoth(t *testing.T, cat *storage.Catalog, plan algebra.Node) *relation.Relation {
+	t.Helper()
+	e := exec.New(cat)
+	native, err := e.Run(plan)
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	joined, err := Unnest(plan, e)
+	if err != nil {
+		t.Fatalf("Unnest: %v", err)
+	}
+	out, err := e.Run(joined)
+	if err != nil {
+		t.Fatalf("join run of %s: %v", joined, err)
+	}
+	if d := native.Diff(out); d != "" {
+		t.Fatalf("join result differs from native: %s\nplan: %s\nunnested: %s", d, plan, joined)
+	}
+	return native
+}
+
+func existsSub(dest string) *algebra.Subquery {
+	return &algebra.Subquery{
+		Source: algebra.NewScan("Flow", "FI"),
+		Where: &algebra.Atom{E: expr.NewAnd(
+			expr.Eq(expr.C("FI.DestIP"), expr.StrLit(dest)),
+			timeWindow("FI", "H"),
+		)},
+	}
+}
+
+func TestUnnestExistsSemiJoin(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(1)), 200)
+	plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"),
+		algebra.ExistsPred(existsSub("167.167.167.0")))
+	runBoth(t, cat, plan)
+	e := exec.New(cat)
+	joined, _ := Unnest(plan, e)
+	if !strings.Contains(joined.String(), "⋉") {
+		t.Errorf("EXISTS should unnest to a semi-join: %s", joined)
+	}
+}
+
+func TestUnnestNotExistsAntiJoin(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(2)), 200)
+	plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"),
+		algebra.NotExistsPred(existsSub("168.168.168.0")))
+	runBoth(t, cat, plan)
+	e := exec.New(cat)
+	joined, _ := Unnest(plan, e)
+	if !strings.Contains(joined.String(), "▷") {
+		t.Errorf("NOT EXISTS should unnest to an anti-join: %s", joined)
+	}
+}
+
+func TestUnnestSomeAndAll(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(3)), 150)
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("Flow", "FI"),
+		Where:  &algebra.Atom{E: expr.NewCmp(value.LT, expr.C("FI.NumBytes"), expr.IntLit(20))},
+		OutCol: expr.C("FI.StartTime"),
+	}
+	some := algebra.NewRestrict(algebra.NewScan("Hours", "H"),
+		&algebra.SubPred{Kind: algebra.CmpSome, Op: value.GT, Left: expr.C("H.EndInterval"), Sub: sub})
+	runBoth(t, cat, some)
+	all := algebra.NewRestrict(algebra.NewScan("Hours", "H"),
+		&algebra.SubPred{Kind: algebra.CmpAll, Op: value.GT, Left: expr.C("H.StartInterval"), Sub: sub})
+	runBoth(t, cat, all)
+}
+
+func TestUnnestAllEmptyInner(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(4)), 50)
+	sub := &algebra.Subquery{
+		Source: algebra.Filter(algebra.NewScan("Flow", "FI"), expr.BoolLit(false)),
+		OutCol: expr.C("FI.StartTime"),
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"),
+		&algebra.SubPred{Kind: algebra.CmpAll, Op: value.LT, Left: expr.C("H.StartInterval"), Sub: sub})
+	out := runBoth(t, cat, plan)
+	if out.Len() != 4 {
+		t.Errorf("ALL over empty set keeps everything; got %d rows", out.Len())
+	}
+}
+
+func TestUnnestScalarAggregateCountBug(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(5)), 100)
+	// Hours where the number of FTP flows in the window is 0 — the
+	// classic COUNT-bug query: a plain join would lose the zero groups.
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("Flow", "FI"),
+		Where: &algebra.Atom{E: expr.NewAnd(
+			timeWindow("FI", "H"),
+			expr.Eq(expr.C("FI.Protocol"), expr.StrLit("FTP")),
+		)},
+		Agg: &agg.Spec{Func: agg.CountStar, As: "c"},
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"),
+		&algebra.SubPred{Kind: algebra.ScalarCmp, Op: value.EQ, Left: expr.IntLit(0), Sub: sub})
+	out := runBoth(t, cat, plan)
+	// Cross-check by hand.
+	e := exec.New(cat)
+	flows, _ := e.Run(algebra.NewScan("Flow", "F"))
+	want := 0
+	for h := int64(0); h < 4; h++ {
+		n := 0
+		for _, f := range flows.Rows {
+			if f[3].AsString() == "FTP" && f[2].AsInt() >= h*60 && f[2].AsInt() < (h+1)*60 {
+				n++
+			}
+		}
+		if n == 0 {
+			want++
+		}
+	}
+	if out.Len() != want {
+		t.Errorf("count-bug query: got %d hours, want %d", out.Len(), want)
+	}
+}
+
+func TestUnnestScalarAggregateSum(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(6)), 150)
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("Flow", "FI"),
+		Where:  &algebra.Atom{E: timeWindow("FI", "H")},
+		Agg:    &agg.Spec{Func: agg.Sum, Arg: expr.C("FI.NumBytes"), As: "s"},
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"),
+		&algebra.SubPred{Kind: algebra.ScalarCmp, Op: value.GT, Left: expr.IntLit(2000), Sub: sub})
+	runBoth(t, cat, plan)
+}
+
+func TestUnnestDuplicateOuterRows(t *testing.T) {
+	// Duplicate outer tuples must each survive (the row-id trick).
+	cat := storage.NewCatalog()
+	l := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "L", Name: "k", Type: value.KindInt},
+	))
+	l.Append(relation.Tuple{value.Int(1)})
+	l.Append(relation.Tuple{value.Int(1)}) // duplicate
+	l.Append(relation.Tuple{value.Int(2)})
+	cat.Register(storage.NewTable("L", l))
+	r := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+		relation.Column{Qualifier: "R", Name: "v", Type: value.KindInt},
+	))
+	r.Append(relation.Tuple{value.Int(1), value.Int(5)})
+	r.Append(relation.Tuple{value.Int(1), value.Int(7)})
+	cat.Register(storage.NewTable("R", r))
+
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("R", "R"),
+		Where:  &algebra.Atom{E: expr.Eq(expr.C("R.k"), expr.C("L.k"))},
+		Agg:    &agg.Spec{Func: agg.Sum, Arg: expr.C("R.v"), As: "s"},
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("L", "L"),
+		&algebra.SubPred{Kind: algebra.ScalarCmp, Op: value.GT, Left: expr.IntLit(20), Sub: sub})
+	out := runBoth(t, cat, plan)
+	if out.Len() != 2 {
+		t.Errorf("both duplicate outer rows must survive, got %d", out.Len())
+	}
+}
+
+func TestUnnestLinearNesting(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(7)), 200)
+	inner := &algebra.Subquery{
+		Source: algebra.Filter(algebra.NewScan("Flow", "P"),
+			expr.Eq(expr.C("P.Protocol"), expr.StrLit("FTP"))),
+		OutCol: expr.C("P.Protocol"),
+	}
+	outer := &algebra.Subquery{
+		Source: algebra.NewScan("Flow", "FI"),
+		Where: algebra.And(
+			&algebra.Atom{E: timeWindow("FI", "H")},
+			algebra.In(expr.C("FI.Protocol"), inner),
+		),
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"), algebra.NotExistsPred(outer))
+	runBoth(t, cat, plan)
+}
+
+func TestUnnestNonNeighboring(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(8)), 300)
+	inner := &algebra.Subquery{
+		Source: algebra.NewScan("Flow", "F"),
+		Where: &algebra.Atom{E: expr.NewAnd(
+			timeWindow("F", "H"),
+			expr.Eq(expr.C("F.SourceIP"), expr.C("U.IPAddress")),
+		)},
+	}
+	outer := &algebra.Subquery{
+		Source: algebra.NewScan("Hours", "H"),
+		Where:  algebra.And(algebra.NotExistsPred(inner)),
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("User", "U"), algebra.NotExistsPred(outer))
+	runBoth(t, cat, plan)
+}
+
+func TestUnnestNotInNullTrap(t *testing.T) {
+	cat := storage.NewCatalog()
+	mk := func(name string, vals ...value.Value) {
+		r := relation.New(relation.NewSchema(
+			relation.Column{Qualifier: name, Name: "n", Type: value.KindInt},
+		))
+		for _, v := range vals {
+			r.Append(relation.Tuple{v})
+		}
+		cat.Register(storage.NewTable(name, r))
+	}
+	mk("L", value.Int(1), value.Int(2), value.Int(3), value.Null)
+	mk("R", value.Int(2), value.Null)
+	sub := &algebra.Subquery{Source: algebra.NewScan("R", "R"), OutCol: expr.C("R.n")}
+	plan := algebra.NewRestrict(algebra.NewScan("L", "L"), algebra.NotIn(expr.C("L.n"), sub))
+	out := runBoth(t, cat, plan)
+	if out.Len() != 0 {
+		t.Errorf("NOT IN over NULL-bearing set must be empty, got %d", out.Len())
+	}
+}
+
+func TestUnnestRejectsDisjunctiveSubqueries(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(9)), 20)
+	e := exec.New(cat)
+	plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"),
+		algebra.Or(
+			algebra.ExistsPred(existsSub("167.167.167.0")),
+			algebra.ExistsPred(existsSub("168.168.168.0")),
+		))
+	if _, err := Unnest(plan, e); err == nil ||
+		!strings.Contains(err.Error(), "disjunctive") {
+		t.Errorf("disjunctive subqueries should be rejected, got %v", err)
+	}
+}
+
+func TestUnnestConjunctiveTreeSubqueries(t *testing.T) {
+	cat := netflowCatalog(rand.New(rand.NewSource(10)), 250)
+	plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"),
+		algebra.And(
+			algebra.ExistsPred(existsSub("167.167.167.0")),
+			algebra.NotExistsPred(existsSub("169.169.169.0")),
+		))
+	runBoth(t, cat, plan)
+}
+
+func TestUnnestRandomizedEquivalence(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(200 + trial)))
+		cat := netflowCatalog(rng, 100+rng.Intn(150))
+		dests := []string{"167.167.167.0", "168.168.168.0", "10.0.0.1"}
+		var preds []algebra.Pred
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			alias := "FI" + string(rune('0'+i))
+			sub := &algebra.Subquery{
+				Source: algebra.NewScan("Flow", alias),
+				Where: &algebra.Atom{E: expr.NewAnd(
+					expr.Eq(expr.C(alias+".DestIP"), expr.StrLit(dests[rng.Intn(len(dests))])),
+					timeWindow(alias, "H"),
+				)},
+			}
+			if rng.Intn(2) == 0 {
+				preds = append(preds, algebra.ExistsPred(sub))
+			} else {
+				preds = append(preds, algebra.NotExistsPred(sub))
+			}
+		}
+		plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"), algebra.And(preds...))
+		runBoth(t, cat, plan)
+	}
+}

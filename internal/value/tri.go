@@ -1,0 +1,173 @@
+package value
+
+// Tri is SQL's three-valued logic domain. Predicates over values that
+// may be NULL evaluate to Tri, not bool; WHERE clauses apply
+// "where-clause truncation" and keep only True rows (the paper relies
+// on this in the proof of Theorem 3.1).
+type Tri uint8
+
+const (
+	// False is definite falsehood.
+	False Tri = iota
+	// True is definite truth.
+	True
+	// Unknown is SQL's third truth value, produced by comparisons
+	// against NULL.
+	Unknown
+)
+
+// String returns "false", "true", or "unknown".
+func (t Tri) String() string {
+	switch t {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	default:
+		return "unknown"
+	}
+}
+
+// TriOf lifts a bool into Tri.
+func TriOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And is Kleene conjunction: False dominates, Unknown otherwise
+// infects.
+func (t Tri) And(o Tri) Tri {
+	if t == False || o == False {
+		return False
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Or is Kleene disjunction: True dominates, Unknown otherwise infects.
+func (t Tri) Or(o Tri) Tri {
+	if t == True || o == True {
+		return True
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return False
+}
+
+// Not is Kleene negation: Unknown stays Unknown.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// CmpOp enumerates the six comparison operators φ of the paper
+// (φ ∈ {=, ≠, <, ≤, >, ≥}).
+type CmpOp uint8
+
+const (
+	// EQ is =.
+	EQ CmpOp = iota
+	// NE is <>.
+	NE
+	// LT is <.
+	LT
+	// LE is <=.
+	LE
+	// GT is >.
+	GT
+	// GE is >=.
+	GE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Negate returns φ̄, the complement operator used by the rewriter when
+// eliminating negations (¬(t φ S) ⇒ t φ̄ S).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	default:
+		panic("value: unknown CmpOp")
+	}
+}
+
+// Flip returns the operator with its operands swapped (a φ b ⇔ b flip(φ) a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default:
+		return op // EQ and NE are symmetric
+	}
+}
+
+// Apply evaluates a φ b under SQL 3VL: Unknown if either operand is
+// NULL or the operands are incomparable, otherwise the boolean result.
+func (op CmpOp) Apply(a, b Value) Tri {
+	c, ok := Compare(a, b)
+	if !ok {
+		return Unknown
+	}
+	switch op {
+	case EQ:
+		return TriOf(c == 0)
+	case NE:
+		return TriOf(c != 0)
+	case LT:
+		return TriOf(c < 0)
+	case LE:
+		return TriOf(c <= 0)
+	case GT:
+		return TriOf(c > 0)
+	case GE:
+		return TriOf(c >= 0)
+	default:
+		panic("value: unknown CmpOp")
+	}
+}

@@ -1,0 +1,307 @@
+// Package value defines the scalar value model of the engine: typed SQL
+// values with NULL, comparison under SQL three-valued logic, arithmetic,
+// and hashing. Every cell of every tuple in the engine is a Value.
+//
+// Value is a small struct rather than an interface so that hot loops
+// (predicate evaluation inside the GMDJ scan, hash probes) stay free of
+// per-cell heap allocation.
+package value
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL marker. A NULL Value carries no payload.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE-754 float.
+	KindFloat
+	// KindString is an immutable string.
+	KindString
+	// KindBool is a boolean. SQL predicates evaluate to Tri, not Value,
+	// but boolean columns are still representable.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64 // payload for KindInt and KindBool (0/1)
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Kind reports the runtime type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics if v is not an INT;
+// use Kind first when the type is not statically known.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("value: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload, widening INT to FLOAT.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic("value: AsFloat on " + v.kind.String())
+}
+
+// AsString returns the string payload. It panics if v is not a STRING.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("value: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics if v is not a BOOL.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("value: AsBool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// String renders v for display (and CSV output). NULL renders as the
+// empty marker "NULL".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// numericPair widens two numeric values to a common domain.
+// ok is false when either side is non-numeric.
+func numericPair(a, b Value) (af, bf float64, bothInt bool, ok bool) {
+	an := a.kind == KindInt || a.kind == KindFloat
+	bn := b.kind == KindInt || b.kind == KindFloat
+	if !an || !bn {
+		return 0, 0, false, false
+	}
+	bothInt = a.kind == KindInt && b.kind == KindInt
+	return a.AsFloat(), b.AsFloat(), bothInt, true
+}
+
+// Compare orders two non-NULL values. It returns -1, 0, or +1 and ok
+// reporting whether the two values were comparable (same domain, with
+// INT and FLOAT sharing the numeric domain). Comparing with NULL is the
+// caller's concern: SQL comparisons must go through the Tri-returning
+// predicate helpers below.
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	if a.kind == KindString && b.kind == KindString {
+		switch {
+		case a.s < b.s:
+			return -1, true
+		case a.s > b.s:
+			return 1, true
+		}
+		return 0, true
+	}
+	if a.kind == KindBool && b.kind == KindBool {
+		switch {
+		case a.i < b.i:
+			return -1, true
+		case a.i > b.i:
+			return 1, true
+		}
+		return 0, true
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch {
+		case a.i < b.i:
+			return -1, true
+		case a.i > b.i:
+			return 1, true
+		}
+		return 0, true
+	}
+	af, bf, _, ok := numericPair(a, b)
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case af < bf:
+		return -1, true
+	case af > bf:
+		return 1, true
+	}
+	return 0, true
+}
+
+// Equal reports non-SQL structural equality: NULL equals NULL and
+// values of incomparable kinds are unequal. Use for testing, map keys,
+// and DISTINCT (SQL's grouping treats NULLs as equal).
+func Equal(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return a.kind == b.kind
+	}
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// hashSeed is the process-wide seed for value hashing.
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a hash of v suitable for hash-join and GMDJ buckets.
+// Values that are Equal hash identically (INT 1 and FLOAT 1.0 share a
+// hash because they compare equal).
+func (v Value) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	switch v.kind {
+	case KindNull:
+		h.WriteByte(0)
+	case KindInt:
+		h.WriteByte(1)
+		writeUint64(&h, math.Float64bits(float64(v.i)))
+	case KindFloat:
+		h.WriteByte(1) // same tag as INT: 1 and 1.0 must collide
+		writeUint64(&h, math.Float64bits(v.f))
+	case KindString:
+		h.WriteByte(2)
+		h.WriteString(v.s)
+	case KindBool:
+		h.WriteByte(3)
+		h.WriteByte(byte(v.i))
+	}
+	return h.Sum64()
+}
+
+func writeUint64(h *maphash.Hash, u uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// Add returns a+b with SQL NULL propagation: NULL if either side is
+// NULL. Integer addition stays integer; mixed arithmetic widens.
+func Add(a, b Value) (Value, error) { return arith(a, b, '+') }
+
+// Sub returns a-b with SQL NULL propagation.
+func Sub(a, b Value) (Value, error) { return arith(a, b, '-') }
+
+// Mul returns a*b with SQL NULL propagation.
+func Mul(a, b Value) (Value, error) { return arith(a, b, '*') }
+
+// Div returns a/b with SQL NULL propagation. Division always yields a
+// FLOAT; dividing by zero yields NULL (matching the engine's policy of
+// never raising runtime arithmetic faults mid-scan).
+func Div(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	af, bf, _, ok := numericPair(a, b)
+	if !ok {
+		return Null, fmt.Errorf("value: cannot divide %s by %s", a.kind, b.kind)
+	}
+	if bf == 0 {
+		return Null, nil
+	}
+	return Float(af / bf), nil
+}
+
+func arith(a, b Value, op byte) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	af, bf, bothInt, ok := numericPair(a, b)
+	if !ok {
+		return Null, fmt.Errorf("value: cannot apply %c to %s and %s", op, a.kind, b.kind)
+	}
+	if bothInt {
+		ai, bi := a.i, b.i
+		switch op {
+		case '+':
+			return Int(ai + bi), nil
+		case '-':
+			return Int(ai - bi), nil
+		case '*':
+			return Int(ai * bi), nil
+		}
+	}
+	switch op {
+	case '+':
+		return Float(af + bf), nil
+	case '-':
+		return Float(af - bf), nil
+	case '*':
+		return Float(af * bf), nil
+	}
+	panic("value: unknown arithmetic op")
+}

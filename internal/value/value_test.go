@@ -1,0 +1,328 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindInt:    "INT",
+		KindFloat:  "FLOAT",
+		KindString: "STRING",
+		KindBool:   "BOOL",
+		Kind(99):   "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("zero Value kind = %v", v.Kind())
+	}
+	if !Equal(v, Null) {
+		t.Fatal("zero Value must Equal Null")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 {
+		t.Error("Int round-trip failed")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float round-trip failed")
+	}
+	if Str("hi").AsString() != "hi" {
+		t.Error("Str round-trip failed")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool round-trip failed")
+	}
+	if Int(7).AsFloat() != 7.0 {
+		t.Error("AsFloat must widen INT")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { Str("x").AsInt() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsBool on int", func() { Int(1).AsBool() })
+	mustPanic("AsFloat on string", func() { Str("x").AsFloat() })
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{Int(-3), "-3"},
+		{Float(1.5), "1.5"},
+		{Str("abc"), "abc"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Float(1.5), Int(2), -1, true},
+		{Int(2), Float(1.5), 1, true},
+		{Float(2), Int(2), 0, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Str("c"), Str("b"), 1, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Null, Int(1), 0, false},
+		{Int(1), Null, 0, false},
+		{Int(1), Str("1"), 0, false},
+		{Bool(true), Int(1), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := Compare(c.a, c.b)
+		if ok != c.ok || (ok && cmp != c.cmp) {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,%v", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestEqualTreatsNullAsEqual(t *testing.T) {
+	if !Equal(Null, Null) {
+		t.Error("Equal(NULL, NULL) must be true (grouping semantics)")
+	}
+	if Equal(Null, Int(0)) {
+		t.Error("Equal(NULL, 0) must be false")
+	}
+	if Equal(Int(1), Str("1")) {
+		t.Error("Equal across incomparable kinds must be false")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(1), Float(1.0)},
+		{Int(-7), Int(-7)},
+		{Str("x"), Str("x")},
+		{Null, Null},
+		{Bool(true), Bool(true)},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Fatalf("test setup: %v and %v should be Equal", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("Equal values %v and %v hash differently", p[0], p[1])
+		}
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		seen[Int(i).Hash()] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("integer hashes collide too much: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	check := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !Equal(got, want) {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	v, err := Add(Int(2), Int(3))
+	check(v, err, Int(5))
+	v, err = Sub(Int(2), Int(3))
+	check(v, err, Int(-1))
+	v, err = Mul(Int(2), Int(3))
+	check(v, err, Int(6))
+	v, err = Add(Int(2), Float(0.5))
+	check(v, err, Float(2.5))
+	v, err = Div(Int(7), Int(2))
+	check(v, err, Float(3.5))
+	v, err = Div(Int(7), Int(0))
+	check(v, err, Null)
+}
+
+func TestArithmeticNullPropagation(t *testing.T) {
+	ops := []func(a, b Value) (Value, error){Add, Sub, Mul, Div}
+	for i, op := range ops {
+		if v, err := op(Null, Int(1)); err != nil || !v.IsNull() {
+			t.Errorf("op %d: NULL lhs should yield NULL, got %v %v", i, v, err)
+		}
+		if v, err := op(Int(1), Null); err != nil || !v.IsNull() {
+			t.Errorf("op %d: NULL rhs should yield NULL, got %v %v", i, v, err)
+		}
+	}
+}
+
+func TestArithmeticTypeErrors(t *testing.T) {
+	if _, err := Add(Str("a"), Int(1)); err == nil {
+		t.Error("adding string and int should error")
+	}
+	if _, err := Div(Str("a"), Int(1)); err == nil {
+		t.Error("dividing string by int should error")
+	}
+}
+
+func TestTriTables(t *testing.T) {
+	// Kleene truth tables.
+	and := [3][3]Tri{
+		//            F        T        U
+		/* F */ {False, False, False},
+		/* T */ {False, True, Unknown},
+		/* U */ {False, Unknown, Unknown},
+	}
+	or := [3][3]Tri{
+		/* F */ {False, True, Unknown},
+		/* T */ {True, True, True},
+		/* U */ {Unknown, True, Unknown},
+	}
+	vals := []Tri{False, True, Unknown}
+	for i, a := range vals {
+		for j, b := range vals {
+			if got := a.And(b); got != and[i][j] {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, and[i][j])
+			}
+			if got := a.Or(b); got != or[i][j] {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, or[i][j])
+			}
+		}
+	}
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("NOT table wrong")
+	}
+}
+
+func TestCmpOpApply(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b Value
+		want Tri
+	}{
+		{EQ, Int(1), Int(1), True},
+		{EQ, Int(1), Int(2), False},
+		{NE, Int(1), Int(2), True},
+		{LT, Int(1), Int(2), True},
+		{LE, Int(2), Int(2), True},
+		{GT, Int(3), Int(2), True},
+		{GE, Int(1), Int(2), False},
+		{EQ, Null, Int(1), Unknown},
+		{NE, Int(1), Null, Unknown},
+		{LT, Str("a"), Int(1), Unknown}, // incomparable
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmpOpNegateFlip(t *testing.T) {
+	for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE} {
+		if op.Negate().Negate() != op {
+			t.Errorf("Negate not involutive for %v", op)
+		}
+		if op.Flip().Flip() != op {
+			t.Errorf("Flip not involutive for %v", op)
+		}
+	}
+	if EQ.Negate() != NE || LT.Negate() != GE || LE.Negate() != GT {
+		t.Error("Negate table wrong")
+	}
+	if LT.Flip() != GT || LE.Flip() != GE || EQ.Flip() != EQ {
+		t.Error("Flip table wrong")
+	}
+}
+
+// Property: for non-NULL comparable values, op.Apply agrees with
+// op.Negate().Apply negated, and flipping operands matches Flip.
+func TestCmpOpProperties(t *testing.T) {
+	f := func(a, b int64, opRaw uint8) bool {
+		op := CmpOp(opRaw % 6)
+		va, vb := Int(a), Int(b)
+		direct := op.Apply(va, vb)
+		negated := op.Negate().Apply(va, vb)
+		if direct.Not() != negated {
+			return false
+		}
+		flipped := op.Flip().Apply(vb, va)
+		return direct == flipped
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and Equal-consistent on ints and
+// floats.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true // NaN is out of the SQL domain our generator uses
+		}
+		va, vb := Float(a), Float(b)
+		c1, ok1 := Compare(va, vb)
+		c2, ok2 := Compare(vb, va)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return c1 == -c2 && (c1 == 0) == Equal(va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriString(t *testing.T) {
+	if False.String() != "false" || True.String() != "true" || Unknown.String() != "unknown" {
+		t.Error("Tri.String wrong")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	want := map[CmpOp]string{EQ: "=", NE: "<>", LT: "<", LE: "<=", GT: ">", GE: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q want %q", op, op.String(), s)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package gmdj
+
+import (
+	"github.com/olaplab/gmdj/internal/datagen"
+	"github.com/olaplab/gmdj/internal/engine"
+	"github.com/olaplab/gmdj/internal/storage"
+)
+
+// OpenNetflowSample opens a database pre-loaded with the paper's
+// motivating IP-flow schema: Flow(SourceIP, DestIP, StartTime,
+// Protocol, NumBytes), Hours(HourDsc, StartInterval, EndInterval), and
+// User(Name, IPAddress). flows controls the fact-table size (0 uses a
+// 50k-row default); generation is deterministic.
+func OpenNetflowSample(flows int) *DB {
+	opts := datagen.DefaultNetflow()
+	if flows > 0 {
+		opts.Flows = flows
+	}
+	cat := datagen.Netflow(opts)
+	return &DB{cat: cat, eng: engine.New(cat)}
+}
+
+// OpenTPCRSample opens a database pre-loaded with a TPC-R-like
+// warehouse (region, nation, supplier, part, customer, orders,
+// lineitem), matching the data the paper benchmarked against. scale
+// multiplies the default sizes (1000 customers / 10k orders / 40k
+// lineitems); scale <= 0 uses 1.
+func OpenTPCRSample(scale float64) *DB {
+	opts := datagen.DefaultTPCR()
+	if scale > 0 {
+		opts.Customers = int(float64(opts.Customers) * scale)
+		opts.Orders = int(float64(opts.Orders) * scale)
+		opts.Lineitems = int(float64(opts.Lineitems) * scale)
+	}
+	cat := datagen.TPCR(opts)
+	return &DB{cat: cat, eng: engine.New(cat)}
+}
+
+// SaveDir persists every table of the database into dir as CSV files
+// with schema sidecars; OpenDir restores such a directory.
+func (db *DB) SaveDir(dir string) error { return storage.SaveDir(db.cat, dir) }
+
+// OpenDir opens a database previously written with SaveDir.
+func OpenDir(dir string) (*DB, error) {
+	cat, err := storage.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cat: cat, eng: engine.New(cat)}, nil
+}
