@@ -3,6 +3,7 @@
 // Usage:
 //
 //	olapql [-data netflow|tpcr|none] [-scale f] [-strategy s] [-workers n]
+//	       [-timeout d] [-max-rows n] [-max-mem bytes]
 //
 // Meta commands inside the shell:
 //
@@ -12,23 +13,70 @@
 //	\quit               exit
 //
 // Any other input line is executed as SQL.
+//
+// Exit codes (one-shot -e mode), so scripts can tell a governed abort
+// from a crash:
+//
+//	0  success
+//	1  query or statement error
+//	2  usage error
+//	3  query exceeded -timeout
+//	4  query canceled (interrupt)
+//	5  query exceeded -max-rows
+//	6  query exceeded -max-mem
+//	7  internal error (operator panic, recovered)
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	gmdj "github.com/olaplab/gmdj"
 )
+
+// Exit codes for governed failures; see the package comment.
+const (
+	exitErr      = 1
+	exitUsage    = 2
+	exitTimeout  = 3
+	exitCanceled = 4
+	exitRowCap   = 5
+	exitMemCap   = 6
+	exitInternal = 7
+)
+
+// exitCode maps a query error onto the CLI's exit-code contract.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, gmdj.ErrTimeout):
+		return exitTimeout
+	case errors.Is(err, gmdj.ErrCanceled):
+		return exitCanceled
+	case errors.Is(err, gmdj.ErrRowBudget):
+		return exitRowCap
+	case errors.Is(err, gmdj.ErrMemBudget):
+		return exitMemCap
+	case errors.Is(err, gmdj.ErrInternal):
+		return exitInternal
+	default:
+		return exitErr
+	}
+}
 
 func main() {
 	data := flag.String("data", "netflow", "sample dataset to preload: netflow, tpcr, or none")
 	scale := flag.Float64("scale", 1.0, "sample dataset scale factor")
 	strategy := flag.String("strategy", "gmdj-opt", "evaluation strategy: native, unnest, gmdj, gmdj-opt")
 	workers := flag.Int("workers", 0, "GMDJ scan parallelism (0 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "per-query cap on materialized rows (0 = none)")
+	maxMem := flag.Int64("max-mem", 0, "per-query cap on approximate materialized bytes (0 = none)")
 	execQuery := flag.String("e", "", "execute one query and exit")
 	flag.Parse()
 
@@ -42,21 +90,26 @@ func main() {
 		db = gmdj.Open()
 	default:
 		fmt.Fprintf(os.Stderr, "olapql: unknown dataset %q\n", *data)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	db.SetParallelism(*workers)
+	db.SetBudget(gmdj.Budget{Timeout: *timeout, MaxRows: *maxRows, MaxMemBytes: *maxMem})
 
 	strat, ok := parseStrategy(*strategy)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "olapql: unknown strategy %q\n", *strategy)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	if *execQuery != "" {
-		res, err := db.ExecStrategy(*execQuery, strat)
+		// Interrupt cancels the running query (exit 4) rather than
+		// killing the process mid-evaluation.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopSignals()
+		res, err := db.ExecStrategyContext(ctx, *execQuery, strat)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "olapql:", err)
-			os.Exit(1)
+			os.Exit(exitCode(err))
 		}
 		if res != nil {
 			printResult(res)

@@ -4,8 +4,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	gmdj "github.com/olaplab/gmdj"
 )
@@ -83,4 +86,27 @@ func main() {
 	}
 	fmt.Println("\nGMDJOpt physical plan:")
 	fmt.Print(plan)
+
+	// Query governance: budgets and cancellation. A budget bounds every
+	// query on the connection; errors are typed, so callers can tell a
+	// governed abort from a genuine failure.
+	db.SetBudget(gmdj.Budget{Timeout: 5 * time.Second, MaxRows: 2})
+	_, err = db.Query(query)
+	switch {
+	case errors.Is(err, gmdj.ErrRowBudget):
+		fmt.Println("\nGovernance: row budget aborted the query, as configured:")
+		fmt.Println("  ", err)
+	case err != nil:
+		log.Fatal(err)
+	}
+	db.SetBudget(gmdj.Budget{}) // lift the budget again
+
+	// Per-call cancellation via context: QueryContext aborts mid-scan
+	// when the context is done and reports gmdj.ErrCanceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, query); errors.Is(err, gmdj.ErrCanceled) {
+		fmt.Println("Governance: canceled context aborted the query:")
+		fmt.Println("  ", err)
+	}
 }

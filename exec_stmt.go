@@ -1,6 +1,7 @@
 package gmdj
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/olaplab/gmdj/internal/relation"
@@ -17,8 +18,20 @@ func (db *DB) Exec(stmt string) (*Result, error) {
 	return db.ExecStrategy(stmt, GMDJOpt)
 }
 
+// ExecContext is Exec honoring the caller's context for SELECT
+// evaluation. DDL and INSERT are not governed: they are O(statement)
+// catalog mutations, not query evaluations.
+func (db *DB) ExecContext(ctx context.Context, stmt string) (*Result, error) {
+	return db.ExecStrategyContext(ctx, stmt, GMDJOpt)
+}
+
 // ExecStrategy is Exec with an explicit query strategy.
 func (db *DB) ExecStrategy(stmt string, s Strategy) (*Result, error) {
+	return db.ExecStrategyContext(context.Background(), stmt, s)
+}
+
+// ExecStrategyContext is ExecStrategy honoring the caller's context.
+func (db *DB) ExecStrategyContext(ctx context.Context, stmt string, s Strategy) (*Result, error) {
 	parsed, err := sql.ParseStatement(stmt)
 	if err != nil {
 		return nil, err
@@ -29,7 +42,7 @@ func (db *DB) ExecStrategy(stmt string, s Strategy) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rel, err := db.eng.Run(plan, s)
+		rel, err := db.eng.RunContext(ctx, plan, s)
 		if err != nil {
 			return nil, err
 		}

@@ -21,10 +21,12 @@
 package gmdj
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"github.com/olaplab/gmdj/internal/engine"
+	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/sql"
 	"github.com/olaplab/gmdj/internal/storage"
@@ -87,6 +89,30 @@ const (
 	Auto = engine.Auto
 )
 
+// Budget bounds one query evaluation: wall-clock timeout, materialized
+// rows, and approximate materialized bytes. The zero Budget is
+// unlimited. Apply with DB.SetBudget.
+type Budget = engine.Budget
+
+// Query-governance errors. A query aborted by its budget, its caller,
+// or an internal fault returns an error matching exactly one of these
+// with errors.Is; see the "Query governance & failure semantics"
+// section of the README for the taxonomy.
+var (
+	// ErrCanceled: the caller canceled the query's context.
+	ErrCanceled = govern.ErrCanceled
+	// ErrTimeout: the query exceeded Budget.Timeout (or the caller
+	// context's deadline).
+	ErrTimeout = govern.ErrTimeout
+	// ErrRowBudget: the query materialized more than Budget.MaxRows.
+	ErrRowBudget = govern.ErrRowBudget
+	// ErrMemBudget: the query exceeded Budget.MaxMemBytes.
+	ErrMemBudget = govern.ErrMemBudget
+	// ErrInternal: an operator panicked; the panic was recovered at the
+	// engine boundary and the process survived.
+	ErrInternal = govern.ErrInternal
+)
+
 // DB is an in-memory database: a catalog of tables plus the query
 // engine. A DB is not safe for concurrent mutation; concurrent
 // read-only queries are safe.
@@ -104,6 +130,12 @@ func Open() *DB {
 // SetParallelism sets the number of workers used by GMDJ detail scans
 // (0 or 1 means serial).
 func (db *DB) SetParallelism(workers int) { db.eng.SetGMDJWorkers(workers) }
+
+// SetBudget bounds every subsequent query on this DB. Exceeding a
+// bound aborts that query (typed error; see ErrTimeout, ErrRowBudget,
+// ErrMemBudget) without affecting the DB or other queries. Not safe to
+// call concurrently with running queries.
+func (db *DB) SetBudget(b Budget) { db.eng.SetBudget(b) }
 
 // SetUseIndexes toggles secondary-index use by the Native strategy.
 // GMDJ evaluation never depends on it — one of the paper's points.
@@ -273,15 +305,28 @@ func (db *DB) Query(query string) (*Result, error) {
 	return db.QueryStrategy(query, GMDJOpt)
 }
 
+// QueryContext is Query honoring the caller's context: canceling ctx
+// aborts the evaluation within a few hundred rows of any operator loop
+// and returns an error matching ErrCanceled (or ErrTimeout when the
+// context's deadline expired).
+func (db *DB) QueryContext(ctx context.Context, query string) (*Result, error) {
+	return db.QueryStrategyContext(ctx, query, GMDJOpt)
+}
+
 // QueryStrategy parses and runs a SQL query under an explicit
 // strategy. All strategies return the same bag of rows; they differ
 // only in evaluation cost.
 func (db *DB) QueryStrategy(query string, s Strategy) (*Result, error) {
+	return db.QueryStrategyContext(context.Background(), query, s)
+}
+
+// QueryStrategyContext is QueryStrategy honoring the caller's context.
+func (db *DB) QueryStrategyContext(ctx context.Context, query string, s Strategy) (*Result, error) {
 	plan, err := sql.ParseAndResolve(query, db.eng)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := db.eng.Run(plan, s)
+	rel, err := db.eng.RunContext(ctx, plan, s)
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@
 package benchlab
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,7 @@ import (
 
 	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/engine"
+	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/storage"
 )
 
@@ -84,6 +86,11 @@ type Runner struct {
 	// Verify cross-checks all variants of a size against each other
 	// and records a mismatch as an error.
 	Verify bool
+	// Budget bounds each cell (timeout and/or materialization caps). A
+	// cell that exceeds it is recorded as a DNF — the same semantics the
+	// paper uses for its 7-hour join-unnesting cutoff — instead of
+	// failing the whole sweep.
+	Budget engine.Budget
 }
 
 // DefaultRunner uses a laptop-friendly 1/16 scale.
@@ -138,6 +145,7 @@ func (r *Runner) RunCell(exp *Experiment, s Size, v Variant) (Result, error) {
 	eng := engine.New(cat)
 	eng.SetUseIndexes(v.UseIndexes)
 	eng.SetGMDJWorkers(r.Workers)
+	eng.SetBudget(r.Budget)
 	plan := exp.Query(s)
 	// Plan once outside the timed region: the paper measures query
 	// evaluation; rewriting is microseconds either way.
@@ -154,6 +162,11 @@ func (r *Runner) RunCell(exp *Experiment, s Size, v Variant) (Result, error) {
 		start := time.Now()
 		out, err := eng.Run(physical, engine.Native) // already rewritten; Native = evaluate as-is
 		if err != nil {
+			if errors.Is(err, govern.ErrTimeout) || errors.Is(err, govern.ErrRowBudget) || errors.Is(err, govern.ErrMemBudget) {
+				res.Skipped = true
+				res.SkipNote = fmt.Sprintf("exceeded runner budget (%v)", err)
+				return res, nil
+			}
 			return res, fmt.Errorf("%s/%s: %w", exp.ID, v.Name, err)
 		}
 		el := time.Since(start)

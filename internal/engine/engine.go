@@ -11,13 +11,16 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/exec"
 	"github.com/olaplab/gmdj/internal/gmdj"
+	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/rewrite"
 	"github.com/olaplab/gmdj/internal/storage"
@@ -68,12 +71,40 @@ func Strategies() []Strategy { return []Strategy{Native, Unnest, GMDJ, GMDJOpt} 
 type Engine struct {
 	cat  *storage.Catalog
 	exec *exec.Executor
+	// budget bounds every query run through this engine; see SetBudget.
+	budget Budget
 }
 
-// New creates an engine over a catalog, with index use enabled.
-func New(cat *storage.Catalog) *Engine {
-	return &Engine{cat: cat, exec: exec.New(cat)}
+// Budget bounds one query evaluation: wall clock, materialized rows,
+// and approximate materialized bytes. The zero Budget is unlimited.
+type Budget struct {
+	// Timeout is the wall-clock budget (0 = none). Exceeding it aborts
+	// the query with govern.ErrTimeout.
+	Timeout time.Duration
+	// MaxRows caps rows materialized across all intermediate and final
+	// relations (0 = unlimited); violation is govern.ErrRowBudget.
+	MaxRows int64
+	// MaxMemBytes caps approximate materialized bytes (0 = unlimited);
+	// violation is govern.ErrMemBudget.
+	MaxMemBytes int64
 }
+
+// New creates an engine over a catalog, with index use enabled. Fault
+// injection honors the GMDJ_FAULTS environment variable (see
+// govern.EnvFaults); production deployments leave it unset.
+func New(cat *storage.Catalog) *Engine {
+	ex := exec.New(cat)
+	ex.Faults = govern.FromEnv()
+	return &Engine{cat: cat, exec: ex}
+}
+
+// SetBudget applies a per-query budget to every subsequent Run and
+// RunContext call. Not safe to call concurrently with running queries.
+func (e *Engine) SetBudget(b Budget) { e.budget = b }
+
+// SetFaultInjector installs a fault injector (tests of failure paths);
+// nil disables injection.
+func (e *Engine) SetFaultInjector(in *govern.Injector) { e.exec.Faults = in }
 
 // Catalog returns the underlying catalog.
 func (e *Engine) Catalog() *storage.Catalog { return e.cat }
@@ -150,13 +181,37 @@ func (e *Engine) PlanAuto(plan algebra.Node) (algebra.Node, Strategy, error) {
 	return best, bestStrategy, nil
 }
 
-// Run plans and executes.
+// Run plans and executes with no caller context; the engine budget
+// (SetBudget) still applies.
 func (e *Engine) Run(plan algebra.Node, s Strategy) (*relation.Relation, error) {
+	return e.RunContext(context.Background(), plan, s)
+}
+
+// RunContext plans and executes under the caller's context and the
+// engine budget. Cancellation and budget violations abort evaluation
+// cooperatively (checks every few hundred rows in every operator loop,
+// including parallel GMDJ workers) and surface as the govern package's
+// typed errors: ErrCanceled, ErrTimeout, ErrRowBudget, ErrMemBudget.
+// An operator panic is recovered at this boundary and returned as a
+// *govern.InternalError wrapping govern.ErrInternal.
+func (e *Engine) RunContext(ctx context.Context, plan algebra.Node, s Strategy) (*relation.Relation, error) {
 	p, err := e.Plan(plan, s)
 	if err != nil {
 		return nil, err
 	}
-	return e.exec.Run(p)
+	// Fast path: no budget and a context that can never be canceled
+	// (Background/TODO) need no governor, so benchmark hot loops skip
+	// even the per-row atomic tick.
+	if e.budget == (Budget{}) && ctx.Done() == nil {
+		return e.exec.RunGoverned(p, nil)
+	}
+	if e.budget.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.budget.Timeout)
+		defer cancel()
+	}
+	gov := govern.New(ctx, govern.Budget{MaxRows: e.budget.MaxRows, MaxMemBytes: e.budget.MaxMemBytes})
+	return e.exec.RunGoverned(p, gov)
 }
 
 // Explain renders the physical plan chosen for a strategy as an

@@ -13,11 +13,13 @@ package exec
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"github.com/olaplab/gmdj/internal/agg"
 	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/expr"
 	"github.com/olaplab/gmdj/internal/gmdj"
+	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/storage"
 	"github.com/olaplab/gmdj/internal/value"
@@ -39,6 +41,10 @@ type Executor struct {
 	GMDJWorkers int
 	// GMDJStats, when non-nil, accumulates GMDJ operator counters.
 	GMDJStats *gmdj.Stats
+	// Faults injects deterministic failures at named operator sites
+	// (nil = no injection). Set once at engine construction; read-only
+	// during evaluation, so concurrent queries are safe.
+	Faults *govern.Injector
 }
 
 // New builds an executor with index use enabled.
@@ -55,32 +61,89 @@ func (e *Executor) TableSchema(name string) (*relation.Schema, error) {
 	return t.Rel.Schema, nil
 }
 
-// Run evaluates a plan to a materialized relation.
+// Run evaluates a plan to a materialized relation, ungoverned.
 func (e *Executor) Run(plan algebra.Node) (*relation.Relation, error) {
-	return e.eval(plan, emptyEnv())
+	return e.RunGoverned(plan, nil)
+}
+
+// RunGoverned evaluates a plan under a per-query governor (nil = no
+// budgets, no cancellation). It is the engine's panic boundary: an
+// operator panic is recovered here and converted into a typed
+// *govern.InternalError carrying the plan node under evaluation, so a
+// buggy or injected-fault operator aborts the query, not the process.
+// (Parallel GMDJ workers recover on their own goroutines and feed the
+// same taxonomy.)
+func (e *Executor) RunGoverned(plan algebra.Node, gov *govern.Governor) (out *relation.Relation, err error) {
+	q := &query{gov: gov, faults: e.Faults}
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = &govern.InternalError{Panic: r, Node: fmt.Sprintf("%T", q.node), Stack: debug.Stack()}
+		}
+	}()
+	if err := gov.Check(); err != nil {
+		return nil, err
+	}
+	return e.eval(plan, newEnv(q))
+}
+
+// query is the per-run governance state shared by every operator of
+// one evaluation: the budget governor, the fault injector, and the
+// most recently entered plan node (recorded so a recovered panic can
+// report where it fired).
+type query struct {
+	gov    *govern.Governor
+	faults *govern.Injector
+	node   algebra.Node
+}
+
+// tick is the cooperative cancellation check for operator row loops.
+func (q *query) tick() error {
+	if q == nil {
+		return nil
+	}
+	return q.gov.Tick()
+}
+
+// account charges one materialized row against the query budgets.
+func (q *query) account(row relation.Tuple) error {
+	if q == nil || q.gov == nil {
+		return nil
+	}
+	return q.gov.AccountAppend(1, row.ApproxBytes())
+}
+
+// fire triggers any injected fault at a named operator site.
+func (q *query) fire(site string) error {
+	if q == nil {
+		return nil
+	}
+	return q.faults.Fire(site, q.gov)
 }
 
 // env carries the outer tuple context for correlated subquery
-// evaluation: the concatenated schemas and values of all enclosing
-// query blocks.
+// evaluation — the concatenated schemas and values of all enclosing
+// query blocks — plus the per-run governance state.
 type env struct {
 	schema *relation.Schema
 	row    relation.Tuple
+	q      *query
 }
 
-func emptyEnv() *env {
-	return &env{schema: relation.NewSchema(), row: relation.Tuple{}}
+func newEnv(q *query) *env {
+	return &env{schema: relation.NewSchema(), row: relation.Tuple{}, q: q}
 }
 
 // extend returns an env with an extra block appended.
 func (v *env) extend(s *relation.Schema, row relation.Tuple) *env {
-	return &env{schema: v.schema.Concat(s), row: v.row.Concat(row)}
+	return &env{schema: v.schema.Concat(s), row: v.row.Concat(row), q: v.q}
 }
 
 func (e *Executor) eval(n algebra.Node, ev *env) (*relation.Relation, error) {
+	ev.q.node = n // best-effort locus for panic reports
 	switch node := n.(type) {
 	case *algebra.Scan:
-		return e.evalScan(node)
+		return e.evalScan(node, ev)
 	case *algebra.Raw:
 		return node.Rel, nil
 	case *algebra.Alias:
@@ -94,11 +157,22 @@ func (e *Executor) eval(n algebra.Node, ev *env) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		ev.q.node = node
+		if err := ev.q.fire("exec.number"); err != nil {
+			return nil, err
+		}
 		cols := append(append([]relation.Column{}, in.Schema.Columns...),
 			relation.Column{Name: node.As, Type: value.KindInt})
 		out := relation.New(relation.NewSchema(cols...))
 		for i, row := range in.Rows {
-			out.Append(append(row.Clone(), value.Int(int64(i))))
+			if err := ev.q.tick(); err != nil {
+				return nil, err
+			}
+			numbered := append(row.Clone(), value.Int(int64(i)))
+			if err := ev.q.account(numbered); err != nil {
+				return nil, err
+			}
+			out.Append(numbered)
 		}
 		return out, nil
 	case *algebra.Restrict:
@@ -122,7 +196,13 @@ func (e *Executor) eval(n algebra.Node, ev *env) (*relation.Relation, error) {
 	}
 }
 
-func (e *Executor) evalScan(s *algebra.Scan) (*relation.Relation, error) {
+// evalScan returns the base table under its alias. Scan output shares
+// the stored rows (renaming is metadata-only), so nothing is charged
+// against the materialization budgets here.
+func (e *Executor) evalScan(s *algebra.Scan, ev *env) (*relation.Relation, error) {
+	if err := ev.q.fire("exec.scan"); err != nil {
+		return nil, err
+	}
 	t, err := e.Cat.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -135,7 +215,11 @@ func (e *Executor) evalRestrict(r *algebra.Restrict, ev *env) (*relation.Relatio
 	if err != nil {
 		return nil, err
 	}
-	cp, err := e.compilePred(r.Where, ev.schema.Concat(in.Schema))
+	ev.q.node = r
+	if err := ev.q.fire("exec.restrict"); err != nil {
+		return nil, err
+	}
+	cp, err := e.compilePred(r.Where, ev.schema.Concat(in.Schema), ev.q)
 	if err != nil {
 		return nil, err
 	}
@@ -143,12 +227,18 @@ func (e *Executor) evalRestrict(r *algebra.Restrict, ev *env) (*relation.Relatio
 	full := make(relation.Tuple, len(ev.row)+in.Schema.Len())
 	copy(full, ev.row)
 	for _, row := range in.Rows {
+		if err := ev.q.tick(); err != nil {
+			return nil, err
+		}
 		copy(full[len(ev.row):], row)
 		tr, err := cp.eval(full)
 		if err != nil {
 			return nil, err
 		}
 		if tr == value.True { // where-clause truncation
+			if err := ev.q.account(row); err != nil {
+				return nil, err
+			}
 			out.Append(row)
 		}
 	}
@@ -158,6 +248,10 @@ func (e *Executor) evalRestrict(r *algebra.Restrict, ev *env) (*relation.Relatio
 func (e *Executor) evalProject(p *algebra.Project, ev *env) (*relation.Relation, error) {
 	in, err := e.eval(p.Input, ev)
 	if err != nil {
+		return nil, err
+	}
+	ev.q.node = p
+	if err := ev.q.fire("exec.project"); err != nil {
 		return nil, err
 	}
 	outSchema, err := p.Schema(e)
@@ -183,6 +277,9 @@ func (e *Executor) evalProject(p *algebra.Project, ev *env) (*relation.Relation,
 	copy(fullRow, ev.row)
 	seen := map[string]bool{}
 	for _, row := range in.Rows {
+		if err := ev.q.tick(); err != nil {
+			return nil, err
+		}
 		copy(fullRow[len(ev.row):], row)
 		outRow := make(relation.Tuple, len(bound))
 		for i, b := range bound {
@@ -198,6 +295,9 @@ func (e *Executor) evalProject(p *algebra.Project, ev *env) (*relation.Relation,
 				continue
 			}
 			seen[k] = true
+		}
+		if err := ev.q.account(outRow); err != nil {
+			return nil, err
 		}
 		out.Append(outRow)
 	}
@@ -234,14 +334,24 @@ func (e *Executor) evalDistinct(d *algebra.Distinct, ev *env) (*relation.Relatio
 	if err != nil {
 		return nil, err
 	}
+	ev.q.node = d
+	if err := ev.q.fire("exec.distinct"); err != nil {
+		return nil, err
+	}
 	out := relation.New(in.Schema)
 	seen := map[string]bool{}
 	for _, row := range in.Rows {
+		if err := ev.q.tick(); err != nil {
+			return nil, err
+		}
 		k := row.Key()
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
+		if err := ev.q.account(row); err != nil {
+			return nil, err
+		}
 		out.Append(row)
 	}
 	return out, nil
@@ -250,6 +360,10 @@ func (e *Executor) evalDistinct(d *algebra.Distinct, ev *env) (*relation.Relatio
 func (e *Executor) evalGroupBy(g *algebra.GroupBy, ev *env) (*relation.Relation, error) {
 	in, err := e.eval(g.Input, ev)
 	if err != nil {
+		return nil, err
+	}
+	ev.q.node = g
+	if err := ev.q.fire("exec.groupby"); err != nil {
 		return nil, err
 	}
 	keyPos := make([]int, len(g.Keys))
@@ -275,6 +389,9 @@ func (e *Executor) evalGroupBy(g *algebra.GroupBy, ev *env) (*relation.Relation,
 	groups := map[string]*group{}
 	var order []string
 	for _, row := range in.Rows {
+		if err := ev.q.tick(); err != nil {
+			return nil, err
+		}
 		key := make(relation.Tuple, len(keyPos))
 		for i, pos := range keyPos {
 			key[i] = row[pos]
@@ -317,6 +434,9 @@ func (e *Executor) evalGroupBy(g *algebra.GroupBy, ev *env) (*relation.Relation,
 		for _, a := range gr.accs {
 			row = append(row, a.Result())
 		}
+		if err := ev.q.account(row); err != nil {
+			return nil, err
+		}
 		out.Append(row)
 	}
 	return out, nil
@@ -335,5 +455,7 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 		Completion: g.Completion,
 		Workers:    e.GMDJWorkers,
 		Stats:      e.GMDJStats,
+		Gov:        ev.q.gov,
+		Faults:     ev.q.faults,
 	})
 }

@@ -21,6 +21,10 @@ func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error
 	if err != nil {
 		return nil, err
 	}
+	ev.q.node = j
+	if err := ev.q.fire("exec.join"); err != nil {
+		return nil, err
+	}
 	combined := left.Schema.Concat(right.Schema)
 	on, err := j.On.Bind(combined)
 	if err != nil {
@@ -45,6 +49,9 @@ func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error
 		copy(fullRow, lRow)
 		matched := false
 		for _, ri := range candidates {
+			if err := ev.q.tick(); err != nil {
+				return false, err
+			}
 			copy(fullRow[lw:], right.Rows[ri])
 			tr, err := expr.EvalTri(on, fullRow)
 			if err != nil {
@@ -56,8 +63,15 @@ func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error
 			matched = true
 			switch j.Kind {
 			case algebra.InnerJoin, algebra.LeftOuterJoin:
-				out.Append(fullRow.Clone())
+				joined := fullRow.Clone()
+				if err := ev.q.account(joined); err != nil {
+					return false, err
+				}
+				out.Append(joined)
 			case algebra.SemiJoin:
+				if err := ev.q.account(lRow); err != nil {
+					return false, err
+				}
 				out.Append(lRow)
 				return true, nil // first match suffices
 			case algebra.AntiJoin:
@@ -113,6 +127,9 @@ func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error
 
 	nullPad := make(relation.Tuple, right.Schema.Len())
 	for _, lRow := range left.Rows {
+		if err := ev.q.tick(); err != nil {
+			return nil, err
+		}
 		candidates, keyOK := probe(lRow)
 		matched := false
 		if keyOK {
@@ -122,15 +139,21 @@ func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error
 				return nil, err
 			}
 		}
+		if matched {
+			continue
+		}
 		switch j.Kind {
 		case algebra.LeftOuterJoin:
-			if !matched {
-				out.Append(lRow.Concat(nullPad))
+			padded := lRow.Concat(nullPad)
+			if err := ev.q.account(padded); err != nil {
+				return nil, err
 			}
+			out.Append(padded)
 		case algebra.AntiJoin:
-			if !matched {
-				out.Append(lRow)
+			if err := ev.q.account(lRow); err != nil {
+				return nil, err
 			}
+			out.Append(lRow)
 		}
 	}
 	return out, nil

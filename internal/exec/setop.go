@@ -21,52 +21,71 @@ func (e *Executor) evalSetOp(s *algebra.SetOp, ev *env) (*relation.Relation, err
 	if l.Schema.Len() != r.Schema.Len() {
 		return nil, fmt.Errorf("exec: %s operands have %d and %d columns", s.Kind, l.Schema.Len(), r.Schema.Len())
 	}
+	ev.q.node = s
+	if err := ev.q.fire("exec.setop"); err != nil {
+		return nil, err
+	}
 	out := relation.New(l.Schema)
+	emit := func(row relation.Tuple) error {
+		if err := ev.q.account(row); err != nil {
+			return err
+		}
+		out.Append(row)
+		return nil
+	}
 	switch s.Kind {
 	case algebra.UnionAll:
-		out.Rows = append(append(out.Rows, l.Rows...), r.Rows...)
+		for _, rows := range [][]relation.Tuple{l.Rows, r.Rows} {
+			for _, row := range rows {
+				if err := ev.q.tick(); err != nil {
+					return nil, err
+				}
+				if err := emit(row); err != nil {
+					return nil, err
+				}
+			}
+		}
 		return out, nil
 	case algebra.Union:
 		seen := map[string]bool{}
 		for _, rows := range [][]relation.Tuple{l.Rows, r.Rows} {
 			for _, row := range rows {
+				if err := ev.q.tick(); err != nil {
+					return nil, err
+				}
 				k := row.Key()
 				if seen[k] {
 					continue
 				}
 				seen[k] = true
-				out.Append(row)
+				if err := emit(row); err != nil {
+					return nil, err
+				}
 			}
 		}
 		return out, nil
-	case algebra.Except:
+	case algebra.Except, algebra.Intersect:
+		keep := s.Kind == algebra.Intersect
 		right := map[string]bool{}
 		for _, row := range r.Rows {
+			if err := ev.q.tick(); err != nil {
+				return nil, err
+			}
 			right[row.Key()] = true
 		}
 		emitted := map[string]bool{}
 		for _, row := range l.Rows {
+			if err := ev.q.tick(); err != nil {
+				return nil, err
+			}
 			k := row.Key()
-			if right[k] || emitted[k] {
+			if right[k] != keep || emitted[k] {
 				continue
 			}
 			emitted[k] = true
-			out.Append(row)
-		}
-		return out, nil
-	case algebra.Intersect:
-		right := map[string]bool{}
-		for _, row := range r.Rows {
-			right[row.Key()] = true
-		}
-		emitted := map[string]bool{}
-		for _, row := range l.Rows {
-			k := row.Key()
-			if !right[k] || emitted[k] {
-				continue
+			if err := emit(row); err != nil {
+				return nil, err
 			}
-			emitted[k] = true
-			out.Append(row)
 		}
 		return out, nil
 	default:

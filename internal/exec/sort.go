@@ -16,6 +16,10 @@ func (e *Executor) evalSort(s *algebra.Sort, ev *env) (*relation.Relation, error
 	if err != nil {
 		return nil, err
 	}
+	ev.q.node = s
+	if err := ev.q.fire("exec.sort"); err != nil {
+		return nil, err
+	}
 	full := ev.schema.Concat(in.Schema)
 	bound := make([]expr.Expr, len(s.Keys))
 	for i, k := range s.Keys {
@@ -31,6 +35,9 @@ func (e *Executor) evalSort(s *algebra.Sort, ev *env) (*relation.Relation, error
 	fullRow := make(relation.Tuple, len(ev.row)+in.Schema.Len())
 	copy(fullRow, ev.row)
 	for i, row := range in.Rows {
+		if err := ev.q.tick(); err != nil {
+			return nil, err
+		}
 		copy(fullRow[len(ev.row):], row)
 		key := make(relation.Tuple, len(bound))
 		for j, b := range bound {
@@ -66,6 +73,9 @@ func (e *Executor) evalSort(s *algebra.Sort, ev *env) (*relation.Relation, error
 		limit = s.Limit
 	}
 	for _, i := range idx[:limit] {
+		if err := ev.q.account(in.Rows[i]); err != nil {
+			return nil, err
+		}
 		out.Append(in.Rows[i])
 	}
 	return out, nil

@@ -68,8 +68,10 @@ func (c *cpNot) eval(row relation.Tuple) (value.Tri, error) {
 // compilePred compiles a predicate tree against the outer schema
 // (already including any enclosing blocks). Subquery sources are
 // materialized once — the "reuse of invariants" refinement — and their
-// correlation predicates are compiled against outer ++ inner.
-func (e *Executor) compilePred(p algebra.Pred, outer *relation.Schema) (compiledPred, error) {
+// correlation predicates are compiled against outer ++ inner. The
+// query state q rides along so subquery evaluation loops stay
+// governed.
+func (e *Executor) compilePred(p algebra.Pred, outer *relation.Schema, q *query) (compiledPred, error) {
 	switch n := p.(type) {
 	case *algebra.Atom:
 		b, err := n.E.Bind(outer)
@@ -80,7 +82,7 @@ func (e *Executor) compilePred(p algebra.Pred, outer *relation.Schema) (compiled
 	case *algebra.PredAnd:
 		terms := make([]compiledPred, len(n.Terms))
 		for i, t := range n.Terms {
-			c, err := e.compilePred(t, outer)
+			c, err := e.compilePred(t, outer, q)
 			if err != nil {
 				return nil, err
 			}
@@ -90,7 +92,7 @@ func (e *Executor) compilePred(p algebra.Pred, outer *relation.Schema) (compiled
 	case *algebra.PredOr:
 		terms := make([]compiledPred, len(n.Terms))
 		for i, t := range n.Terms {
-			c, err := e.compilePred(t, outer)
+			c, err := e.compilePred(t, outer, q)
 			if err != nil {
 				return nil, err
 			}
@@ -98,13 +100,13 @@ func (e *Executor) compilePred(p algebra.Pred, outer *relation.Schema) (compiled
 		}
 		return &cpOr{terms: terms}, nil
 	case *algebra.PredNot:
-		c, err := e.compilePred(n.P, outer)
+		c, err := e.compilePred(n.P, outer, q)
 		if err != nil {
 			return nil, err
 		}
 		return &cpNot{p: c}, nil
 	case *algebra.SubPred:
-		return e.compileSubPred(n, outer)
+		return e.compileSubPred(n, outer, q)
 	default:
 		return nil, fmt.Errorf("exec: unknown predicate node %T", p)
 	}
@@ -137,10 +139,14 @@ type cpSub struct {
 	innerW    int
 	path      *accessPath
 	memo      *subqueryMemo // non-nil when invariant reuse is enabled
+	q         *query        // governance: ticks in the inner-row loops
 }
 
-func (e *Executor) compileSubPred(sp *algebra.SubPred, outer *relation.Schema) (compiledPred, error) {
-	inner, err := e.eval(sp.Sub.Source, emptyEnv())
+func (e *Executor) compileSubPred(sp *algebra.SubPred, outer *relation.Schema, q *query) (compiledPred, error) {
+	if err := q.fire("exec.subquery"); err != nil {
+		return nil, err
+	}
+	inner, err := e.eval(sp.Sub.Source, newEnv(q))
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +157,7 @@ func (e *Executor) compileSubPred(sp *algebra.SubPred, outer *relation.Schema) (
 		inner:  inner,
 		outerW: outer.Len(),
 		innerW: inner.Schema.Len(),
+		q:      q,
 	}
 	if sp.Left != nil {
 		b, err := sp.Left.Bind(outer)
@@ -161,7 +168,7 @@ func (e *Executor) compileSubPred(sp *algebra.SubPred, outer *relation.Schema) (
 	}
 	combined := outer.Concat(inner.Schema)
 	if sp.Sub.Where != nil {
-		cp, err := e.compilePred(sp.Sub.Where, combined)
+		cp, err := e.compilePred(sp.Sub.Where, combined, q)
 		if err != nil {
 			return nil, err
 		}
@@ -374,9 +381,15 @@ func (c *cpSub) evalUncached(outerRow relation.Tuple) (value.Tri, error) {
 	if err != nil {
 		return value.Unknown, err
 	}
+	// The per-outer-tuple inner scan is the native strategy's hot loop
+	// (quadratic without an access path), so it carries the cooperative
+	// cancellation tick.
 	visit := func(fn func(innerRow relation.Tuple) (stop bool, err error)) error {
 		if hasPath {
 			for _, ri := range cand {
+				if err := c.q.tick(); err != nil {
+					return err
+				}
 				stop, err := fn(c.inner.Rows[ri])
 				if err != nil || stop {
 					return err
@@ -385,6 +398,9 @@ func (c *cpSub) evalUncached(outerRow relation.Tuple) (value.Tri, error) {
 			return nil
 		}
 		for _, row := range c.inner.Rows {
+			if err := c.q.tick(); err != nil {
+				return err
+			}
 			stop, err := fn(row)
 			if err != nil || stop {
 				return err

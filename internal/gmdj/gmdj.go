@@ -26,11 +26,14 @@ package gmdj
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"github.com/olaplab/gmdj/internal/agg"
 	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/value"
 )
@@ -66,6 +69,13 @@ type Options struct {
 	MaxBaseRows int
 	// Stats, when non-nil, receives evaluation counters.
 	Stats *Stats
+	// Gov, when non-nil, governs the scan: cooperative cancellation
+	// ticks per detail row (shared across workers) and budget
+	// accounting for the emitted output rows.
+	Gov *govern.Governor
+	// Faults injects deterministic failures at the gmdj.compile,
+	// gmdj.worker, and gmdj.emit sites (nil = no injection).
+	Faults *govern.Injector
 }
 
 // condProg is one compiled θᵢ with its aggregate list.
@@ -90,6 +100,8 @@ type program struct {
 	totalAggs    int
 	comp         *algebra.CompletionInfo
 	outSchema    *relation.Schema
+	gov          *govern.Governor
+	faults       *govern.Injector
 }
 
 // Evaluate computes the GMDJ of base and detail under conds.
@@ -100,10 +112,14 @@ func Evaluate(base, detail *relation.Relation, conds []algebra.GMDJCond, opts Op
 	if opts.MaxBaseRows > 0 && len(base.Rows) > opts.MaxBaseRows {
 		return evaluatePartitioned(base, detail, conds, opts)
 	}
+	if err := opts.Faults.Fire("gmdj.compile", opts.Gov); err != nil {
+		return nil, err
+	}
 	p, err := compile(base, detail, conds, opts.Completion)
 	if err != nil {
 		return nil, err
 	}
+	p.gov, p.faults = opts.Gov, opts.Faults
 	if opts.Stats != nil {
 		for _, c := range p.conds {
 			if c.index == nil && len(c.baseKey) == 0 {
@@ -546,8 +562,12 @@ func evalTree(t *algebra.BoolTree, atoms []algebra.CompletionAtom, matched []boo
 	}
 }
 
-// emit materializes the output relation from final state.
-func (p *program) emit(decided []int8, accs [][]agg.Accumulator) *relation.Relation {
+// emit materializes the output relation from final state, charging
+// each emitted row against the query budgets.
+func (p *program) emit(decided []int8, accs [][]agg.Accumulator) (*relation.Relation, error) {
+	if err := p.faults.Fire("gmdj.emit", p.gov); err != nil {
+		return nil, err
+	}
 	out := relation.New(p.outSchema)
 	for bi, baseRow := range p.base.Rows {
 		if decided[bi] == -1 {
@@ -558,9 +578,14 @@ func (p *program) emit(decided []int8, accs [][]agg.Accumulator) *relation.Relat
 		for _, a := range accs[bi] {
 			row = append(row, a.Result())
 		}
+		if p.gov != nil {
+			if err := p.gov.AccountAppend(1, row.ApproxBytes()); err != nil {
+				return nil, err
+			}
+		}
 		out.Append(row)
 	}
-	return out
+	return out, nil
 }
 
 func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
@@ -569,6 +594,9 @@ func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
 		return nil, err
 	}
 	for di := range p.detail.Rows {
+		if err := p.gov.Tick(); err != nil {
+			return nil, err
+		}
 		if err := s.feed(di); err != nil {
 			return nil, err
 		}
@@ -576,7 +604,7 @@ func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
 	if stats != nil {
 		addStats(stats, &s.stats)
 	}
-	return p.emit(s.decided, s.accs), nil
+	return p.emit(s.decided, s.accs)
 }
 
 // runParallel shards the detail scan. Each worker evaluates its chunk
@@ -584,37 +612,74 @@ func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
 // merged, and completion decisions are re-derived from the merged
 // match flags (sound because match counts only grow — a condition
 // matched in any worker is matched globally).
+//
+// Failure semantics: the first worker to fail (operator error, budget
+// violation, cancellation, or recovered panic) records its error and
+// trips a shared stop flag; every other worker observes the flag on
+// its next detail row and returns without finishing its partition.
+// The pool therefore drains within one row of the first failure
+// instead of running every partition to completion, and Evaluate
+// returns the first error in detail-scan order of occurrence. Worker
+// panics are recovered on the worker goroutine itself — the engine's
+// panic boundary lives on the query goroutine and cannot shield
+// workers — and surface as *govern.InternalError.
 func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, error) {
 	if workers > runtime.GOMAXPROCS(0)*4 {
 		workers = runtime.GOMAXPROCS(0) * 4
 	}
+	// Allocate every worker state before launching any goroutine, so an
+	// allocation error cannot strand already-started workers.
 	states := make([]*state, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	n := len(p.detail.Rows)
-	for w := 0; w < workers; w++ {
+	for w := range states {
 		st, err := p.newState()
 		if err != nil {
 			return nil, err
 		}
 		states[w] = st
+	}
+	var (
+		stop     atomic.Bool
+		failOnce sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	var wg sync.WaitGroup
+	n := len(p.detail.Rows)
+	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
-		go func(st *state, lo, hi int, slot *error) {
+		go func(st *state, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(&govern.InternalError{Panic: r, Node: "*algebra.GMDJ", Stack: debug.Stack()})
+				}
+			}()
+			if err := p.faults.Fire("gmdj.worker", p.gov); err != nil {
+				fail(err)
+				return
+			}
 			for di := lo; di < hi; di++ {
+				if stop.Load() {
+					return
+				}
+				if err := p.gov.Tick(); err != nil {
+					fail(err)
+					return
+				}
 				if err := st.feed(di); err != nil {
-					*slot = err
+					fail(err)
 					return
 				}
 			}
-		}(st, lo, hi, &errs[w])
+		}(states[w], lo, hi)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	// Merge worker partials into states[0].
 	root := states[0]
@@ -648,7 +713,7 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 	if stats != nil {
 		addStats(stats, &root.stats)
 	}
-	return p.emit(decided, root.accs), nil
+	return p.emit(decided, root.accs)
 }
 
 // evaluatePartitioned processes the base relation in bounded chunks,

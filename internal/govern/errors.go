@@ -1,0 +1,90 @@
+// Package govern is the query-governance layer: it bounds and aborts
+// individual query evaluations so that one runaway query (an unindexed
+// native plan over a large detail table, a deep nested-GMDJ chain)
+// cannot monopolize or crash the process. It provides
+//
+//   - a typed error taxonomy distinguishing caller cancellation,
+//     timeout, row-budget and memory-budget violations, and internal
+//     (panic-recovered) failures;
+//   - a Governor: per-query budget accounting (wall clock via
+//     context deadline, materialized rows, approximate bytes) with
+//     cooperative cancellation checks cheap enough for operator inner
+//     loops; and
+//   - a fault Injector: deterministic panics, errors, and delays at
+//     named operator sites, keyed off the GMDJ_FAULTS environment
+//     variable or installed directly by tests, so every governed
+//     failure path is testable without timing games.
+//
+// Multi-query workloads (Roy et al.'s multi-query optimization, the
+// Analyze-operator paper) assume evaluations can be bounded and
+// aborted; this package is that substrate.
+package govern
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors classifying why a query was aborted. Callers match
+// them with errors.Is; the concrete errors returned by the engine wrap
+// these and add detail (observed counts, the failing plan node).
+var (
+	// ErrCanceled reports that the caller canceled the query's context.
+	ErrCanceled = errors.New("query canceled")
+	// ErrTimeout reports that the query exceeded its wall-clock budget.
+	ErrTimeout = errors.New("query timeout exceeded")
+	// ErrRowBudget reports that the query materialized more rows than
+	// its budget allows.
+	ErrRowBudget = errors.New("query row budget exceeded")
+	// ErrMemBudget reports that the query's materialized intermediate
+	// results exceeded its approximate memory budget.
+	ErrMemBudget = errors.New("query memory budget exceeded")
+	// ErrInternal reports an operator panic converted to an error at
+	// the engine boundary. The process survives; the query does not.
+	ErrInternal = errors.New("internal query error")
+)
+
+// BudgetError is a budget violation: which budget, the configured
+// limit, and the observed value at the moment of the violation. It
+// wraps one of ErrRowBudget or ErrMemBudget (timeouts surface through
+// the context as ErrTimeout).
+type BudgetError struct {
+	// Kind is ErrRowBudget or ErrMemBudget.
+	Kind error
+	// Limit is the configured budget.
+	Limit int64
+	// Observed is the accounted value that tripped the budget.
+	Observed int64
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("%v: observed %d, limit %d", e.Kind, e.Observed, e.Limit)
+}
+
+// Unwrap lets errors.Is match the sentinel kind.
+func (e *BudgetError) Unwrap() error { return e.Kind }
+
+// InternalError is a recovered operator panic. It wraps ErrInternal
+// and records the panic value, the plan node being evaluated when the
+// panic fired (best effort: the most recently entered operator), and
+// the goroutine stack at recovery time.
+type InternalError struct {
+	// Panic is the recovered panic value.
+	Panic any
+	// Node describes the plan node under evaluation, e.g. "*algebra.GMDJ".
+	Node string
+	// Stack is the stack trace captured at the recovery point.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *InternalError) Error() string {
+	if e.Node != "" {
+		return fmt.Sprintf("%v: panic in %s: %v", ErrInternal, e.Node, e.Panic)
+	}
+	return fmt.Sprintf("%v: panic: %v", ErrInternal, e.Panic)
+}
+
+// Unwrap lets errors.Is match ErrInternal.
+func (e *InternalError) Unwrap() error { return ErrInternal }

@@ -1,0 +1,140 @@
+package govern
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// EnvFaults is the environment variable read by FromEnv: a fault spec
+// of the form "site=action[,site=action...]" where action is "panic",
+// "error", or "delay:<duration>" (Go duration syntax). Example:
+//
+//	GMDJ_FAULTS="gmdj.worker=panic,exec.project=delay:50ms"
+//
+// Known sites are named at the point of injection; the current set is
+// exec.scan, exec.restrict, exec.project, exec.distinct, exec.join,
+// exec.groupby, exec.sort, exec.setop, exec.subquery, exec.number,
+// gmdj.compile, gmdj.worker, and gmdj.emit.
+const EnvFaults = "GMDJ_FAULTS"
+
+// ErrInjected is the error returned by an "error" fault; injected
+// failures are distinguishable from organic ones in test assertions.
+var ErrInjected = errors.New("injected fault")
+
+// faultKind enumerates injectable behaviors.
+type faultKind uint8
+
+const (
+	faultError faultKind = iota
+	faultPanic
+	faultDelay
+)
+
+type fault struct {
+	kind  faultKind
+	delay time.Duration
+}
+
+// Injector triggers deterministic faults at named operator sites. A
+// nil Injector is inert; Fire on it costs one nil check, so production
+// paths carry no overhead when no faults are configured. Injectors are
+// immutable after construction and safe for concurrent Fire calls.
+type Injector struct {
+	faults map[string]fault
+}
+
+// ParseFaults builds an Injector from a spec (see EnvFaults). An empty
+// spec yields a nil Injector.
+func ParseFaults(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{faults: map[string]fault{}}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, action, ok := strings.Cut(part, "=")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("govern: fault spec %q is not site=action", part)
+		}
+		switch {
+		case action == "panic":
+			in.faults[site] = fault{kind: faultPanic}
+		case action == "error":
+			in.faults[site] = fault{kind: faultError}
+		case strings.HasPrefix(action, "delay:"):
+			d, err := time.ParseDuration(strings.TrimPrefix(action, "delay:"))
+			if err != nil {
+				return nil, fmt.Errorf("govern: fault spec %q: %w", part, err)
+			}
+			in.faults[site] = fault{kind: faultDelay, delay: d}
+		default:
+			return nil, fmt.Errorf("govern: fault spec %q: unknown action %q", part, action)
+		}
+	}
+	if len(in.faults) == 0 {
+		return nil, nil
+	}
+	return in, nil
+}
+
+// NewInjector builds an Injector programmatically (tests): each site
+// maps to "panic", "error", or "delay:<duration>". It panics on a
+// malformed action — injector construction is setup code.
+func NewInjector(sites map[string]string) *Injector {
+	parts := make([]string, 0, len(sites))
+	for site, action := range sites {
+		parts = append(parts, site+"="+action)
+	}
+	in, err := ParseFaults(strings.Join(parts, ","))
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// FromEnv builds an Injector from the GMDJ_FAULTS environment
+// variable. A malformed spec is reported on stderr and ignored rather
+// than failing engine construction.
+func FromEnv() *Injector {
+	in, err := ParseFaults(os.Getenv(EnvFaults))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "govern: ignoring %s: %v\n", EnvFaults, err)
+		return nil
+	}
+	return in
+}
+
+// Fire triggers the fault configured at site, if any: it returns an
+// error wrapping ErrInjected, panics, or sleeps for the configured
+// delay (respecting ctx so delayed sites still cancel promptly).
+func (in *Injector) Fire(site string, g *Governor) error {
+	if in == nil {
+		return nil
+	}
+	f, ok := in.faults[site]
+	if !ok {
+		return nil
+	}
+	switch f.kind {
+	case faultPanic:
+		panic(fmt.Sprintf("govern: injected panic at %s", site))
+	case faultDelay:
+		t := time.NewTimer(f.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-g.Context().Done():
+			return g.Check()
+		}
+	default:
+		return fmt.Errorf("%w at %s", ErrInjected, site)
+	}
+}

@@ -1,0 +1,169 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilGovernorIsInert(t *testing.T) {
+	var g *Governor
+	if err := g.Check(); err != nil {
+		t.Fatalf("nil Check: %v", err)
+	}
+	if err := g.Tick(); err != nil {
+		t.Fatalf("nil Tick: %v", err)
+	}
+	if err := g.AccountAppend(1, 100); err != nil {
+		t.Fatalf("nil AccountAppend: %v", err)
+	}
+	if g.Rows() != 0 || g.Bytes() != 0 {
+		t.Fatalf("nil counters: rows=%d bytes=%d", g.Rows(), g.Bytes())
+	}
+	if g.Context() == nil {
+		t.Fatal("nil Context() returned nil")
+	}
+}
+
+func TestRowBudget(t *testing.T) {
+	g := New(context.Background(), Budget{MaxRows: 10})
+	var err error
+	for i := 0; i < 11 && err == nil; i++ {
+		err = g.AccountAppend(1, 8)
+	}
+	if !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("want ErrRowBudget, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %T", err)
+	}
+	if be.Limit != 10 || be.Observed != 11 {
+		t.Fatalf("limit/observed = %d/%d", be.Limit, be.Observed)
+	}
+}
+
+func TestMemBudget(t *testing.T) {
+	g := New(context.Background(), Budget{MaxMemBytes: 100})
+	if err := g.AccountAppend(1, 64); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	err := g.AccountAppend(1, 64)
+	if !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("want ErrMemBudget, got %v", err)
+	}
+}
+
+func TestTickSeesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Budget{})
+	cancel()
+	var err error
+	// Tick only consults the context every 256 calls; 512 guarantees at
+	// least one full check regardless of counter phase.
+	for i := 0; i < 512 && err == nil; i++ {
+		err = g.Tick()
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestCheckMapsDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	g := New(ctx, Budget{})
+	if err := g.Check(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestMapContextErr(t *testing.T) {
+	if err := MapContextErr(nil); err != nil {
+		t.Fatalf("nil: %v", err)
+	}
+	if err := MapContextErr(context.Canceled); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled: %v", err)
+	}
+	if err := MapContextErr(context.DeadlineExceeded); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("deadline: %v", err)
+	}
+	organic := errors.New("boom")
+	if err := MapContextErr(organic); err != organic {
+		t.Fatalf("organic: %v", err)
+	}
+}
+
+func TestInternalErrorWrapsSentinel(t *testing.T) {
+	var err error = &InternalError{Panic: "boom", Node: "*algebra.GMDJ"}
+	if !errors.Is(err, ErrInternal) {
+		t.Fatal("InternalError does not wrap ErrInternal")
+	}
+	if got := err.Error(); got == "" {
+		t.Fatal("empty Error()")
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	in, err := ParseFaults("a=panic, b=error ,c=delay:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Fire("b", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error site: %v", err)
+	}
+	if err := in.Fire("unknown", nil); err != nil {
+		t.Fatalf("unknown site: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic site did not panic")
+			}
+		}()
+		_ = in.Fire("a", nil)
+	}()
+	start := time.Now()
+	if err := in.Fire("c", nil); err != nil {
+		t.Fatalf("delay site: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("delay site did not delay")
+	}
+}
+
+func TestParseFaultsRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{"nosign", "a=flood", "a=delay:xyz", "=panic"} {
+		if _, err := ParseFaults(spec); err == nil {
+			t.Fatalf("spec %q parsed", spec)
+		}
+	}
+}
+
+func TestParseFaultsEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ","} {
+		in, err := ParseFaults(spec)
+		if err != nil || in != nil {
+			t.Fatalf("spec %q: injector=%v err=%v", spec, in, err)
+		}
+	}
+}
+
+func TestDelayedFaultRespectsCancel(t *testing.T) {
+	in := NewInjector(map[string]string{"slow": "delay:10s"})
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Budget{})
+	done := make(chan error, 1)
+	go func() { done <- in.Fire("slow", g) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("want ErrCanceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed fault ignored cancellation")
+	}
+}

@@ -50,6 +50,25 @@ func (t Tuple) Hash() uint64 {
 	return h
 }
 
+// ApproxBytes estimates the in-memory footprint of the tuple: slice
+// header, per-value struct size, and string payloads. Query governance
+// charges this amount against the memory budget at relation-append
+// time; it is an estimate (map/index overhead is not modeled), which
+// is all a budget needs.
+func (t Tuple) ApproxBytes() int64 {
+	const (
+		sliceHeader = 24 // ptr + len + cap
+		valueSize   = 40 // value.Value: kind (padded) + int64 + float64 + string header
+	)
+	n := int64(sliceHeader) + int64(len(t))*valueSize
+	for _, v := range t {
+		if v.Kind() == value.KindString {
+			n += int64(len(v.AsString()))
+		}
+	}
+	return n
+}
+
 // Key renders the tuple as a canonical string, usable as a map key when
 // exact (collision-free) grouping is needed.
 func (t Tuple) Key() string {

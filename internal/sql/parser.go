@@ -36,8 +36,23 @@ type parser struct {
 	src  string
 }
 
-func (p *parser) peek() token   { return p.toks[p.pos] }
-func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+// peek and next clamp at the trailing EOF token: error paths may call
+// next() on EOF and then peek() again to report position, which must
+// not run off the end of the token stream.
+func (p *parser) peek() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 func (p *parser) save() int     { return p.pos }
 func (p *parser) restore(s int) { p.pos = s }
 
