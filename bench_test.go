@@ -11,7 +11,9 @@
 package gmdj
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	iagg "github.com/olaplab/gmdj/internal/agg"
@@ -33,6 +35,10 @@ import (
 const benchScale = 1.0 / 16.0
 
 func benchFigure(b *testing.B, id string) {
+	// GMDJ_OBS=1 runs the timed loop with per-operator stats collection
+	// on, so CI can compare observed vs plain runs (the disabled-hooks
+	// overhead guard in scripts/obs_overhead.sh).
+	observed := os.Getenv("GMDJ_OBS") == "1"
 	r := &benchlab.Runner{Scale: benchScale, Repeat: 1, Verify: false}
 	exp, err := r.Experiment(id)
 	if err != nil {
@@ -59,7 +65,11 @@ func benchFigure(b *testing.B, id string) {
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := eng.Run(physical, engine.Native); err != nil {
+					if observed {
+						if _, _, err := eng.RunObserved(context.Background(), physical, engine.Native); err != nil {
+							b.Fatal(err)
+						}
+					} else if _, err := eng.Run(physical, engine.Native); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -8,6 +8,9 @@
 //	benchfig -fig fig4       # one figure
 //	benchfig -scale 1.0      # the paper's full row counts
 //	benchfig -workers 8      # parallel GMDJ scans (extension)
+//	benchfig -json out.json  # machine-readable results with per-operator
+//	                         # statistics (implies -stats)
+//	benchfig -stats          # capture per-operator counters per cell
 //
 // Cells marked DNF* are skipped by construction: the strategy is known
 // to be combinatorially infeasible at that size (the paper reports the
@@ -15,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +32,12 @@ func main() {
 	repeat := flag.Int("repeat", 1, "measurements per cell (minimum is reported)")
 	workers := flag.Int("workers", 0, "GMDJ scan parallelism (0 = serial)")
 	verify := flag.Bool("verify", true, "cross-check that all strategies agree per size")
+	stats := flag.Bool("stats", false, "capture per-operator statistics per cell (one extra untimed run)")
+	jsonOut := flag.String("json", "", "write machine-readable results (with statistics) to this file; - for stdout")
 	flag.Parse()
 
-	r := &benchlab.Runner{Scale: *scale, Repeat: *repeat, Workers: *workers, Verify: *verify}
+	r := &benchlab.Runner{Scale: *scale, Repeat: *repeat, Workers: *workers, Verify: *verify,
+		CollectStats: *stats || *jsonOut != ""}
 
 	exps := r.Experiments()
 	if *fig != "all" {
@@ -43,6 +50,7 @@ func main() {
 	}
 
 	fmt.Printf("benchfig: scale=%.4g repeat=%d workers=%d\n\n", *scale, *repeat, *workers)
+	var all []benchlab.Result
 	for _, exp := range exps {
 		fmt.Printf("== %s — %s ==\n", exp.ID, exp.Title)
 		results, err := r.RunExperiment(exp)
@@ -50,7 +58,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchfig:", err)
 			os.Exit(1)
 		}
+		all = append(all, results...)
 		fmt.Print(benchlab.FormatTable(results))
+		if r.CollectStats {
+			fmt.Print(benchlab.FormatCounters(results))
+		}
 		fmt.Println()
+	}
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchfig:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -4,13 +4,23 @@
 //
 //	olapql [-data netflow|tpcr|none] [-scale f] [-strategy s] [-workers n]
 //	       [-timeout d] [-max-rows n] [-max-mem bytes]
+//	       [-explain] [-trace out.json] [-metrics-addr :8080]
+//
+// Observability: -explain (with -e) prints the EXPLAIN ANALYZE plan —
+// per-operator wall time, rows, bytes, and counters — alongside the
+// result; -trace records spans for every query and writes Chrome
+// trace_event JSON on exit (load in https://ui.perfetto.dev);
+// -metrics-addr serves the engine's expvar counters over HTTP at
+// /debug/vars.
 //
 // Meta commands inside the shell:
 //
-//	\tables             list tables
-//	\strategy <name>    switch evaluation strategy (native, unnest, gmdj, gmdj-opt)
-//	\explain <query>    show the physical plan for the current strategy
-//	\quit               exit
+//	\tables              list tables
+//	\strategy <name>     switch evaluation strategy (native, unnest, gmdj, gmdj-opt)
+//	\explain <query>     show the physical plan for the current strategy
+//	\explain analyze <q> run the query, show the plan annotated with runtime stats
+//	\stats               show process-wide engine counters
+//	\quit                exit
 //
 // Any other input line is executed as SQL.
 //
@@ -33,8 +43,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 
 	gmdj "github.com/olaplab/gmdj"
@@ -78,6 +90,9 @@ func main() {
 	maxRows := flag.Int64("max-rows", 0, "per-query cap on materialized rows (0 = none)")
 	maxMem := flag.Int64("max-mem", 0, "per-query cap on approximate materialized bytes (0 = none)")
 	execQuery := flag.String("e", "", "execute one query and exit")
+	explain := flag.Bool("explain", false, "with -e: print the EXPLAIN ANALYZE plan alongside the result")
+	traceOut := flag.String("trace", "", "record query spans and write Chrome trace_event JSON to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve engine metrics over HTTP at this address (expvar, /debug/vars)")
 	flag.Parse()
 
 	var db *gmdj.DB
@@ -101,28 +116,71 @@ func main() {
 		os.Exit(exitUsage)
 	}
 
+	if *traceOut != "" {
+		db.EnableTracing(0)
+	}
+	// writeTrace flushes the recorded spans before any exit path
+	// (os.Exit skips defers).
+	writeTrace := func() {
+		if *traceOut == "" {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapql:", err)
+			return
+		}
+		defer f.Close()
+		if err := db.WriteTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "olapql:", err)
+		}
+	}
+	if *metricsAddr != "" {
+		// The expvar handler registers itself on the default mux; the
+		// engine's "gmdj" map appears at /debug/vars.
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "olapql: metrics server:", err)
+			}
+		}()
+	}
+
 	if *execQuery != "" {
 		// Interrupt cancels the running query (exit 4) rather than
 		// killing the process mid-evaluation.
 		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stopSignals()
-		res, err := db.ExecStrategyContext(ctx, *execQuery, strat)
+		var res *gmdj.Result
+		var err error
+		if *explain {
+			var plan string
+			res, plan, err = db.QueryAnalyzeContext(ctx, *execQuery, strat)
+			if err == nil {
+				fmt.Print(plan)
+				fmt.Println()
+			}
+		} else {
+			res, err = db.ExecStrategyContext(ctx, *execQuery, strat)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "olapql:", err)
+			writeTrace()
 			os.Exit(exitCode(err))
 		}
 		if res != nil {
 			printResult(res)
 		}
+		writeTrace()
 		return
 	}
 
 	fmt.Printf("olapql — GMDJ subquery engine (strategy: %v)\n", strat)
 	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
-	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain <q>, \quit`)
+	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \stats, \quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	defer writeTrace()
 	for {
 		fmt.Print("olap> ")
 		if !sc.Scan() {
@@ -138,6 +196,8 @@ func main() {
 			for _, t := range db.Tables() {
 				fmt.Println(" ", t)
 			}
+		case line == `\stats`:
+			printMetrics(db.Metrics())
 		case strings.HasPrefix(line, `\strategy`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\strategy`))
 			if s, ok := parseStrategy(arg); ok {
@@ -146,6 +206,14 @@ func main() {
 			} else {
 				fmt.Printf("unknown strategy %q (native, unnest, gmdj, gmdj-opt)\n", arg)
 			}
+		case strings.HasPrefix(line, `\explain analyze`):
+			q := strings.TrimSpace(strings.TrimPrefix(line, `\explain analyze`))
+			out, err := db.ExplainAnalyze(q, strat)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(out)
 		case strings.HasPrefix(line, `\explain`):
 			q := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
 			plan, err := db.Explain(q, strat)
@@ -166,6 +234,17 @@ func main() {
 			}
 			printResult(res)
 		}
+	}
+}
+
+func printMetrics(snap map[string]int64) {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-24s %d\n", k, snap[k])
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"github.com/olaplab/gmdj/internal/engine"
 	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/sql"
 	"github.com/olaplab/gmdj/internal/storage"
@@ -342,6 +343,75 @@ func (db *DB) Explain(query string, s Strategy) (string, error) {
 	}
 	return db.eng.Explain(plan, s)
 }
+
+// ExplainAnalyze parses, runs, and renders the query's plan annotated
+// with measured per-operator statistics: wall time, output rows,
+// approximate bytes, and operator-specific counters (hash-index
+// probes, fallback θ-scans, tuples retired by completion, per-worker
+// partition rows). The query's rows are discarded; use QueryAnalyze to
+// get both the result and the annotated plan from a single execution.
+func (db *DB) ExplainAnalyze(query string, s Strategy) (string, error) {
+	return db.ExplainAnalyzeContext(context.Background(), query, s)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze honoring the caller's
+// context.
+func (db *DB) ExplainAnalyzeContext(ctx context.Context, query string, s Strategy) (string, error) {
+	plan, err := sql.ParseAndResolve(query, db.eng)
+	if err != nil {
+		return "", err
+	}
+	return db.eng.ExplainAnalyze(ctx, plan, s)
+}
+
+// QueryAnalyze runs a query once and returns both its result and the
+// EXPLAIN ANALYZE rendering of that same execution.
+func (db *DB) QueryAnalyze(query string, s Strategy) (*Result, string, error) {
+	return db.QueryAnalyzeContext(context.Background(), query, s)
+}
+
+// QueryAnalyzeContext is QueryAnalyze honoring the caller's context.
+func (db *DB) QueryAnalyzeContext(ctx context.Context, query string, s Strategy) (*Result, string, error) {
+	plan, err := sql.ParseAndResolve(query, db.eng)
+	if err != nil {
+		return nil, "", err
+	}
+	rel, root, err := db.eng.RunObserved(ctx, plan, s)
+	if err != nil {
+		return nil, "", err
+	}
+	return toResult(rel), engine.FormatAnalyzed(s, root), nil
+}
+
+// EnableTracing attaches a ring-buffer span recorder to the engine:
+// every subsequent query records operator open/close spans, GMDJ
+// worker partitions, governance trips, and fault-injection fires.
+// capacity bounds the number of retained events (oldest events are
+// overwritten); capacity <= 0 selects a default of 65536. Not safe to
+// call concurrently with running queries.
+func (db *DB) EnableTracing(capacity int) {
+	if capacity <= 0 {
+		capacity = obs.DefaultTraceCapacity
+	}
+	db.eng.SetTracer(obs.NewTracer(capacity))
+}
+
+// WriteTrace dumps the recorded trace as Chrome trace_event JSON,
+// loadable by Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// Tracing must have been enabled with EnableTracing.
+func (db *DB) WriteTrace(w io.Writer) error {
+	t := db.eng.Tracer()
+	if t == nil {
+		return fmt.Errorf("gmdj: tracing not enabled (call EnableTracing first)")
+	}
+	return t.WriteJSON(w)
+}
+
+// Metrics returns a snapshot of the process-wide engine counters
+// (queries per strategy, rows scanned, governance trips, GMDJ work).
+// The same counters are published under the "gmdj" expvar map for any
+// embedder that mounts net/http's /debug/vars.
+func (db *DB) Metrics() map[string]int64 { return obs.MetricsSnapshot() }
 
 func toResult(rel *relation.Relation) *Result {
 	res := &Result{Columns: make([]string, rel.Schema.Len())}

@@ -1,0 +1,77 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a one-line operator label (and optional extra
+// annotation lines) for a plan node. It is the single source of
+// operator naming shared by the engine's EXPLAIN tree and the
+// executor's runtime stats tree, so EXPLAIN and EXPLAIN ANALYZE agree
+// on what each operator is called.
+func Describe(n Node) (label string, extras []string) {
+	switch node := n.(type) {
+	case *Scan:
+		return "Scan " + node.String(), nil
+	case *Raw:
+		return fmt.Sprintf("Raw %s (%d rows)", node.Name, node.Rel.Len()), nil
+	case *Alias:
+		return "Alias -> " + node.Name, nil
+	case *Number:
+		return "Number -> " + node.As, nil
+	case *Restrict:
+		return fmt.Sprintf("Select [%s]", node.Where), nil
+	case *Project:
+		d := ""
+		if node.Distinct {
+			d = " distinct"
+		}
+		items := make([]string, len(node.Items))
+		for i, it := range node.Items {
+			items[i] = it.String()
+		}
+		return fmt.Sprintf("Project%s [%s]", d, strings.Join(items, ", ")), nil
+	case *Distinct:
+		return "Distinct", nil
+	case *Join:
+		return fmt.Sprintf("Join %s [%s]", node.Kind, node.On), nil
+	case *GroupBy:
+		keys := make([]string, len(node.Keys))
+		for i, k := range node.Keys {
+			keys[i] = k.String()
+		}
+		aggs := make([]string, len(node.Aggs))
+		for i, a := range node.Aggs {
+			aggs[i] = a.String()
+		}
+		return fmt.Sprintf("GroupBy [%s] aggs [%s]", strings.Join(keys, ", "), strings.Join(aggs, ", ")), nil
+	case *Sort:
+		keys := make([]string, len(node.Keys))
+		for i, k := range node.Keys {
+			keys[i] = k.String()
+		}
+		label := fmt.Sprintf("Sort [%s]", strings.Join(keys, ", "))
+		if node.Limit >= 0 {
+			label += fmt.Sprintf(" limit %d", node.Limit)
+		}
+		return label, nil
+	case *SetOp:
+		return fmt.Sprintf("SetOp %s", node.Kind), nil
+	case *GMDJ:
+		comp := ""
+		if node.Completion != nil {
+			comp = " +completion"
+			if node.Completion.FreezeTrue {
+				comp += "+freeze"
+			}
+		}
+		extras = make([]string, len(node.Conds))
+		for i, c := range node.Conds {
+			extras[i] = "cond: " + c.String()
+		}
+		return fmt.Sprintf("GMDJ%s (%d conditions)", comp, len(node.Conds)), extras
+	default:
+		return n.String(), nil
+	}
+}

@@ -12,6 +12,7 @@
 package benchlab
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/engine"
 	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/storage"
 )
 
@@ -63,15 +65,23 @@ type Experiment struct {
 
 // Result is one measured cell.
 type Result struct {
-	Figure   string
-	Variant  string
-	Label    string
-	Outer    int
-	Inner    int
-	Elapsed  time.Duration
-	Rows     int
-	Skipped  bool
-	SkipNote string
+	Figure   string        `json:"figure"`
+	Variant  string        `json:"variant"`
+	Label    string        `json:"label"`
+	Outer    int           `json:"outer"`
+	Inner    int           `json:"inner"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Rows     int           `json:"rows"`
+	Skipped  bool          `json:"skipped,omitempty"`
+	SkipNote string        `json:"skip_note,omitempty"`
+	// Counters are the subtree-aggregated operator counters from one
+	// untimed observed run (Runner.CollectStats): detail rows scanned,
+	// θ-probes, tuples retired by completion, short-circuited rows —
+	// the quantities that explain *why* a strategy won its cell.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Stats is the full per-operator statistics tree from the same
+	// observed run.
+	Stats *obs.Op `json:"stats,omitempty"`
 }
 
 // Runner executes experiments.
@@ -91,6 +101,10 @@ type Runner struct {
 	// paper uses for its 7-hour join-unnesting cutoff — instead of
 	// failing the whole sweep.
 	Budget engine.Budget
+	// CollectStats adds one untimed observed run per cell and records
+	// its per-operator statistics into Result.Stats/Counters. The timed
+	// measurements are unaffected.
+	CollectStats bool
 }
 
 // DefaultRunner uses a laptop-friendly 1/16 scale.
@@ -176,6 +190,14 @@ func (r *Runner) RunCell(exp *Experiment, s Size, v Variant) (Result, error) {
 		res.Rows = out.Len()
 	}
 	res.Elapsed = best
+	if r.CollectStats {
+		_, root, err := eng.RunObserved(context.Background(), physical, engine.Native)
+		if err != nil {
+			return res, fmt.Errorf("%s/%s: observed run: %w", exp.ID, v.Name, err)
+		}
+		res.Stats = root
+		res.Counters = root.Totals()
+	}
 	return res, nil
 }
 
@@ -201,6 +223,29 @@ func (r *Runner) RunExperiment(exp *Experiment) ([]Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// FormatCounters renders the captured per-cell operator counters
+// (Runner.CollectStats) as one line per measured cell — the textual
+// companion to the richer per-operator trees in the JSON output.
+func FormatCounters(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		if r.Skipped || len(r.Counters) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(r.Counters))
+		for k := range r.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "  %s/%s %s:", r.Figure, r.Variant, r.Label)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, r.Counters[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // FormatTable renders results for one figure as an aligned table:

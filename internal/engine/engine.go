@@ -12,6 +12,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"github.com/olaplab/gmdj/internal/exec"
 	"github.com/olaplab/gmdj/internal/gmdj"
 	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/rewrite"
 	"github.com/olaplab/gmdj/internal/storage"
@@ -73,6 +75,9 @@ type Engine struct {
 	exec *exec.Executor
 	// budget bounds every query run through this engine; see SetBudget.
 	budget Budget
+	// tracer, when non-nil, receives span and instant events for every
+	// query run through this engine; see SetTracer.
+	tracer *obs.Tracer
 }
 
 // Budget bounds one query evaluation: wall clock, materialized rows,
@@ -199,20 +204,26 @@ func (e *Engine) RunContext(ctx context.Context, plan algebra.Node, s Strategy) 
 	if err != nil {
 		return nil, err
 	}
-	// Fast path: no budget and a context that can never be canceled
-	// (Background/TODO) need no governor, so benchmark hot loops skip
-	// even the per-row atomic tick.
-	if e.budget == (Budget{}) && ctx.Done() == nil {
-		return e.exec.RunGoverned(p, nil)
+	// When a tracer is attached, every query is observed so its spans
+	// land in the ring buffer; otherwise the collector is nil and each
+	// hook is one nil check.
+	var col *obs.Collector
+	if e.tracer != nil {
+		col = obs.NewCollector(e.tracer)
 	}
-	if e.budget.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, e.budget.Timeout)
-		defer cancel()
-	}
-	gov := govern.New(ctx, govern.Budget{MaxRows: e.budget.MaxRows, MaxMemBytes: e.budget.MaxMemBytes})
-	return e.exec.RunGoverned(p, gov)
+	rel, err := e.execute(ctx, p, col)
+	e.finishQuery(s, err)
+	return rel, err
 }
+
+// SetTracer attaches a span recorder: every subsequent query's
+// operator spans, governance trips, and fault fires are recorded into
+// t's ring buffer (see obs.Tracer.WriteJSON for export). nil disables
+// tracing. Not safe to call concurrently with running queries.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Explain renders the physical plan chosen for a strategy as an
 // indented operator tree.
@@ -227,57 +238,106 @@ func (e *Engine) Explain(plan algebra.Node, s Strategy) (string, error) {
 	return b.String(), nil
 }
 
+// explainNode prints the static operator tree using the same labels
+// the runtime stats tree carries (algebra.Describe), so EXPLAIN and
+// EXPLAIN ANALYZE line up operator by operator.
 func explainNode(b *strings.Builder, n algebra.Node, depth int) {
 	indent := strings.Repeat("  ", depth)
-	switch node := n.(type) {
-	case *algebra.Scan:
-		fmt.Fprintf(b, "%sScan %s\n", indent, node)
-	case *algebra.Raw:
-		fmt.Fprintf(b, "%sRaw %s (%d rows)\n", indent, node.Name, node.Rel.Len())
-	case *algebra.Alias:
-		fmt.Fprintf(b, "%sAlias -> %s\n", indent, node.Name)
-		explainNode(b, node.Input, depth+1)
-	case *algebra.Number:
-		fmt.Fprintf(b, "%sNumber -> %s\n", indent, node.As)
-		explainNode(b, node.Input, depth+1)
-	case *algebra.Restrict:
-		fmt.Fprintf(b, "%sSelect [%s]\n", indent, node.Where)
-		explainNode(b, node.Input, depth+1)
-	case *algebra.Project:
-		d := ""
-		if node.Distinct {
-			d = " distinct"
-		}
-		items := make([]string, len(node.Items))
-		for i, it := range node.Items {
-			items[i] = it.String()
-		}
-		fmt.Fprintf(b, "%sProject%s [%s]\n", indent, d, strings.Join(items, ", "))
-		explainNode(b, node.Input, depth+1)
-	case *algebra.Distinct:
-		fmt.Fprintf(b, "%sDistinct\n", indent)
-		explainNode(b, node.Input, depth+1)
-	case *algebra.Join:
-		fmt.Fprintf(b, "%sJoin %s [%s]\n", indent, node.Kind, node.On)
-		explainNode(b, node.Left, depth+1)
-		explainNode(b, node.Right, depth+1)
-	case *algebra.GroupBy:
-		fmt.Fprintf(b, "%sGroupBy %s\n", indent, node)
-	case *algebra.GMDJ:
-		comp := ""
-		if node.Completion != nil {
-			comp = " +completion"
-			if node.Completion.FreezeTrue {
-				comp += "+freeze"
-			}
-		}
-		fmt.Fprintf(b, "%sGMDJ%s (%d conditions)\n", indent, comp, len(node.Conds))
-		for _, c := range node.Conds {
-			fmt.Fprintf(b, "%s  cond: %s\n", indent, c)
-		}
-		explainNode(b, node.Base, depth+1)
-		explainNode(b, node.Detail, depth+1)
+	label, extras := algebra.Describe(n)
+	fmt.Fprintf(b, "%s%s\n", indent, label)
+	for _, x := range extras {
+		fmt.Fprintf(b, "%s  %s\n", indent, x)
+	}
+	for _, ch := range n.Children() {
+		explainNode(b, ch, depth+1)
+	}
+}
+
+// ExplainAnalyze plans, executes, and renders the plan annotated with
+// per-operator runtime statistics: actual wall time, output rows,
+// approximate bytes, and operator-specific counters (hash-index
+// probes, fallback θ-scans, tuples retired by completion, per-worker
+// partition row counts). The query's result is discarded; use
+// RunObserved to get both.
+func (e *Engine) ExplainAnalyze(ctx context.Context, plan algebra.Node, s Strategy) (string, error) {
+	_, root, err := e.RunObserved(ctx, plan, s)
+	if err != nil {
+		return "", err
+	}
+	return FormatAnalyzed(s, root), nil
+}
+
+// FormatAnalyzed renders a stats tree from RunObserved in EXPLAIN
+// ANALYZE form.
+func FormatAnalyzed(s Strategy, root *obs.Op) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s (analyzed)\n", s)
+	b.WriteString(obs.FormatTree(root))
+	return b.String()
+}
+
+// RunObserved is RunContext with per-operator statistics collection:
+// it returns the result relation together with the root of the stats
+// tree mirroring the executed plan. Span events go to the engine
+// tracer when one is set (SetTracer).
+func (e *Engine) RunObserved(ctx context.Context, plan algebra.Node, s Strategy) (*relation.Relation, *obs.Op, error) {
+	p, err := e.Plan(plan, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	col := obs.NewCollector(e.tracer)
+	rel, err := e.execute(ctx, p, col)
+	e.finishQuery(s, err)
+	if err != nil {
+		return nil, col.Root(), err
+	}
+	return rel, col.Root(), nil
+}
+
+// execute runs an already-rewritten physical plan under the engine
+// budget, the caller's context, and an optional collector.
+func (e *Engine) execute(ctx context.Context, p algebra.Node, col *obs.Collector) (*relation.Relation, error) {
+	// Fast path: no budget and a context that can never be canceled
+	// (Background/TODO) need no governor, so benchmark hot loops skip
+	// even the per-row atomic tick.
+	if e.budget == (Budget{}) && ctx.Done() == nil {
+		return e.exec.RunObserved(p, nil, col)
+	}
+	if e.budget.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.budget.Timeout)
+		defer cancel()
+	}
+	gov := govern.New(ctx, govern.Budget{MaxRows: e.budget.MaxRows, MaxMemBytes: e.budget.MaxMemBytes})
+	return e.exec.RunObserved(p, gov, col)
+}
+
+// finishQuery flushes the per-query process metrics and records
+// governance trips into the trace.
+func (e *Engine) finishQuery(s Strategy, err error) {
+	obs.MetricAdd("queries."+s.String(), 1)
+	if err != nil {
+		kind := errKind(err)
+		obs.MetricAdd("errors."+kind, 1)
+		e.tracer.Instant("govern", kind, err.Error())
+	}
+}
+
+// errKind maps a query error onto the governance taxonomy used by the
+// errors.<kind> process metrics.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, govern.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, govern.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, govern.ErrRowBudget):
+		return "row_budget"
+	case errors.Is(err, govern.ErrMemBudget):
+		return "mem_budget"
+	case errors.Is(err, govern.ErrInternal):
+		return "internal"
 	default:
-		fmt.Fprintf(b, "%s%s\n", indent, n)
+		return "other"
 	}
 }

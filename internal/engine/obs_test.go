@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/obs"
+)
+
+// TestRunObservedReconciliation cross-checks the stats tree against
+// the returned relation for every strategy: the root operator's
+// reported cardinality must equal the result's, and the GMDJ
+// operator's detail accounting must cover the whole detail relation
+// (rows fed + rows short-circuited = detail size, serial execution).
+func TestRunObservedReconciliation(t *testing.T) {
+	e := testEngine() // 300-flow netflow catalog
+	plan := existsPlan()
+	const detailSize = 300
+
+	for _, s := range Strategies() {
+		rel, root, err := e.RunObserved(context.Background(), plan, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if root == nil {
+			t.Fatalf("%v: no stats tree", s)
+		}
+		if root.Rows != int64(rel.Len()) {
+			t.Errorf("%v: root rows = %d, result rows = %d", s, root.Rows, rel.Len())
+		}
+		if s == GMDJ || s == GMDJOpt {
+			gm := root.Find("GMDJ")
+			if gm == nil {
+				t.Fatalf("%v: stats tree lacks a GMDJ operator:\n%s", s, obs.FormatTree(root))
+			}
+			fed, skipped := gm.Get("detail_rows"), gm.Get("short_circuit_rows")
+			if fed+skipped != detailSize {
+				t.Errorf("%v: detail_rows(%d) + short_circuit_rows(%d) != %d:\n%s",
+					s, fed, skipped, detailSize, obs.FormatTree(root))
+			}
+			if s == GMDJ && skipped != 0 {
+				t.Errorf("basic gmdj has no completion, short_circuit_rows = %d", skipped)
+			}
+			if s == GMDJOpt && gm.Get("completed") == 0 {
+				t.Errorf("gmdj-opt should retire tuples by completion:\n%s", obs.FormatTree(root))
+			}
+		}
+	}
+}
+
+// TestExplainAnalyzeAgreesWithExplain: both renderings must name the
+// same operators in the same tree positions (shared algebra.Describe),
+// so a plan read from EXPLAIN can be matched line-by-line against its
+// EXPLAIN ANALYZE run.
+func TestExplainAnalyzeAgreesWithExplain(t *testing.T) {
+	e := testEngine()
+	plan := existsPlan()
+	for _, s := range Strategies() {
+		plain, err := e.Explain(plan, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyzed, err := e.ExplainAnalyze(context.Background(), plan, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := strings.Split(strings.TrimRight(plain, "\n"), "\n")
+		al := strings.Split(strings.TrimRight(analyzed, "\n"), "\n")
+		if len(pl) != len(al) {
+			t.Fatalf("%v: line counts differ\nEXPLAIN:\n%s\nANALYZE:\n%s", s, plain, analyzed)
+		}
+		for i := 1; i < len(pl); i++ { // skip the strategy header
+			label := strings.TrimRight(pl[i], " ")
+			got := al[i]
+			// The analyzed line is the plain line plus a " (...)" suffix.
+			if got != label && !strings.HasPrefix(got, label+" (") {
+				t.Errorf("%v line %d: %q does not extend %q", s, i, got, label)
+			}
+		}
+	}
+}
+
+const goldenExplain = `strategy: gmdj-opt
+Project [H.HourDsc, H.StartInterval, H.EndInterval]
+  Select [cnt1 > 0]
+    GMDJ +completion+freeze (1 conditions)
+      cond: (count(*) -> cnt1 | θ: (F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP'))
+      Scan Hours->H
+      Scan Flow->F
+`
+
+const goldenAnalyze = `strategy: gmdj-opt (analyzed)
+Project [H.HourDsc, H.StartInterval, H.EndInterval] (time=X rows=4 bytes=576)
+  Select [cnt1 > 0] (time=X rows=4 bytes=736)
+    GMDJ +completion+freeze (1 conditions) (time=X rows=4 bytes=736 detail_rows=33 probes=12 matches=4 completed=4 short_circuit_rows=267 fallback_conds=1)
+      cond: (count(*) -> cnt1 | θ: (F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP'))
+      Scan Hours->H (time=X rows=4 bytes=576)
+      Scan Flow->F (time=X rows=300 bytes=75000)
+`
+
+const goldenAnalyzeNative = `strategy: native (analyzed)
+Select [∃(σ[(F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP')](Flow->F))] (time=X rows=4 bytes=576)
+  Scan Hours->H (time=X rows=4 bytes=576)
+  Scan Flow->F (time=X rows=300 bytes=75000)
+`
+
+// TestExplainGolden pins the exact EXPLAIN / EXPLAIN ANALYZE text on
+// the deterministic 300-flow catalog (timings normalized): counters,
+// cardinalities, and tree shape are all part of the contract.
+func TestExplainGolden(t *testing.T) {
+	e := testEngine()
+	plan := existsPlan()
+
+	plain, err := e.Explain(plan, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != goldenExplain {
+		t.Errorf("EXPLAIN drifted:\n--- got ---\n%s--- want ---\n%s", plain, goldenExplain)
+	}
+
+	analyzed, err := e.ExplainAnalyze(context.Background(), plan, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.NormalizeTimings(analyzed); got != goldenAnalyze {
+		t.Errorf("EXPLAIN ANALYZE drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenAnalyze)
+	}
+
+	native, err := e.ExplainAnalyze(context.Background(), plan, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.NormalizeTimings(native); got != goldenAnalyzeNative {
+		t.Errorf("native EXPLAIN ANALYZE drifted:\n--- got ---\n%s--- want ---\n%s", got, goldenAnalyzeNative)
+	}
+}
+
+// TestTracerRecordsQuerySpans: with a tracer attached, a plain
+// RunContext records operator spans; without one, it records nothing
+// and costs nothing.
+func TestTracerRecordsQuerySpans(t *testing.T) {
+	e := testEngine()
+	plan := existsPlan()
+
+	if _, err := e.RunContext(context.Background(), plan, GMDJOpt); err != nil {
+		t.Fatal(err)
+	}
+	if e.Tracer().Len() != 0 {
+		t.Fatal("no tracer attached, nothing should record")
+	}
+
+	tr := obs.NewTracer(1 << 10)
+	e.SetTracer(tr)
+	if _, err := e.RunContext(context.Background(), plan, GMDJOpt); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer attached but no spans recorded")
+	}
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"displayTimeUnit":"ms"`, `"ph":"X"`, "GMDJ"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("trace JSON lacks %q:\n%s", want, b.String())
+		}
+	}
+}

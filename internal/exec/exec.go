@@ -20,6 +20,7 @@ import (
 	"github.com/olaplab/gmdj/internal/expr"
 	"github.com/olaplab/gmdj/internal/gmdj"
 	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/storage"
 	"github.com/olaplab/gmdj/internal/value"
@@ -67,19 +68,33 @@ func (e *Executor) Run(plan algebra.Node) (*relation.Relation, error) {
 }
 
 // RunGoverned evaluates a plan under a per-query governor (nil = no
-// budgets, no cancellation). It is the engine's panic boundary: an
-// operator panic is recovered here and converted into a typed
-// *govern.InternalError carrying the plan node under evaluation, so a
-// buggy or injected-fault operator aborts the query, not the process.
-// (Parallel GMDJ workers recover on their own goroutines and feed the
-// same taxonomy.)
-func (e *Executor) RunGoverned(plan algebra.Node, gov *govern.Governor) (out *relation.Relation, err error) {
-	q := &query{gov: gov, faults: e.Faults}
+// budgets, no cancellation), without statistics collection.
+func (e *Executor) RunGoverned(plan algebra.Node, gov *govern.Governor) (*relation.Relation, error) {
+	return e.RunObserved(plan, gov, nil)
+}
+
+// RunObserved evaluates a plan under a per-query governor and an
+// optional statistics collector (nil = the governed fast path; every
+// observability hook is then one nil check). It is the engine's panic
+// boundary: an operator panic is recovered here and converted into a
+// typed *govern.InternalError carrying the plan node under evaluation,
+// so a buggy or injected-fault operator aborts the query, not the
+// process. (Parallel GMDJ workers recover on their own goroutines and
+// feed the same taxonomy.)
+func (e *Executor) RunObserved(plan algebra.Node, gov *govern.Governor, col *obs.Collector) (out *relation.Relation, err error) {
+	q := &query{gov: gov, faults: e.Faults, col: col}
 	defer func() {
 		if r := recover(); r != nil {
 			out = nil
 			err = &govern.InternalError{Panic: r, Node: fmt.Sprintf("%T", q.node), Stack: debug.Stack()}
 		}
+		// Flush per-query totals into the process metrics regardless of
+		// outcome: partial work is still work done.
+		obs.MetricAdd("rows_scanned", q.scanned)
+		obs.MetricAdd("gmdj.detail_rows", q.gstats.DetailRows)
+		obs.MetricAdd("gmdj.probes", q.gstats.Probes)
+		obs.MetricAdd("gmdj.matches", q.gstats.Matches)
+		obs.MetricAdd("gmdj.completed", q.gstats.Completed)
 	}()
 	if err := gov.Check(); err != nil {
 		return nil, err
@@ -87,14 +102,21 @@ func (e *Executor) RunGoverned(plan algebra.Node, gov *govern.Governor) (out *re
 	return e.eval(plan, newEnv(q))
 }
 
-// query is the per-run governance state shared by every operator of
-// one evaluation: the budget governor, the fault injector, and the
-// most recently entered plan node (recorded so a recovered panic can
-// report where it fired).
+// query is the per-run state shared by every operator of one
+// evaluation: the budget governor, the fault injector, the optional
+// stats collector, per-query metric accumulators, and the most
+// recently entered plan node (recorded so a recovered panic can report
+// where it fired).
 type query struct {
 	gov    *govern.Governor
 	faults *govern.Injector
+	col    *obs.Collector
 	node   algebra.Node
+	// scanned totals base-table rows produced by Scan operators; gstats
+	// totals GMDJ operator counters. Both are flushed to the process
+	// metrics once per query.
+	scanned int64
+	gstats  gmdj.Stats
 }
 
 // tick is the cooperative cancellation check for operator row loops.
@@ -113,12 +135,17 @@ func (q *query) account(row relation.Tuple) error {
 	return q.gov.AccountAppend(1, row.ApproxBytes())
 }
 
-// fire triggers any injected fault at a named operator site.
+// fire triggers any injected fault at a named operator site, recording
+// an instant trace event when one fires.
 func (q *query) fire(site string) error {
 	if q == nil {
 		return nil
 	}
-	return q.faults.Fire(site, q.gov)
+	err := q.faults.Fire(site, q.gov)
+	if err != nil {
+		q.col.Instant("fault", site, err.Error())
+	}
+	return err
 }
 
 // env carries the outer tuple context for correlated subquery
@@ -139,7 +166,30 @@ func (v *env) extend(s *relation.Schema, row relation.Tuple) *env {
 	return &env{schema: v.schema.Concat(s), row: v.row.Concat(row), q: v.q}
 }
 
+// eval dispatches one plan node, wrapping it in a stats-tree node when
+// a collector is attached. The nil-collector path adds a single branch
+// over the seed executor, so disabled observability stays free.
 func (e *Executor) eval(n algebra.Node, ev *env) (*relation.Relation, error) {
+	if ev.q.col == nil {
+		return e.evalNode(n, ev)
+	}
+	label, extras := algebra.Describe(n)
+	op := ev.q.col.Enter(label, extras...)
+	out, err := e.evalNode(n, ev)
+	var rows, bytes int64
+	if out != nil {
+		rows = int64(out.Len())
+		if rows > 0 {
+			// Approximate: first-row footprint × cardinality, so the hook
+			// stays O(1) per operator instead of O(rows).
+			bytes = out.Rows[0].ApproxBytes() * rows
+		}
+	}
+	ev.q.col.Exit(op, rows, bytes, err)
+	return out, err
+}
+
+func (e *Executor) evalNode(n algebra.Node, ev *env) (*relation.Relation, error) {
 	ev.q.node = n // best-effort locus for panic reports
 	switch node := n.(type) {
 	case *algebra.Scan:
@@ -207,6 +257,7 @@ func (e *Executor) evalScan(s *algebra.Scan, ev *env) (*relation.Relation, error
 	if err != nil {
 		return nil, err
 	}
+	ev.q.scanned += int64(t.Rel.Len())
 	return t.Rel.Rename(s.EffectiveAlias()), nil
 }
 
@@ -451,11 +502,33 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 	if err != nil {
 		return nil, err
 	}
-	return gmdj.Evaluate(base, detail, g.Conds, gmdj.Options{
+	ev.q.node = g
+	// Collect this operator's counters separately so the stats tree can
+	// attribute them to this GMDJ node, then fold them into the
+	// per-query totals.
+	var local gmdj.Stats
+	out, err := gmdj.Evaluate(base, detail, g.Conds, gmdj.Options{
 		Completion: g.Completion,
 		Workers:    e.GMDJWorkers,
-		Stats:      e.GMDJStats,
+		Stats:      &local,
 		Gov:        ev.q.gov,
 		Faults:     ev.q.faults,
+		Tracer:     ev.q.col.Tracer(),
 	})
+	ev.q.gstats.Merge(&local)
+	if e.GMDJStats != nil {
+		e.GMDJStats.Merge(&local)
+	}
+	if op := ev.q.col.Current(); op != nil {
+		op.Add("detail_rows", local.DetailRows)
+		op.Add("probes", local.Probes)
+		op.Add("matches", local.Matches)
+		op.Add("completed", local.Completed)
+		op.Add("short_circuit_rows", local.ShortCircuitRows)
+		op.Add("fallback_conds", int64(local.FallbackConds))
+		for w, rows := range local.WorkerRows {
+			op.Add(fmt.Sprintf("worker%d_rows", w), rows)
+		}
+	}
+	return out, err
 }

@@ -29,11 +29,13 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/olaplab/gmdj/internal/agg"
 	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/expr"
 	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/value"
 )
@@ -49,9 +51,34 @@ type Stats struct {
 	Matches int64
 	// Completed counts base tuples retired early by tuple completion.
 	Completed int64
+	// ShortCircuitRows counts detail tuples skipped because tuple
+	// completion decided every base tuple before the scan finished —
+	// the strongest form of the §4.2 win.
+	ShortCircuitRows int64
 	// FallbackConds is the number of conditions lacking equi-bindings
 	// (evaluated by scanning active base entries).
 	FallbackConds int
+	// WorkerRows records, for a parallel scan, how many detail rows
+	// each worker fed (per-worker locals, recorded at drain time). Nil
+	// for serial evaluation. Merge concatenates, so partitioned runs
+	// list every scan's workers in order.
+	WorkerRows []int64
+}
+
+// Merge folds src into s. Counters add; WorkerRows concatenate. Safe
+// only after the source evaluation has drained (gmdj merges per-worker
+// locals at drain, never shares counters mid-scan).
+func (s *Stats) Merge(src *Stats) {
+	if s == nil || src == nil {
+		return
+	}
+	s.DetailRows += src.DetailRows
+	s.Probes += src.Probes
+	s.Matches += src.Matches
+	s.Completed += src.Completed
+	s.ShortCircuitRows += src.ShortCircuitRows
+	s.FallbackConds += src.FallbackConds
+	s.WorkerRows = append(s.WorkerRows, src.WorkerRows...)
 }
 
 // Options tunes evaluation.
@@ -76,6 +103,9 @@ type Options struct {
 	// Faults injects deterministic failures at the gmdj.compile,
 	// gmdj.worker, and gmdj.emit sites (nil = no injection).
 	Faults *govern.Injector
+	// Tracer, when non-nil, records one span per parallel worker
+	// partition (Perfetto track per worker). Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // condProg is one compiled θᵢ with its aggregate list.
@@ -102,6 +132,7 @@ type program struct {
 	outSchema    *relation.Schema
 	gov          *govern.Governor
 	faults       *govern.Injector
+	tracer       *obs.Tracer
 }
 
 // Evaluate computes the GMDJ of base and detail under conds.
@@ -119,7 +150,7 @@ func Evaluate(base, detail *relation.Relation, conds []algebra.GMDJCond, opts Op
 	if err != nil {
 		return nil, err
 	}
-	p.gov, p.faults = opts.Gov, opts.Faults
+	p.gov, p.faults, p.tracer = opts.Gov, opts.Faults, opts.Tracer
 	if opts.Stats != nil {
 		for _, c := range p.conds {
 			if c.index == nil && len(c.baseKey) == 0 {
@@ -323,17 +354,22 @@ type state struct {
 	// data. Lists are compacted lazily as completion retires entries.
 	condScan [][]int32
 	inactive int
-	stats    Stats
+	// remaining counts still-active base entries; when completion
+	// retires the last one the detail scan short-circuits (no base
+	// tuple can change its output anymore).
+	remaining int
+	stats     Stats
 }
 
 func (p *program) newState() (*state, error) {
 	nBase := len(p.base.Rows)
 	s := &state{
-		p:        p,
-		accs:     make([][]agg.Accumulator, nBase),
-		active:   make([]bool, nBase),
-		decided:  make([]int8, nBase),
-		combined: make(relation.Tuple, p.baseW+p.detail.Schema.Len()),
+		p:         p,
+		accs:      make([][]agg.Accumulator, nBase),
+		active:    make([]bool, nBase),
+		decided:   make([]int8, nBase),
+		combined:  make(relation.Tuple, p.baseW+p.detail.Schema.Len()),
+		remaining: nBase,
 	}
 	for bi := range s.accs {
 		s.active[bi] = true
@@ -502,6 +538,7 @@ func (s *state) retire(bi int, decision int8) {
 	s.decided[bi] = decision
 	s.stats.Completed++
 	s.inactive++
+	s.remaining--
 	if s.inactive*2 > len(s.p.base.Rows) {
 		for ci, list := range s.condScan {
 			if list == nil {
@@ -594,6 +631,13 @@ func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
 		return nil, err
 	}
 	for di := range p.detail.Rows {
+		if s.remaining == 0 {
+			// Every base tuple is decided: no remaining detail row can
+			// change the output, so the scan short-circuits (§4.2 taken
+			// to its limit).
+			s.stats.ShortCircuitRows += int64(len(p.detail.Rows) - di)
+			break
+		}
 		if err := p.gov.Tick(); err != nil {
 			return nil, err
 		}
@@ -601,9 +645,7 @@ func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
 			return nil, err
 		}
 	}
-	if stats != nil {
-		addStats(stats, &s.stats)
-	}
+	stats.Merge(&s.stats)
 	return p.emit(s.decided, s.accs)
 }
 
@@ -651,12 +693,16 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
-		go func(st *state, lo, hi int) {
+		go func(w int, st *state, lo, hi int) {
+			start := time.Now()
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
 					fail(&govern.InternalError{Panic: r, Node: "*algebra.GMDJ", Stack: debug.Stack()})
 				}
+			}()
+			defer func() {
+				p.tracer.Span("gmdj", fmt.Sprintf("worker %d [%d:%d)", w, lo, hi), int64(2+w), start, time.Since(start))
 			}()
 			if err := p.faults.Fire("gmdj.worker", p.gov); err != nil {
 				fail(err)
@@ -664,6 +710,12 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 			}
 			for di := lo; di < hi; di++ {
 				if stop.Load() {
+					return
+				}
+				if st.remaining == 0 {
+					// Worker-local short-circuit: this worker's active set
+					// is drained, so the rest of its partition is dead work.
+					st.stats.ShortCircuitRows += int64(hi - di)
 					return
 				}
 				if err := p.gov.Tick(); err != nil {
@@ -675,11 +727,16 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 					return
 				}
 			}
-		}(states[w], lo, hi)
+		}(w, states[w], lo, hi)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	// Record per-worker row counts before merging collapses the locals.
+	workerRows := make([]int64, workers)
+	for w := range states {
+		workerRows[w] = states[w].stats.DetailRows
 	}
 	// Merge worker partials into states[0].
 	root := states[0]
@@ -697,8 +754,9 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 				}
 			}
 		}
-		addStats(&root.stats, &st.stats)
+		root.stats.Merge(&st.stats)
 	}
+	root.stats.WorkerRows = workerRows
 	decided := make([]int8, len(p.base.Rows))
 	if p.comp != nil {
 		for bi := range decided {
@@ -710,9 +768,7 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 			}
 		}
 	}
-	if stats != nil {
-		addStats(stats, &root.stats)
-	}
+	stats.Merge(&root.stats)
 	return p.emit(decided, root.accs)
 }
 
@@ -744,11 +800,4 @@ func evaluatePartitioned(base, detail *relation.Relation, conds []algebra.GMDJCo
 		out = relation.New(base.Schema)
 	}
 	return out, nil
-}
-
-func addStats(dst, src *Stats) {
-	dst.DetailRows += src.DetailRows
-	dst.Probes += src.Probes
-	dst.Matches += src.Matches
-	dst.Completed += src.Completed
 }

@@ -1,0 +1,165 @@
+package gmdj
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// statsWorkload builds a completion-free workload: without completion
+// every detail row does identical work regardless of partitioning, so
+// serial and parallel counters must agree exactly. (With completion
+// the counters legitimately diverge — workers retire base tuples at
+// partition-local points.)
+func statsWorkload(detailRows int) (*relation.Relation, *relation.Relation, []algebra.GMDJCond) {
+	base := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+	))
+	for i := int64(0); i < 200; i++ {
+		base.Append(relation.Tuple{value.Int(i % 50)})
+	}
+	detail := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+		relation.Column{Qualifier: "R", Name: "v", Type: value.KindInt},
+	))
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < detailRows; i++ {
+		detail.Append(relation.Tuple{value.Int(rng.Int63n(60)), value.Int(rng.Int63n(1000))})
+	}
+	conds := []algebra.GMDJCond{
+		{
+			Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+			Aggs:  []agg.Spec{{Func: agg.CountStar, As: "cnt"}},
+		},
+		{
+			// Bindingless condition exercises the fallback-scan counters.
+			Theta: expr.NewCmp(value.LT, expr.C("B.k"), expr.C("R.v")),
+			Aggs:  []agg.Spec{{Func: agg.Sum, Arg: expr.C("R.v"), As: "s"}},
+		},
+	}
+	return base, detail, conds
+}
+
+// TestStatsParitySerialParallel asserts that parallel evaluation
+// reports exactly the counters serial evaluation does (per-worker
+// locals merged at drain — no lost or double-counted updates). Run
+// under -race this also proves the merge is race-free: workers write
+// only their own state's counters, and WorkerRows is recorded after
+// the pool drains.
+func TestStatsParitySerialParallel(t *testing.T) {
+	base, detail, conds := statsWorkload(8000)
+
+	var serial Stats
+	outS, err := Evaluate(base, detail, conds, Options{Stats: &serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.WorkerRows != nil {
+		t.Fatalf("serial WorkerRows = %v, want nil", serial.WorkerRows)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		var par Stats
+		// A live tracer makes the -race run cover concurrent span
+		// recording from the worker goroutines too.
+		outP, err := Evaluate(base, detail, conds, Options{
+			Stats: &par, Workers: workers, Tracer: obs.NewTracer(1 << 10),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outP.Len() != outS.Len() {
+			t.Fatalf("workers=%d: rows = %d, want %d", workers, outP.Len(), outS.Len())
+		}
+		if par.DetailRows != serial.DetailRows ||
+			par.Probes != serial.Probes ||
+			par.Matches != serial.Matches ||
+			par.Completed != serial.Completed ||
+			par.ShortCircuitRows != serial.ShortCircuitRows {
+			t.Fatalf("workers=%d: counters diverge:\nserial   %+v\nparallel %+v", workers, serial, par)
+		}
+		if len(par.WorkerRows) == 0 {
+			t.Fatalf("workers=%d: WorkerRows not recorded", workers)
+		}
+		var sum int64
+		for _, r := range par.WorkerRows {
+			sum += r
+		}
+		if sum != par.DetailRows {
+			t.Fatalf("workers=%d: sum(WorkerRows) = %d, DetailRows = %d", workers, sum, par.DetailRows)
+		}
+	}
+}
+
+// TestStatsMerge covers the Merge arithmetic, including WorkerRows
+// concatenation and nil tolerance.
+func TestStatsMerge(t *testing.T) {
+	dst := Stats{DetailRows: 1, Probes: 2, Matches: 3, Completed: 4, ShortCircuitRows: 5, FallbackConds: 1, WorkerRows: []int64{7}}
+	src := Stats{DetailRows: 10, Probes: 20, Matches: 30, Completed: 40, ShortCircuitRows: 50, FallbackConds: 2, WorkerRows: []int64{8, 9}}
+	dst.Merge(&src)
+	want := Stats{DetailRows: 11, Probes: 22, Matches: 33, Completed: 44, ShortCircuitRows: 55, FallbackConds: 3, WorkerRows: []int64{7, 8, 9}}
+	if dst.DetailRows != want.DetailRows || dst.Probes != want.Probes || dst.Matches != want.Matches ||
+		dst.Completed != want.Completed || dst.ShortCircuitRows != want.ShortCircuitRows ||
+		dst.FallbackConds != want.FallbackConds || len(dst.WorkerRows) != 3 {
+		t.Fatalf("Merge = %+v, want %+v", dst, want)
+	}
+	var nilStats *Stats
+	nilStats.Merge(&src) // must not panic
+	dst.Merge(nil)       // must not panic
+}
+
+// TestShortCircuitStopsScan verifies the strongest §4.2 outcome: when
+// completion decides every base tuple, the remaining detail rows are
+// skipped and accounted as ShortCircuitRows.
+func TestShortCircuitStopsScan(t *testing.T) {
+	base := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+	))
+	for i := int64(0); i < 10; i++ {
+		base.Append(relation.Tuple{value.Int(i)})
+	}
+	detail := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+	))
+	// The first 10 rows match every base key once; the next 990 are
+	// dead work once all base tuples are decided.
+	for i := int64(0); i < 1000; i++ {
+		detail.Append(relation.Tuple{value.Int(i % 10)})
+	}
+	conds := []algebra.GMDJCond{{
+		Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+		Aggs:  []agg.Spec{{Func: agg.CountStar, As: "cnt"}},
+	}}
+	comp := &algebra.CompletionInfo{
+		// NOT EXISTS shape: one match decides the base tuple (dropped).
+		Atoms: []algebra.CompletionAtom{{Cond: 0, Kind: algebra.AtomZero}},
+		Tree:  &algebra.BoolTree{Op: algebra.BoolLeaf, Leaf: 0},
+	}
+	var stats Stats
+	out, err := Evaluate(base, detail, conds, Options{Completion: comp, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("rows = %d, want 0 (every base tuple dropped)", out.Len())
+	}
+	if stats.Completed != 10 {
+		t.Fatalf("Completed = %d, want 10", stats.Completed)
+	}
+	if stats.ShortCircuitRows == 0 {
+		t.Fatal("ShortCircuitRows = 0, want > 0 (scan must stop early)")
+	}
+	if stats.DetailRows+stats.ShortCircuitRows != 1000 {
+		t.Fatalf("DetailRows(%d) + ShortCircuitRows(%d) != 1000", stats.DetailRows, stats.ShortCircuitRows)
+	}
+	// Serial evaluation stops at exactly the deciding row.
+	if stats.DetailRows != 10 {
+		t.Fatalf("DetailRows = %d, want 10", stats.DetailRows)
+	}
+}

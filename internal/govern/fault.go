@@ -6,6 +6,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"github.com/olaplab/gmdj/internal/obs"
 )
 
 // EnvFaults is the environment variable read by FromEnv: a fault spec
@@ -122,6 +124,7 @@ func (in *Injector) Fire(site string, g *Governor) error {
 	if !ok {
 		return nil
 	}
+	obs.MetricAdd("faults.injected", 1)
 	switch f.kind {
 	case faultPanic:
 		panic(fmt.Sprintf("govern: injected panic at %s", site))

@@ -1,0 +1,269 @@
+// Package obs is the engine's observability layer: per-query operator
+// statistics trees (EXPLAIN ANALYZE), cheap structured trace events
+// with a ring-buffer recorder (Chrome trace_event export), and
+// process-wide expvar metrics.
+//
+// The design constraint throughout is that a disabled hook costs one
+// nil check: every method on Collector, Op, and Tracer is safe on a
+// nil receiver and returns immediately, so the executor threads
+// observability through unconditionally and pays nothing when no one
+// is looking. The paper's evaluation (§5) argues entirely from *where
+// work goes* — detail scans, θ-probes, tuples retired by completion —
+// and this package is what makes those quantities visible on our own
+// runs.
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// Counter is one named operator-specific counter (hash probes,
+// fallback θ-scans, tuples retired by completion, ...). Counters are
+// kept as a small sorted-on-render slice rather than a map: operators
+// carry at most a handful.
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Op is one node of the per-query operator statistics tree, mirroring
+// the physical plan as it actually executed. Rows and Bytes describe
+// the operator's output; Elapsed is inclusive wall time (children
+// included), as in EXPLAIN ANALYZE conventions.
+type Op struct {
+	Label    string        `json:"label"`
+	Extras   []string      `json:"extras,omitempty"`
+	Rows     int64         `json:"rows"`
+	Bytes    int64         `json:"bytes,omitempty"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Err      string        `json:"err,omitempty"`
+	Counters []Counter     `json:"counters,omitempty"`
+	Children []*Op         `json:"children,omitempty"`
+
+	start time.Time
+}
+
+// Add accumulates a named counter on the operator. Nil-safe.
+func (o *Op) Add(name string, v int64) {
+	if o == nil || v == 0 {
+		return
+	}
+	for i := range o.Counters {
+		if o.Counters[i].Name == name {
+			o.Counters[i].Value += v
+			return
+		}
+	}
+	o.Counters = append(o.Counters, Counter{Name: name, Value: v})
+}
+
+// Get returns a named counter's value (0 when absent). Nil-safe.
+func (o *Op) Get(name string) int64 {
+	if o == nil {
+		return 0
+	}
+	for _, c := range o.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Totals aggregates every counter over the whole subtree — the
+// flattened "why did this strategy win" summary benchlab records into
+// its result cells.
+func (o *Op) Totals() map[string]int64 {
+	if o == nil {
+		return nil
+	}
+	m := map[string]int64{}
+	var walk func(*Op)
+	walk = func(op *Op) {
+		for _, c := range op.Counters {
+			m[c.Name] += c.Value
+		}
+		for _, ch := range op.Children {
+			walk(ch)
+		}
+	}
+	walk(o)
+	return m
+}
+
+// Find returns the first operator in the subtree (pre-order) whose
+// label starts with prefix, or nil.
+func (o *Op) Find(prefix string) *Op {
+	if o == nil {
+		return nil
+	}
+	if strings.HasPrefix(o.Label, prefix) {
+		return o
+	}
+	for _, ch := range o.Children {
+		if f := ch.Find(prefix); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Collector gathers one query's operator statistics tree and forwards
+// span events to an optional Tracer. Enter/Exit follow the executor's
+// recursive descent, so the stack discipline is single-goroutine (the
+// query goroutine); parallel GMDJ workers report through their own
+// counters and the thread-safe Tracer, never through the Collector
+// stack. A nil Collector is a no-op on every method.
+type Collector struct {
+	tracer *Tracer
+	root   *Op
+	stack  []*Op
+}
+
+// NewCollector creates a collector; t may be nil (stats only, no
+// trace).
+func NewCollector(t *Tracer) *Collector { return &Collector{tracer: t} }
+
+// Enter opens an operator node under the innermost open operator and
+// returns it. Nil-safe (returns nil, which Exit and Add accept).
+func (c *Collector) Enter(label string, extras ...string) *Op {
+	if c == nil {
+		return nil
+	}
+	op := &Op{Label: label, Extras: extras, start: time.Now()}
+	switch {
+	case len(c.stack) > 0:
+		parent := c.stack[len(c.stack)-1]
+		parent.Children = append(parent.Children, op)
+	case c.root == nil:
+		c.root = op
+	default:
+		// A second top-level evaluation (defensive): keep it visible.
+		c.root.Children = append(c.root.Children, op)
+	}
+	c.stack = append(c.stack, op)
+	return op
+}
+
+// Exit closes an operator node with its output cardinality, its
+// approximate output bytes, and the error (if any) that aborted it.
+// Nil-safe on both receiver and op.
+func (c *Collector) Exit(op *Op, rows, bytes int64, err error) {
+	if c == nil || op == nil {
+		return
+	}
+	op.Elapsed = time.Since(op.start)
+	op.Rows, op.Bytes = rows, bytes
+	if err != nil {
+		op.Err = err.Error()
+	}
+	// Pop to (and including) op; tolerate a mismatched stack rather
+	// than corrupting the tree.
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if c.stack[i] == op {
+			c.stack = c.stack[:i]
+			break
+		}
+	}
+	c.tracer.Span("op", op.Label, 1, op.start, op.Elapsed)
+}
+
+// Count accumulates a named counter on the innermost open operator.
+// Nil-safe; a no-op outside any operator.
+func (c *Collector) Count(name string, v int64) {
+	if c == nil || len(c.stack) == 0 {
+		return
+	}
+	c.stack[len(c.stack)-1].Add(name, v)
+}
+
+// Current returns the innermost open operator (nil when none).
+func (c *Collector) Current() *Op {
+	if c == nil || len(c.stack) == 0 {
+		return nil
+	}
+	return c.stack[len(c.stack)-1]
+}
+
+// Instant forwards an instant event (governance trip, fault fire) to
+// the tracer. Nil-safe.
+func (c *Collector) Instant(cat, name, arg string) {
+	if c == nil {
+		return
+	}
+	c.tracer.Instant(cat, name, arg)
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Collector) Tracer() *Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tracer
+}
+
+// Root returns the collected stats tree (nil before any Enter).
+func (c *Collector) Root() *Op {
+	if c == nil {
+		return nil
+	}
+	return c.root
+}
+
+// FormatTree renders a stats tree as the annotated plan text of
+// EXPLAIN ANALYZE: one line per operator with actual time, output
+// cardinality, approximate bytes, and operator-specific counters, with
+// extras (GMDJ conditions) and children indented beneath.
+func FormatTree(root *Op) string {
+	var b strings.Builder
+	formatOp(&b, root, 0)
+	return b.String()
+}
+
+func formatOp(b *strings.Builder, o *Op, depth int) {
+	if o == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s (time=%s rows=%d", indent, o.Label, fmtDuration(o.Elapsed), o.Rows)
+	if o.Bytes > 0 {
+		fmt.Fprintf(b, " bytes=%d", o.Bytes)
+	}
+	for _, c := range o.Counters {
+		fmt.Fprintf(b, " %s=%d", c.Name, c.Value)
+	}
+	if o.Err != "" {
+		fmt.Fprintf(b, " err=%q", o.Err)
+	}
+	b.WriteString(")\n")
+	for _, x := range o.Extras {
+		fmt.Fprintf(b, "%s  %s\n", indent, x)
+	}
+	for _, ch := range o.Children {
+		formatOp(b, ch, depth+1)
+	}
+}
+
+// fmtDuration rounds to keep annotated plans readable and stable in
+// width.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
+
+var timingRE = regexp.MustCompile(`time=[^ )]+`)
+
+// NormalizeTimings replaces every time=… annotation with time=X so
+// golden tests can compare EXPLAIN ANALYZE output reproducibly.
+func NormalizeTimings(s string) string {
+	return timingRE.ReplaceAllString(s, "time=X")
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity bounds the ring buffer when the caller passes a
+// non-positive capacity to NewTracer.
+const DefaultTraceCapacity = 1 << 16
+
+// event is one recorded trace event, already reduced to the Chrome
+// trace_event fields we emit.
+type event struct {
+	name string
+	cat  string
+	ph   byte // 'X' complete span, 'i' instant
+	ts   int64
+	dur  int64
+	tid  int64
+	arg  string
+}
+
+// Tracer records span and instant events into a fixed-capacity ring
+// buffer: a long-running process can leave tracing on and export the
+// most recent window on demand. All methods are safe for concurrent
+// use (parallel GMDJ workers record through the same tracer) and safe
+// on a nil receiver, so call sites need no enablement checks.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []event
+	cap     int
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// NewTracer creates a tracer holding up to capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{start: time.Now(), cap: capacity}
+}
+
+func (t *Tracer) record(e event) {
+	t.mu.Lock()
+	if len(t.events) < t.cap {
+		t.events = append(t.events, e)
+	} else {
+		t.events[t.next] = e
+		t.next = (t.next + 1) % t.cap
+		t.wrapped = true
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// micros converts an absolute time to microseconds since the tracer
+// started (the trace_event ts unit).
+func (t *Tracer) micros(at time.Time) int64 { return at.Sub(t.start).Microseconds() }
+
+// Span records a complete ('X') event: an operator evaluation, a GMDJ
+// worker's partition scan. tid groups events into Perfetto tracks —
+// the query goroutine is tid 1, workers use 2+worker. Nil-safe.
+func (t *Tracer) Span(cat, name string, tid int64, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(event{name: name, cat: cat, ph: 'X', ts: t.micros(start), dur: d.Microseconds(), tid: tid})
+}
+
+// Instant records an instant ('i') event: a governance trip, a fault
+// injection firing. Nil-safe.
+func (t *Tracer) Instant(cat, name, arg string) {
+	if t == nil {
+		return
+	}
+	t.record(event{name: name, cat: cat, ph: 'i', ts: t.micros(time.Now()), tid: 1, arg: arg})
+}
+
+// Len reports the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped reports how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all buffered events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.next = 0
+	t.wrapped = false
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// jsonEvent is the wire form of one Chrome trace_event entry.
+type jsonEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int64             `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteJSON exports the buffered events in Chrome trace_event JSON
+// object format, loadable by chrome://tracing and Perfetto. Events are
+// written oldest first. Nil-safe (writes an empty trace).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var ordered []event
+	if t != nil {
+		t.mu.Lock()
+		if t.wrapped {
+			ordered = append(ordered, t.events[t.next:]...)
+			ordered = append(ordered, t.events[:t.next]...)
+		} else {
+			ordered = append(ordered, t.events...)
+		}
+		t.mu.Unlock()
+	}
+	out := struct {
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+		TraceEvents     []jsonEvent `json:"traceEvents"`
+	}{DisplayTimeUnit: "ms", TraceEvents: make([]jsonEvent, 0, len(ordered)+1)}
+	out.TraceEvents = append(out.TraceEvents, jsonEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]string{"name": "gmdj"},
+	})
+	for _, e := range ordered {
+		je := jsonEvent{Name: e.name, Cat: e.cat, Ph: string(e.ph), Ts: e.ts, Dur: e.dur, Pid: 1, Tid: e.tid}
+		if e.ph == 'i' {
+			je.S = "g" // global-scope instant: visible at any zoom
+		}
+		if e.arg != "" {
+			je.Args = map[string]string{"detail": e.arg}
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

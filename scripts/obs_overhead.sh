@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Guards the "observability is free when nobody is looking" invariant:
+# runs the Figure 4 gmdj-opt benchmark with stats collection on
+# (GMDJ_OBS=1) and off, takes the minimum ns/op of several runs each,
+# and fails if the observed run is more than 5% slower than the plain
+# run. Because the disabled path is a strict subset of the enabled one
+# (every hook short-circuits on a nil collector), bounding the enabled
+# overhead also bounds any disabled-path regression.
+#
+# Usage: scripts/obs_overhead.sh [runs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs="${1:-3}"
+bench='^BenchmarkFig4$/^gmdj-opt$/^2500$'
+
+min_nsop() {
+  local env_obs="$1" best="" out nsop
+  for _ in $(seq "$runs"); do
+    out=$(GMDJ_OBS="$env_obs" go test -run '^$' -bench "$bench" -benchtime 20x .)
+    nsop=$(echo "$out" | awk '/^BenchmarkFig4/ {print $3; exit}')
+    if [ -z "$nsop" ]; then
+      echo "obs_overhead: no benchmark output:" >&2
+      echo "$out" >&2
+      exit 1
+    fi
+    if [ -z "$best" ] || awk -v a="$nsop" -v b="$best" 'BEGIN{exit !(a<b)}'; then
+      best="$nsop"
+    fi
+  done
+  echo "$best"
+}
+
+plain=$(min_nsop 0)
+observed=$(min_nsop 1)
+echo "obs_overhead: plain=${plain} ns/op observed=${observed} ns/op"
+
+# Allow 5% relative or 200µs absolute slack, whichever is larger, so
+# sub-millisecond cells don't flake on scheduler noise.
+awk -v p="$plain" -v o="$observed" 'BEGIN {
+  slack = p * 0.05; if (slack < 200000) slack = 200000
+  if (o > p + slack) {
+    printf "obs_overhead: FAIL: observed run %.0f ns/op exceeds plain %.0f ns/op by more than 5%% (+%.0f ns allowed)\n", o, p, slack
+    exit 1
+  }
+  printf "obs_overhead: OK (+%.1f%%)\n", (o - p) / p * 100
+}'
