@@ -24,6 +24,7 @@ import (
 	"github.com/olaplab/gmdj/internal/exec"
 	"github.com/olaplab/gmdj/internal/expr"
 	igmdj "github.com/olaplab/gmdj/internal/gmdj"
+	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/sql"
 	"github.com/olaplab/gmdj/internal/storage"
@@ -36,9 +37,12 @@ const benchScale = 1.0 / 16.0
 
 func benchFigure(b *testing.B, id string) {
 	// GMDJ_OBS=1 runs the timed loop with per-operator stats collection
-	// on, so CI can compare observed vs plain runs (the disabled-hooks
-	// overhead guard in scripts/obs_overhead.sh).
-	observed := os.Getenv("GMDJ_OBS") == "1"
+	// on; GMDJ_OBS=2 additionally attaches a full workload observer
+	// (latency histograms, live-query registry, slow-query log). CI
+	// compares both against the plain run (the disabled-hooks overhead
+	// guard in scripts/obs_overhead.sh).
+	obsMode := os.Getenv("GMDJ_OBS")
+	observed := obsMode == "1" || obsMode == "2"
 	r := &benchlab.Runner{Scale: benchScale, Repeat: 1, Verify: false}
 	exp, err := r.Experiment(id)
 	if err != nil {
@@ -59,6 +63,9 @@ func benchFigure(b *testing.B, id string) {
 				}
 				eng := engine.New(cat)
 				eng.SetUseIndexes(v.UseIndexes)
+				if obsMode == "2" {
+					eng.SetObserver(obs.NewObserver(obs.ObserverConfig{}))
+				}
 				physical, err := eng.Plan(exp.Query(size), v.Strategy)
 				if err != nil {
 					b.Fatal(err)

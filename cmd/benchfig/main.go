@@ -8,9 +8,23 @@
 //	benchfig -fig fig4       # one figure
 //	benchfig -scale 1.0      # the paper's full row counts
 //	benchfig -workers 8      # parallel GMDJ scans (extension)
-//	benchfig -json out.json  # machine-readable results with per-operator
-//	                         # statistics (implies -stats)
+//	benchfig -json out.json  # bench-trajectory JSON: per-cell timing,
+//	                         # rows scanned, and probe counts (implies
+//	                         # stats collection)
+//	benchfig -stats-json o.json  # full machine-readable results with
+//	                             # per-operator statistics trees
 //	benchfig -stats          # capture per-operator counters per cell
+//
+// Trajectory mode powers scripts/bench_trajectory.sh: -json writes one
+// object per figure with schema
+//
+//	{commit, figure, scale, cells: [{strategy, label, ns_per_op,
+//	 rows_scanned, probes}]}
+//
+// (an array of objects when multiple figures run), and -baseline
+// compares the fresh run against a committed BENCH_<fig>.json, exiting
+// 3 when any matching cell is slower than
+// baseline*(1+tolerance)+slack.
 //
 // Cells marked DNF* are skipped by construction: the strategy is known
 // to be combinatorially infeasible at that size (the paper reports the
@@ -22,9 +36,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
+	"time"
 
 	"github.com/olaplab/gmdj/internal/benchlab"
 )
+
+// exitRegression signals a trajectory regression against -baseline,
+// distinct from usage (2) and run (1) failures so CI can tell them
+// apart.
+const exitRegression = 3
 
 func main() {
 	fig := flag.String("fig", "all", "figure to run: all, fig2, fig3, fig4, fig5, ext-coalesce")
@@ -33,11 +55,16 @@ func main() {
 	workers := flag.Int("workers", 0, "GMDJ scan parallelism (0 = serial)")
 	verify := flag.Bool("verify", true, "cross-check that all strategies agree per size")
 	stats := flag.Bool("stats", false, "capture per-operator statistics per cell (one extra untimed run)")
-	jsonOut := flag.String("json", "", "write machine-readable results (with statistics) to this file; - for stdout")
+	jsonOut := flag.String("json", "", "write bench-trajectory JSON to this file; - for stdout (implies stats collection)")
+	statsJSONOut := flag.String("stats-json", "", "write full results with per-operator statistics trees to this file; - for stdout")
+	baseline := flag.String("baseline", "", "compare the run against this committed trajectory JSON; exit 3 on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "with -baseline: allowed relative slowdown per cell")
+	slack := flag.Duration("slack", 2*time.Millisecond, "with -baseline: absolute per-cell slack added to the tolerance band")
+	commit := flag.String("commit", "", "commit id stamped into trajectory JSON (default: git rev-parse --short HEAD)")
 	flag.Parse()
 
 	r := &benchlab.Runner{Scale: *scale, Repeat: *repeat, Workers: *workers, Verify: *verify,
-		CollectStats: *stats || *jsonOut != ""}
+		CollectStats: *stats || *jsonOut != "" || *statsJSONOut != "" || *baseline != ""}
 
 	exps := r.Experiments()
 	if *fig != "all" {
@@ -51,6 +78,8 @@ func main() {
 
 	fmt.Printf("benchfig: scale=%.4g repeat=%d workers=%d\n\n", *scale, *repeat, *workers)
 	var all []benchlab.Result
+	var trajectories []benchlab.Trajectory
+	id := commitID(*commit)
 	for _, exp := range exps {
 		fmt.Printf("== %s — %s ==\n", exp.ID, exp.Title)
 		results, err := r.RunExperiment(exp)
@@ -59,28 +88,90 @@ func main() {
 			os.Exit(1)
 		}
 		all = append(all, results...)
+		trajectories = append(trajectories, benchlab.BuildTrajectory(exp.ID, id, *scale, results))
 		fmt.Print(benchlab.FormatTable(results))
 		if r.CollectStats {
 			fmt.Print(benchlab.FormatCounters(results))
 		}
 		fmt.Println()
 	}
+	if *statsJSONOut != "" {
+		writeOut(*statsJSONOut, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(all)
+		})
+	}
 	if *jsonOut != "" {
-		w := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchfig:", err)
-				os.Exit(1)
+		writeOut(*jsonOut, func(f *os.File) error {
+			if len(trajectories) == 1 {
+				return benchlab.WriteTrajectory(f, trajectories[0])
 			}
-			defer f.Close()
-			w = f
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(all); err != nil {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(trajectories)
+		})
+	}
+	if *baseline != "" {
+		bf, err := os.Open(*baseline)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchfig:", err)
 			os.Exit(1)
 		}
+		base, err := benchlab.ReadTrajectory(bf)
+		bf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		var regressed bool
+		for _, t := range trajectories {
+			if t.Figure != base.Figure {
+				continue
+			}
+			regs := benchlab.CompareTrajectories(base, t, *tolerance, *slack)
+			for _, reg := range regs {
+				fmt.Fprintf(os.Stderr, "benchfig: REGRESSION %s %s (baseline commit %s, tolerance %.0f%%+%v)\n",
+					t.Figure, reg, base.Commit, *tolerance*100, *slack)
+				regressed = true
+			}
+			if len(regs) == 0 {
+				fmt.Printf("trajectory %s: within %.0f%%+%v of baseline %s\n",
+					t.Figure, *tolerance*100, *slack, base.Commit)
+			}
+		}
+		if regressed {
+			os.Exit(exitRegression)
+		}
+	}
+}
+
+// commitID resolves the commit stamp for trajectory JSON.
+func commitID(override string) string {
+	if override != "" {
+		return override
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeOut writes to path ("-" = stdout), exiting on failure.
+func writeOut(path string, write func(*os.File) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
 	}
 }

@@ -5,13 +5,19 @@
 //	olapql [-data netflow|tpcr|none] [-scale f] [-strategy s] [-workers n]
 //	       [-timeout d] [-max-rows n] [-max-mem bytes]
 //	       [-explain] [-trace out.json] [-metrics-addr :8080]
+//	       [-slowlog out.json] [-slow-ms n]
 //
 // Observability: -explain (with -e) prints the EXPLAIN ANALYZE plan —
-// per-operator wall time, rows, bytes, and counters — alongside the
-// result; -trace records spans for every query and writes Chrome
-// trace_event JSON on exit (load in https://ui.perfetto.dev);
-// -metrics-addr serves the engine's expvar counters over HTTP at
-// /debug/vars.
+// per-operator wall time, act=/est= cardinalities with cost-model
+// drift flags, bytes, and counters — alongside the result; -trace
+// records spans for every query and writes Chrome trace_event JSON on
+// exit (load in https://ui.perfetto.dev); -metrics-addr serves the
+// engine's expvar counters at /debug/vars plus the live workload
+// dashboard at /debug/olap/queries (in-flight queries with advancing
+// row counters), /debug/olap/hist (latency/row histograms), and
+// /debug/olap/slowlog (append ?format=text for plain text); -slowlog
+// writes the slow-query log — SQL, strategy, outcome, full stats tree
+// per query at least -slow-ms slow — as JSON on exit.
 //
 // Meta commands inside the shell:
 //
@@ -20,6 +26,9 @@
 //	\explain <query>     show the physical plan for the current strategy
 //	\explain analyze <q> run the query, show the plan annotated with runtime stats
 //	\stats               show process-wide engine counters
+//	\hist                show workload latency/row histograms (p50/p90/p99)
+//	\slowlog             show the slow-query log, newest first
+//	\live                show in-flight queries with live progress counters
 //	\quit                exit
 //
 // Any other input line is executed as SQL.
@@ -48,6 +57,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	gmdj "github.com/olaplab/gmdj"
 )
@@ -92,7 +102,9 @@ func main() {
 	execQuery := flag.String("e", "", "execute one query and exit")
 	explain := flag.Bool("explain", false, "with -e: print the EXPLAIN ANALYZE plan alongside the result")
 	traceOut := flag.String("trace", "", "record query spans and write Chrome trace_event JSON to this file on exit")
-	metricsAddr := flag.String("metrics-addr", "", "serve engine metrics over HTTP at this address (expvar, /debug/vars)")
+	metricsAddr := flag.String("metrics-addr", "", "serve engine metrics over HTTP at this address (expvar at /debug/vars, live dashboard at /debug/olap/)")
+	slowlogOut := flag.String("slowlog", "", "write the slow-query log as JSON to this file on exit")
+	slowMS := flag.Int64("slow-ms", 0, "slow-query threshold in milliseconds (0 logs every query)")
 	flag.Parse()
 
 	var db *gmdj.DB
@@ -119,8 +131,23 @@ func main() {
 	if *traceOut != "" {
 		db.EnableTracing(0)
 	}
-	// writeTrace flushes the recorded spans before any exit path
-	// (os.Exit skips defers).
+	// Workload observability is wanted by the slow-query log flags and
+	// by the live dashboard the metrics server mounts. An explicit
+	// -slow-ms 0 means "log every query", so distinguish it from the
+	// unset default.
+	slowMSSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "slow-ms" {
+			slowMSSet = true
+		}
+	})
+	if *slowlogOut != "" || slowMSSet || *metricsAddr != "" {
+		db.EnableObservability(gmdj.ObsConfig{
+			SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+		})
+	}
+	// writeTrace and writeSlowLog flush before any exit path (os.Exit
+	// skips defers).
 	writeTrace := func() {
 		if *traceOut == "" {
 			return
@@ -135,9 +162,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "olapql:", err)
 		}
 	}
+	writeSlowLog := func() {
+		if *slowlogOut == "" {
+			return
+		}
+		f, err := os.Create(*slowlogOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapql:", err)
+			return
+		}
+		defer f.Close()
+		if err := db.WriteSlowLog(f); err != nil {
+			fmt.Fprintln(os.Stderr, "olapql:", err)
+		}
+	}
+	flush := func() { writeTrace(); writeSlowLog() }
 	if *metricsAddr != "" {
-		// The expvar handler registers itself on the default mux; the
-		// engine's "gmdj" map appears at /debug/vars.
+		// The expvar handler registers itself on the default mux (the
+		// engine's "gmdj" map appears at /debug/vars); the live workload
+		// dashboard mounts next to it under /debug/olap/.
+		http.Handle("/debug/olap/", db.ObsHTTPHandler())
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "olapql: metrics server:", err)
@@ -164,23 +208,23 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "olapql:", err)
-			writeTrace()
+			flush()
 			os.Exit(exitCode(err))
 		}
 		if res != nil {
 			printResult(res)
 		}
-		writeTrace()
+		flush()
 		return
 	}
 
 	fmt.Printf("olapql — GMDJ subquery engine (strategy: %v)\n", strat)
 	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
-	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \stats, \quit`)
+	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \stats, \hist, \slowlog, \live, \quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	defer writeTrace()
+	defer flush()
 	for {
 		fmt.Print("olap> ")
 		if !sc.Scan() {
@@ -198,6 +242,12 @@ func main() {
 			}
 		case line == `\stats`:
 			printMetrics(db.Metrics())
+		case line == `\hist`:
+			fmt.Print(db.FormatHistograms())
+		case line == `\slowlog`:
+			fmt.Print(db.FormatSlowLog())
+		case line == `\live`:
+			fmt.Print(db.FormatLiveQueries())
 		case strings.HasPrefix(line, `\strategy`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\strategy`))
 			if s, ok := parseStrategy(arg); ok {

@@ -42,7 +42,7 @@ func (db *DB) ExecStrategyContext(ctx context.Context, stmt string, s Strategy) 
 		if err != nil {
 			return nil, err
 		}
-		rel, err := db.eng.RunContext(ctx, plan, s)
+		rel, err := db.eng.RunQueryContext(ctx, stmt, plan, s)
 		if err != nil {
 			return nil, err
 		}

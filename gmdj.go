@@ -24,6 +24,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"time"
 
 	"github.com/olaplab/gmdj/internal/engine"
 	"github.com/olaplab/gmdj/internal/govern"
@@ -327,7 +329,7 @@ func (db *DB) QueryStrategyContext(ctx context.Context, query string, s Strategy
 	if err != nil {
 		return nil, err
 	}
-	rel, err := db.eng.RunContext(ctx, plan, s)
+	rel, err := db.eng.RunQueryContext(ctx, query, plan, s)
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +363,11 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, query string, s Strateg
 	if err != nil {
 		return "", err
 	}
-	return db.eng.ExplainAnalyze(ctx, plan, s)
+	_, root, err := db.eng.RunObservedQuery(ctx, query, plan, s)
+	if err != nil {
+		return "", err
+	}
+	return engine.FormatAnalyzed(s, root), nil
 }
 
 // QueryAnalyze runs a query once and returns both its result and the
@@ -376,7 +382,7 @@ func (db *DB) QueryAnalyzeContext(ctx context.Context, query string, s Strategy)
 	if err != nil {
 		return nil, "", err
 	}
-	rel, root, err := db.eng.RunObserved(ctx, plan, s)
+	rel, root, err := db.eng.RunObservedQuery(ctx, query, plan, s)
 	if err != nil {
 		return nil, "", err
 	}
@@ -412,6 +418,69 @@ func (db *DB) WriteTrace(w io.Writer) error {
 // The same counters are published under the "gmdj" expvar map for any
 // embedder that mounts net/http's /debug/vars.
 func (db *DB) Metrics() map[string]int64 { return obs.MetricsSnapshot() }
+
+// ObsConfig configures workload-level observability
+// (EnableObservability).
+type ObsConfig struct {
+	// SlowQueryThreshold admits a query into the slow-query log when
+	// its wall time meets or exceeds it. 0 logs every query.
+	SlowQueryThreshold time.Duration
+	// SlowLogCapacity bounds slow-log retention (a ring buffer; oldest
+	// records are overwritten). <= 0 selects a default of 256.
+	SlowLogCapacity int
+}
+
+// EnableObservability attaches a workload observer to the engine:
+// every subsequent query is registered in a live in-flight registry
+// while it runs (with advancing row/byte counters), sampled into
+// per-strategy latency and row-count histograms and per-operator-kind
+// histograms when it finishes, and recorded — SQL text, strategy,
+// outcome, and the full EXPLAIN ANALYZE statistics tree — into the
+// slow-query log when it crosses cfg.SlowQueryThreshold. Serve the
+// surfaces over HTTP with ObsHTTPHandler, or read them directly with
+// FormatSlowLog, WriteSlowLog, FormatHistograms, and
+// FormatLiveQueries. Not safe to call concurrently with running
+// queries.
+func (db *DB) EnableObservability(cfg ObsConfig) {
+	db.eng.SetObserver(obs.NewObserver(obs.ObserverConfig{
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		SlowLogCapacity:    cfg.SlowLogCapacity,
+	}))
+}
+
+// ObsHTTPHandler returns the live observability dashboard: mount it at
+// /debug/olap/ to serve /debug/olap/queries (in-flight queries with
+// live row counters), /debug/olap/hist (latency and row-count
+// histograms), and /debug/olap/slowlog — JSON by default, plain text
+// with ?format=text. Before EnableObservability the handler answers
+// 503.
+func (db *DB) ObsHTTPHandler() http.Handler { return db.eng.Observer().Handler() }
+
+// WriteSlowLog dumps the slow-query log as a JSON array (oldest
+// first), each record carrying the query text, strategy, elapsed
+// time, outcome, and per-operator statistics tree. Errors before
+// EnableObservability.
+func (db *DB) WriteSlowLog(w io.Writer) error {
+	o := db.eng.Observer()
+	if o == nil {
+		return fmt.Errorf("gmdj: observability not enabled (call EnableObservability first)")
+	}
+	return o.SlowLog().WriteJSON(w)
+}
+
+// FormatSlowLog renders the slow-query log as text, newest first.
+func (db *DB) FormatSlowLog() string { return db.eng.Observer().SlowLog().Format() }
+
+// FormatHistograms renders the workload histograms — query latency
+// and result rows per strategy, operator time and rows per operator
+// kind — as one summary line each (count, mean, min/p50/p90/p99/max).
+func (db *DB) FormatHistograms() string {
+	return obs.FormatHistograms(db.eng.Observer().Histograms())
+}
+
+// FormatLiveQueries renders the currently in-flight queries with
+// their live progress counters.
+func (db *DB) FormatLiveQueries() string { return db.eng.Observer().FormatInFlight() }
 
 func toResult(rel *relation.Relation) *Result {
 	res := &Result{Columns: make([]string, rel.Schema.Len())}

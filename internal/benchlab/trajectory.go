@@ -1,0 +1,151 @@
+package benchlab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/obs"
+)
+
+// A Trajectory is the committed shape of one figure's benchmark run:
+// enough to detect performance regressions across commits without
+// storing full Result trees. BENCH_<fig>.json files at the repo root
+// hold the accepted baseline; scripts/bench_trajectory.sh compares a
+// fresh run against them.
+type Trajectory struct {
+	// Commit identifies the run ("abc1234", or "unknown" outside git).
+	Commit string `json:"commit"`
+	// Figure is the experiment id ("fig4").
+	Figure string `json:"figure"`
+	// Scale is the row-count multiplier the run used.
+	Scale float64 `json:"scale"`
+	// Cells holds one entry per measured (non-skipped) cell.
+	Cells []TrajectoryCell `json:"cells"`
+}
+
+// TrajectoryCell is one measured cell reduced to its trajectory
+// signature: wall time plus the two work counters that explain it.
+type TrajectoryCell struct {
+	// Strategy is the variant name ("native", "gmdj-opt", ...).
+	Strategy string `json:"strategy"`
+	// Label is the size label within the figure's sweep.
+	Label string `json:"label"`
+	// NsPerOp is the cell's best measured wall time in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// RowsScanned sums Rows over every Scan operator in the cell's
+	// stats tree (0 when stats were not collected).
+	RowsScanned int64 `json:"rows_scanned"`
+	// Probes is the cell's aggregated θ-probe counter (GMDJ variants;
+	// 0 elsewhere).
+	Probes int64 `json:"probes"`
+}
+
+// BuildTrajectory reduces a figure's results to its trajectory.
+// Skipped (DNF) cells are omitted: their timings are sentinel values,
+// not measurements.
+func BuildTrajectory(figure, commit string, scale float64, results []Result) Trajectory {
+	t := Trajectory{Commit: commit, Figure: figure, Scale: scale}
+	for _, r := range results {
+		if r.Figure != figure || r.Skipped {
+			continue
+		}
+		t.Cells = append(t.Cells, TrajectoryCell{
+			Strategy:    r.Variant,
+			Label:       r.Label,
+			NsPerOp:     int64(r.Elapsed),
+			RowsScanned: scanRows(r),
+			Probes:      r.Counters["probes"],
+		})
+	}
+	return t
+}
+
+// scanRows walks a cell's stats tree summing base-table scan
+// cardinalities.
+func scanRows(r Result) int64 {
+	if r.Stats == nil {
+		return 0
+	}
+	var sum int64
+	stack := []*obs.Op{r.Stats}
+	for len(stack) > 0 {
+		op := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if strings.HasPrefix(op.Label, "Scan ") {
+			sum += op.Rows
+		}
+		stack = append(stack, op.Children...)
+	}
+	return sum
+}
+
+// ReadTrajectory parses a trajectory JSON file.
+func ReadTrajectory(rd io.Reader) (Trajectory, error) {
+	var t Trajectory
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&t); err != nil {
+		return t, fmt.Errorf("benchlab: parsing trajectory: %w", err)
+	}
+	return t, nil
+}
+
+// WriteTrajectory writes a trajectory as indented JSON with cells in
+// a deterministic order, so committed baselines diff cleanly.
+func WriteTrajectory(w io.Writer, t Trajectory) error {
+	sort.SliceStable(t.Cells, func(i, j int) bool {
+		if t.Cells[i].Label != t.Cells[j].Label {
+			return t.Cells[i].Label < t.Cells[j].Label
+		}
+		return t.Cells[i].Strategy < t.Cells[j].Strategy
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Regression is one cell whose current timing exceeds the baseline
+// beyond tolerance.
+type Regression struct {
+	Strategy string
+	Label    string
+	Base     time.Duration
+	Current  time.Duration
+}
+
+func (r Regression) String() string {
+	ratio := float64(r.Current) / float64(r.Base)
+	return fmt.Sprintf("%s/%s: %v -> %v (%.2fx)",
+		r.Strategy, r.Label, r.Base.Round(10*time.Microsecond), r.Current.Round(10*time.Microsecond), ratio)
+}
+
+// CompareTrajectories matches current cells against the baseline by
+// (strategy, label) and reports cells slower than
+// base*(1+tolerance)+slack. The absolute slack term keeps sub-
+// millisecond cells from flagging on scheduler noise. Cells present
+// on only one side are ignored: sweeps legitimately change shape as
+// figures grow.
+func CompareTrajectories(baseline, current Trajectory, tolerance float64, slack time.Duration) []Regression {
+	base := map[[2]string]TrajectoryCell{}
+	for _, c := range baseline.Cells {
+		base[[2]string{c.Strategy, c.Label}] = c
+	}
+	var regs []Regression
+	for _, c := range current.Cells {
+		b, ok := base[[2]string{c.Strategy, c.Label}]
+		if !ok {
+			continue
+		}
+		limit := int64(float64(b.NsPerOp)*(1+tolerance)) + int64(slack)
+		if c.NsPerOp > limit {
+			regs = append(regs, Regression{
+				Strategy: c.Strategy, Label: c.Label,
+				Base: time.Duration(b.NsPerOp), Current: time.Duration(c.NsPerOp),
+			})
+		}
+	}
+	return regs
+}

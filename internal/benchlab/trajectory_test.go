@@ -1,0 +1,127 @@
+package benchlab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/obs"
+)
+
+func trajResults() []Result {
+	return []Result{
+		{Figure: "fig4", Variant: "gmdj-opt", Label: "20k", Elapsed: 5 * time.Millisecond, Rows: 40,
+			Counters: map[string]int64{"probes": 1234},
+			Stats: &obs.Op{Label: "GMDJ", Rows: 40, Children: []*obs.Op{
+				{Label: "Scan Accounts->A", Rows: 400},
+				{Label: "Scan Flow->F", Rows: 20_000},
+			}}},
+		{Figure: "fig4", Variant: "unnest", Label: "20k", Skipped: true, SkipNote: "too big"},
+		{Figure: "fig4", Variant: "native", Label: "20k", Elapsed: 9 * time.Millisecond, Rows: 40},
+		{Figure: "fig5", Variant: "gmdj-opt", Label: "20k", Elapsed: time.Millisecond, Rows: 7},
+	}
+}
+
+func TestBuildTrajectory(t *testing.T) {
+	tr := BuildTrajectory("fig4", "abc1234", 0.0625, trajResults())
+	if tr.Commit != "abc1234" || tr.Figure != "fig4" || tr.Scale != 0.0625 {
+		t.Errorf("header mismatch: %+v", tr)
+	}
+	// The skipped cell and the fig5 cell must be excluded.
+	if len(tr.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2: %+v", len(tr.Cells), tr.Cells)
+	}
+	opt := tr.Cells[0]
+	if opt.Strategy != "gmdj-opt" || opt.NsPerOp != int64(5*time.Millisecond) {
+		t.Errorf("gmdj-opt cell: %+v", opt)
+	}
+	if opt.RowsScanned != 20_400 {
+		t.Errorf("rows_scanned = %d, want 20400 (sum over Scan operators)", opt.RowsScanned)
+	}
+	if opt.Probes != 1234 {
+		t.Errorf("probes = %d, want 1234", opt.Probes)
+	}
+	// Cells without stats fall back to zero counters, not a panic.
+	if native := tr.Cells[1]; native.RowsScanned != 0 || native.Probes != 0 {
+		t.Errorf("stats-free cell should have zero counters: %+v", native)
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	tr := BuildTrajectory("fig4", "abc1234", 0.0625, trajResults())
+	var buf bytes.Buffer
+	if err := WriteTrajectory(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"commit": "abc1234"`, `"figure": "fig4"`, `"ns_per_op"`, `"rows_scanned"`, `"probes"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON missing %s:\n%s", want, buf.String())
+		}
+	}
+	back, err := ReadTrajectory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(tr.Cells) || back.Commit != tr.Commit {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, tr)
+	}
+}
+
+func TestCompareTrajectories(t *testing.T) {
+	base := Trajectory{Figure: "fig4", Cells: []TrajectoryCell{
+		{Strategy: "gmdj-opt", Label: "20k", NsPerOp: int64(100 * time.Millisecond)},
+		{Strategy: "native", Label: "20k", NsPerOp: int64(200 * time.Millisecond)},
+		{Strategy: "native", Label: "40k", NsPerOp: int64(400 * time.Millisecond)},
+	}}
+	cur := Trajectory{Figure: "fig4", Cells: []TrajectoryCell{
+		// 30% slower: regression at 15% tolerance.
+		{Strategy: "gmdj-opt", Label: "20k", NsPerOp: int64(130 * time.Millisecond)},
+		// 10% slower: inside tolerance.
+		{Strategy: "native", Label: "20k", NsPerOp: int64(220 * time.Millisecond)},
+		// Only on one side: ignored.
+		{Strategy: "native", Label: "80k", NsPerOp: int64(999 * time.Millisecond)},
+	}}
+	regs := CompareTrajectories(base, cur, 0.15, 0)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the gmdj-opt cell", regs)
+	}
+	if regs[0].Strategy != "gmdj-opt" || !strings.Contains(regs[0].String(), "1.30x") {
+		t.Errorf("regression = %q", regs[0].String())
+	}
+
+	// Absolute slack absorbs noise on tiny cells: a 2x slowdown on a
+	// 100µs cell stays green with 2ms slack.
+	tiny := Trajectory{Figure: "fig4", Cells: []TrajectoryCell{
+		{Strategy: "gmdj-opt", Label: "1k", NsPerOp: int64(100 * time.Microsecond)},
+	}}
+	tinyCur := Trajectory{Figure: "fig4", Cells: []TrajectoryCell{
+		{Strategy: "gmdj-opt", Label: "1k", NsPerOp: int64(200 * time.Microsecond)},
+	}}
+	if regs := CompareTrajectories(tiny, tinyCur, 0.15, 2*time.Millisecond); len(regs) != 0 {
+		t.Errorf("slack should absorb sub-ms noise: %v", regs)
+	}
+}
+
+// TestTrajectoryFromRealRun exercises the full reduction against a
+// real (tiny) fig4 sweep with stats collection on.
+func TestTrajectoryFromRealRun(t *testing.T) {
+	r := &Runner{Scale: 1.0 / 500.0, Repeat: 1, Verify: true, CollectStats: true}
+	exp := r.Fig4()
+	results, err := r.RunExperiment(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := BuildTrajectory("fig4", "test", r.Scale, results)
+	if len(tr.Cells) == 0 {
+		t.Fatal("no cells in trajectory")
+	}
+	for _, c := range tr.Cells {
+		if c.NsPerOp <= 0 {
+			t.Errorf("%s/%s: non-positive ns_per_op", c.Strategy, c.Label)
+		}
+		if c.RowsScanned <= 0 {
+			t.Errorf("%s/%s: rows_scanned = %d, want > 0 (stats were collected)", c.Strategy, c.Label, c.RowsScanned)
+		}
+	}
+}

@@ -78,6 +78,13 @@ type Engine struct {
 	// tracer, when non-nil, receives span and instant events for every
 	// query run through this engine; see SetTracer.
 	tracer *obs.Tracer
+	// observer, when non-nil, receives workload-level signals for every
+	// query: live in-flight registration, latency/row histograms, and
+	// slow-query log records; see SetObserver.
+	observer *obs.Observer
+	// fastPath permits the governor-free execution path; see
+	// WithGovernorFastPath.
+	fastPath bool
 }
 
 // Budget bounds one query evaluation: wall clock, materialized rows,
@@ -94,13 +101,38 @@ type Budget struct {
 	MaxMemBytes int64
 }
 
-// New creates an engine over a catalog, with index use enabled. Fault
-// injection honors the GMDJ_FAULTS environment variable (see
-// govern.EnvFaults); production deployments leave it unset.
-func New(cat *storage.Catalog) *Engine {
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithGovernorFastPath toggles the governor-free hot path: when on
+// (the default) a query with no budget and a never-canceled context
+// (Background/TODO) runs without a governor, skipping even the
+// per-row atomic tick — what benchmark hot loops want. Turning it off
+// forces a governor onto every query, which is useful when an
+// operator's cooperative-cancellation path itself is under test, or
+// when a deployment wants uniform accounting regardless of budgets.
+func WithGovernorFastPath(on bool) Option {
+	return func(e *Engine) { e.fastPath = on }
+}
+
+// WithObserver attaches a workload observer at construction; see
+// SetObserver.
+func WithObserver(o *obs.Observer) Option {
+	return func(e *Engine) { e.observer = o }
+}
+
+// New creates an engine over a catalog, with index use enabled and the
+// governor fast path on. Fault injection honors the GMDJ_FAULTS
+// environment variable (see govern.EnvFaults); production deployments
+// leave it unset.
+func New(cat *storage.Catalog, opts ...Option) *Engine {
 	ex := exec.New(cat)
 	ex.Faults = govern.FromEnv()
-	return &Engine{cat: cat, exec: ex}
+	e := &Engine{cat: cat, exec: ex, fastPath: true}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // SetBudget applies a per-query budget to every subsequent Run and
@@ -200,19 +232,18 @@ func (e *Engine) Run(plan algebra.Node, s Strategy) (*relation.Relation, error) 
 // An operator panic is recovered at this boundary and returned as a
 // *govern.InternalError wrapping govern.ErrInternal.
 func (e *Engine) RunContext(ctx context.Context, plan algebra.Node, s Strategy) (*relation.Relation, error) {
+	return e.RunQueryContext(ctx, "", plan, s)
+}
+
+// RunQueryContext is RunContext carrying the query's source text, so
+// the observer's live registry and slow-query log can show the SQL
+// behind a plan. Callers holding only a hand-built plan pass "".
+func (e *Engine) RunQueryContext(ctx context.Context, text string, plan algebra.Node, s Strategy) (*relation.Relation, error) {
 	p, err := e.Plan(plan, s)
 	if err != nil {
 		return nil, err
 	}
-	// When a tracer is attached, every query is observed so its spans
-	// land in the ring buffer; otherwise the collector is nil and each
-	// hook is one nil check.
-	var col *obs.Collector
-	if e.tracer != nil {
-		col = obs.NewCollector(e.tracer)
-	}
-	rel, err := e.execute(ctx, p, col)
-	e.finishQuery(s, err)
+	rel, _, err := e.runQuery(ctx, text, p, s, false)
 	return rel, err
 }
 
@@ -224,6 +255,19 @@ func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// SetObserver attaches a workload observer: every subsequent query is
+// registered in the live in-flight registry while it runs, sampled
+// into the latency and row-count histograms when it finishes, and
+// offered to the slow-query log. Attaching an observer also forces
+// per-operator stats collection (the slow-query log stores the full
+// EXPLAIN ANALYZE tree). nil disables workload observation. Not safe
+// to call concurrently with running queries.
+func (e *Engine) SetObserver(o *obs.Observer) { e.observer = o }
+
+// Observer returns the attached observer (nil when workload
+// observation is off).
+func (e *Engine) Observer() *obs.Observer { return e.observer }
 
 // Explain renders the physical plan chosen for a strategy as an
 // indented operator tree.
@@ -281,27 +325,64 @@ func FormatAnalyzed(s Strategy, root *obs.Op) string {
 // tree mirroring the executed plan. Span events go to the engine
 // tracer when one is set (SetTracer).
 func (e *Engine) RunObserved(ctx context.Context, plan algebra.Node, s Strategy) (*relation.Relation, *obs.Op, error) {
+	return e.RunObservedQuery(ctx, "", plan, s)
+}
+
+// RunObservedQuery is RunObserved carrying the query's source text for
+// the observer's live registry and slow-query log.
+func (e *Engine) RunObservedQuery(ctx context.Context, text string, plan algebra.Node, s Strategy) (*relation.Relation, *obs.Op, error) {
 	p, err := e.Plan(plan, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	col := obs.NewCollector(e.tracer)
-	rel, err := e.execute(ctx, p, col)
-	e.finishQuery(s, err)
-	if err != nil {
-		return nil, col.Root(), err
+	return e.runQuery(ctx, text, p, s, true)
+}
+
+// runQuery executes an already-rewritten physical plan with every
+// observability surface wired around it: the per-operator stats
+// collector (forced by RunObserved, or wanted by an attached tracer or
+// observer), the observer's live in-flight registry, cost-model
+// estimate annotation (the est= drift column), the workload
+// histograms, and the slow-query log. With none of those attached the
+// collector stays nil and each executor hook is one nil check.
+func (e *Engine) runQuery(ctx context.Context, text string, p algebra.Node, s Strategy, forceCollect bool) (*relation.Relation, *obs.Op, error) {
+	var col *obs.Collector
+	if forceCollect || e.tracer != nil || e.observer != nil {
+		col = obs.NewCollector(e.tracer)
 	}
-	return rel, col.Root(), nil
+	live := e.observer.QueryStart(text, s.String())
+	start := time.Now()
+	rel, err := e.execute(ctx, p, col, live)
+	elapsed := time.Since(start)
+	e.finishQuery(s, err)
+	root := col.Root()
+	e.annotateEstimates(p, root)
+	var rows int64
+	if rel != nil {
+		rows = int64(rel.Len())
+	}
+	outcome, errText := "ok", ""
+	if err != nil {
+		outcome, errText = errKind(err), err.Error()
+	}
+	e.observer.QueryEnd(live, elapsed, rows, root, outcome, errText)
+	if err != nil {
+		return nil, root, err
+	}
+	return rel, root, nil
 }
 
 // execute runs an already-rewritten physical plan under the engine
-// budget, the caller's context, and an optional collector.
-func (e *Engine) execute(ctx context.Context, p algebra.Node, col *obs.Collector) (*relation.Relation, error) {
-	// Fast path: no budget and a context that can never be canceled
-	// (Background/TODO) need no governor, so benchmark hot loops skip
-	// even the per-row atomic tick.
-	if e.budget == (Budget{}) && ctx.Done() == nil {
-		return e.exec.RunObserved(p, nil, col)
+// budget, the caller's context, an optional collector, and an optional
+// live-registry entry.
+func (e *Engine) execute(ctx context.Context, p algebra.Node, col *obs.Collector, live *obs.LiveQuery) (*relation.Relation, error) {
+	// Governor-free hot path (WithGovernorFastPath, on by default): no
+	// budget and a context that can never be canceled (Background/TODO)
+	// need no governor, so benchmark hot loops skip even the per-row
+	// atomic tick. Observability is independent of governance — the
+	// collector and live counters flow on both paths.
+	if e.fastPath && e.budget == (Budget{}) && ctx.Done() == nil {
+		return e.exec.RunLive(p, nil, col, live)
 	}
 	if e.budget.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -309,7 +390,7 @@ func (e *Engine) execute(ctx context.Context, p algebra.Node, col *obs.Collector
 		defer cancel()
 	}
 	gov := govern.New(ctx, govern.Budget{MaxRows: e.budget.MaxRows, MaxMemBytes: e.budget.MaxMemBytes})
-	return e.exec.RunObserved(p, gov, col)
+	return e.exec.RunLive(p, gov, col, live)
 }
 
 // finishQuery flushes the per-query process metrics and records

@@ -91,18 +91,18 @@ Project [H.HourDsc, H.StartInterval, H.EndInterval]
 `
 
 const goldenAnalyze = `strategy: gmdj-opt (analyzed)
-Project [H.HourDsc, H.StartInterval, H.EndInterval] (time=X rows=4 bytes=576)
-  Select [cnt1 > 0] (time=X rows=4 bytes=736)
-    GMDJ +completion+freeze (1 conditions) (time=X rows=4 bytes=736 detail_rows=33 probes=12 matches=4 completed=4 short_circuit_rows=267 fallback_conds=1)
+Project [H.HourDsc, H.StartInterval, H.EndInterval] (time=X act=4 est=1 bytes=576)
+  Select [cnt1 > 0] (time=X act=4 est=1 bytes=736)
+    GMDJ +completion+freeze (1 conditions) (time=X act=4 est=3 bytes=736 detail_rows=33 probes=12 matches=4 completed=4 short_circuit_rows=267 fallback_conds=1)
       cond: (count(*) -> cnt1 | θ: (F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP'))
-      Scan Hours->H (time=X rows=4 bytes=576)
-      Scan Flow->F (time=X rows=300 bytes=75000)
+      Scan Hours->H (time=X act=4 est=4 bytes=576)
+      Scan Flow->F (time=X act=300 est=300 bytes=75000)
 `
 
 const goldenAnalyzeNative = `strategy: native (analyzed)
-Select [∃(σ[(F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP')](Flow->F))] (time=X rows=4 bytes=576)
-  Scan Hours->H (time=X rows=4 bytes=576)
-  Scan Flow->F (time=X rows=300 bytes=75000)
+Select [∃(σ[(F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP')](Flow->F))] (time=X act=4 est=2 bytes=576)
+  Scan Hours->H (time=X act=4 est=4 bytes=576)
+  Scan Flow->F (time=X act=300 est=300 bytes=75000)
 `
 
 // TestExplainGolden pins the exact EXPLAIN / EXPLAIN ANALYZE text on

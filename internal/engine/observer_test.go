@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/datagen"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// TestObserverFastPathRecordsSamples pins the contract of the
+// governor-free hot path: a plain Run (no budget, Background context)
+// skips the governor but must still feed the observer — histogram
+// samples, a slow-query log record carrying the full stats tree, and
+// cost-model estimates annotated onto it.
+func TestObserverFastPathRecordsSamples(t *testing.T) {
+	e := testEngine()
+	o := obs.NewObserver(obs.ObserverConfig{})
+	e.SetObserver(o)
+
+	rel, err := e.Run(existsPlan(), GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := o.Histograms()
+	if h["query_ns.gmdj-opt"].Count != 1 {
+		t.Errorf("fast path did not record a latency sample: %v", h)
+	}
+	if h["query_rows.gmdj-opt"].P50 != int64(rel.Len()) {
+		t.Errorf("row histogram p50 = %d, want %d", h["query_rows.gmdj-opt"].P50, rel.Len())
+	}
+	if h["op_ns.scan"].Count == 0 || h["op_ns.gmdj"].Count == 0 {
+		t.Errorf("operator-kind histograms not sampled: %v", h)
+	}
+	recs := o.SlowLog().Entries()
+	if len(recs) != 1 || recs[0].Stats == nil {
+		t.Fatalf("slowlog should capture the stats tree on the fast path: %+v", recs)
+	}
+	if recs[0].Stats.Find("GMDJ") == nil {
+		t.Errorf("slowlog stats tree lacks the GMDJ operator:\n%s", obs.FormatTree(recs[0].Stats))
+	}
+	if recs[0].Stats.EstRows == nil {
+		t.Error("slowlog stats tree lacks cost-model estimates")
+	}
+	if n := len(o.InFlight()); n != 0 {
+		t.Errorf("query still registered in-flight after completion: %d", n)
+	}
+}
+
+// TestGovernorFastPathOption: results and observer samples are
+// identical with the fast path forced off — the option changes only
+// whether a (never-tripping) governor rides along.
+func TestGovernorFastPathOption(t *testing.T) {
+	cat := datagen.Netflow(datagen.NetflowOpts{Flows: 300, Hours: 4, Users: 6, Seed: 3})
+	var want string
+	for _, fast := range []bool{true, false} {
+		e := New(cat, WithGovernorFastPath(fast))
+		o := obs.NewObserver(obs.ObserverConfig{})
+		e.SetObserver(o)
+		rel, err := e.Run(existsPlan(), GMDJOpt)
+		if err != nil {
+			t.Fatalf("fastPath=%v: %v", fast, err)
+		}
+		if fast {
+			want = rel.String()
+		} else if rel.String() != want {
+			t.Errorf("governed run differs from fast-path run:\n%s\nvs\n%s", rel.String(), want)
+		}
+		if o.Histograms()["query_ns.gmdj-opt"].Count != 1 {
+			t.Errorf("fastPath=%v: no latency sample recorded", fast)
+		}
+	}
+}
+
+// TestLiveQueryDashboardDuringScan is the live-registry acceptance
+// test: while a long GMDJ detail scan runs, /debug/olap/queries must
+// show the query in flight with advancing row counters; cancellation
+// then unregisters it and the slow-query log records the aborted run.
+func TestLiveQueryDashboardDuringScan(t *testing.T) {
+	cat := datagen.Netflow(datagen.NetflowOpts{Flows: 250_000, Hours: 24, Users: 6, Seed: 1})
+	o := obs.NewObserver(obs.ObserverConfig{})
+	e := New(cat, WithObserver(o))
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	// Overlap θ with no equi-binding and no detail-only filter: every
+	// detail row scans the active base set, so the scan is long enough
+	// to observe and cancel.
+	sub := &algebra.Subquery{
+		Source: algebra.NewScan("Flow", "F"),
+		Where: &algebra.Atom{E: expr.NewAnd(
+			expr.NewCmp(value.GE, expr.C("F.StartTime"), expr.C("H.StartInterval")),
+			expr.NewCmp(value.LT, expr.C("F.StartTime"), expr.C("H.EndInterval")),
+		)},
+	}
+	plan := algebra.NewRestrict(algebra.NewScan("Hours", "H"), algebra.ExistsPred(sub))
+
+	const sql = "SELECT * FROM Hours H WHERE EXISTS (SELECT * FROM Flow F WHERE ...)"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.RunQueryContext(ctx, sql, plan, GMDJ)
+		done <- err
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		res, err := http.Get(srv.URL + "/debug/olap/queries")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []obs.LiveSnapshot
+		err = json.NewDecoder(res.Body).Decode(&live)
+		res.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(live) == 1 && live[0].Scanned > 0 && live[0].DetailRows > 0 {
+			if live[0].SQL != sql {
+				t.Errorf("dashboard SQL = %q, want %q", live[0].SQL, sql)
+			}
+			if live[0].Strategy != "gmdj" {
+				t.Errorf("dashboard strategy = %q, want gmdj", live[0].Strategy)
+			}
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("query finished (err=%v) before the dashboard observed it", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dashboard never showed the in-flight query: %+v", live)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	cancel()
+	if err := <-done; !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("canceled scan returned %v, want govern.ErrCanceled", err)
+	}
+	if n := len(o.InFlight()); n != 0 {
+		t.Errorf("in-flight registry not drained after cancellation: %d", n)
+	}
+	recs := o.SlowLog().Entries()
+	if len(recs) != 1 || recs[0].Outcome != "canceled" {
+		t.Errorf("slowlog should record the canceled run: %+v", recs)
+	}
+}
+
+// TestSlowLogGoldenJSON pins the slow-query log's exported JSON shape:
+// run one query through the observer, normalize the wall-clock fields,
+// and compare against the golden document. Breaking this golden means
+// breaking every downstream slowlog consumer.
+func TestSlowLogGoldenJSON(t *testing.T) {
+	e := testEngine()
+	o := obs.NewObserver(obs.ObserverConfig{})
+	e.SetObserver(o)
+	const sql = "SELECT * FROM Hours H WHERE EXISTS (...)"
+	if _, err := e.RunQueryContext(context.Background(), sql, existsPlan(), GMDJOpt); err != nil {
+		t.Fatal(err)
+	}
+	recs := obs.NormalizeRecords(o.SlowLog().Entries())
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimRight(buf.String(), "\n"); got != goldenSlowLog {
+		t.Errorf("slowlog JSON drifted:\n--- got ---\n%s\n--- want ---\n%s", got, goldenSlowLog)
+	}
+}
+
+const goldenSlowLog = `[
+  {
+    "time": "0001-01-01T00:00:00Z",
+    "sql": "SELECT * FROM Hours H WHERE EXISTS (...)",
+    "strategy": "gmdj-opt",
+    "elapsed_ns": 0,
+    "rows": 4,
+    "outcome": "ok",
+    "stats": {
+      "label": "Project [H.HourDsc, H.StartInterval, H.EndInterval]",
+      "rows": 4,
+      "bytes": 576,
+      "elapsed_ns": 0,
+      "children": [
+        {
+          "label": "Select [cnt1 > 0]",
+          "rows": 4,
+          "bytes": 736,
+          "elapsed_ns": 0,
+          "children": [
+            {
+              "label": "GMDJ +completion+freeze (1 conditions)",
+              "extras": [
+                "cond: (count(*) -> cnt1 | θ: (F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP'))"
+              ],
+              "rows": 4,
+              "bytes": 736,
+              "elapsed_ns": 0,
+              "counters": [
+                {
+                  "name": "detail_rows",
+                  "value": 33
+                },
+                {
+                  "name": "probes",
+                  "value": 12
+                },
+                {
+                  "name": "matches",
+                  "value": 4
+                },
+                {
+                  "name": "completed",
+                  "value": 4
+                },
+                {
+                  "name": "short_circuit_rows",
+                  "value": 267
+                },
+                {
+                  "name": "fallback_conds",
+                  "value": 1
+                }
+              ],
+              "children": [
+                {
+                  "label": "Scan Hours->H",
+                  "rows": 4,
+                  "bytes": 576,
+                  "elapsed_ns": 0,
+                  "est_rows": 4
+                },
+                {
+                  "label": "Scan Flow->F",
+                  "rows": 300,
+                  "bytes": 75000,
+                  "elapsed_ns": 0,
+                  "est_rows": 300
+                }
+              ],
+              "est_rows": 3
+            }
+          ],
+          "est_rows": 1
+        }
+      ],
+      "est_rows": 1
+    }
+  }
+]`

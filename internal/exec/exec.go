@@ -81,8 +81,16 @@ func (e *Executor) RunGoverned(plan algebra.Node, gov *govern.Governor) (*relati
 // so a buggy or injected-fault operator aborts the query, not the
 // process. (Parallel GMDJ workers recover on their own goroutines and
 // feed the same taxonomy.)
-func (e *Executor) RunObserved(plan algebra.Node, gov *govern.Governor, col *obs.Collector) (out *relation.Relation, err error) {
-	q := &query{gov: gov, faults: e.Faults, col: col}
+func (e *Executor) RunObserved(plan algebra.Node, gov *govern.Governor, col *obs.Collector) (*relation.Relation, error) {
+	return e.RunLive(plan, gov, col, nil)
+}
+
+// RunLive is RunObserved plus a live-registry entry (nil = none):
+// operator loops bump its row/byte/scan counters as they materialize
+// output, which is what the /debug/olap/queries dashboard reads while
+// the query is still running.
+func (e *Executor) RunLive(plan algebra.Node, gov *govern.Governor, col *obs.Collector, live *obs.LiveQuery) (out *relation.Relation, err error) {
+	q := &query{gov: gov, faults: e.Faults, col: col, live: live}
 	defer func() {
 		if r := recover(); r != nil {
 			out = nil
@@ -111,6 +119,7 @@ type query struct {
 	gov    *govern.Governor
 	faults *govern.Injector
 	col    *obs.Collector
+	live   *obs.LiveQuery
 	node   algebra.Node
 	// scanned totals base-table rows produced by Scan operators; gstats
 	// totals GMDJ operator counters. Both are flushed to the process
@@ -127,12 +136,19 @@ func (q *query) tick() error {
 	return q.gov.Tick()
 }
 
-// account charges one materialized row against the query budgets.
+// account charges one materialized row against the query budgets and
+// bumps the live progress counters. Ungoverned, unobserved queries
+// (both nil) pay two nil checks.
 func (q *query) account(row relation.Tuple) error {
-	if q == nil || q.gov == nil {
+	if q == nil || (q.gov == nil && q.live == nil) {
 		return nil
 	}
-	return q.gov.AccountAppend(1, row.ApproxBytes())
+	bytes := row.ApproxBytes()
+	q.live.AddOut(1, bytes)
+	if q.gov == nil {
+		return nil
+	}
+	return q.gov.AccountAppend(1, bytes)
 }
 
 // fire triggers any injected fault at a named operator site, recording
@@ -258,6 +274,7 @@ func (e *Executor) evalScan(s *algebra.Scan, ev *env) (*relation.Relation, error
 		return nil, err
 	}
 	ev.q.scanned += int64(t.Rel.Len())
+	ev.q.live.AddScanned(int64(t.Rel.Len()))
 	return t.Rel.Rename(s.EffectiveAlias()), nil
 }
 
@@ -514,6 +531,7 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 		Gov:        ev.q.gov,
 		Faults:     ev.q.faults,
 		Tracer:     ev.q.col.Tracer(),
+		Live:       ev.q.live,
 	})
 	ev.q.gstats.Merge(&local)
 	if e.GMDJStats != nil {

@@ -106,6 +106,10 @@ type Options struct {
 	// Tracer, when non-nil, records one span per parallel worker
 	// partition (Perfetto track per worker). Nil disables tracing.
 	Tracer *obs.Tracer
+	// Live, when non-nil, receives per-detail-row progress for the live
+	// query dashboard. Shared by parallel workers (atomic counters), so
+	// a long detail scan shows advancing numbers while it runs.
+	Live *obs.LiveQuery
 }
 
 // condProg is one compiled θᵢ with its aggregate list.
@@ -133,6 +137,7 @@ type program struct {
 	gov          *govern.Governor
 	faults       *govern.Injector
 	tracer       *obs.Tracer
+	live         *obs.LiveQuery
 }
 
 // Evaluate computes the GMDJ of base and detail under conds.
@@ -150,7 +155,7 @@ func Evaluate(base, detail *relation.Relation, conds []algebra.GMDJCond, opts Op
 	if err != nil {
 		return nil, err
 	}
-	p.gov, p.faults, p.tracer = opts.Gov, opts.Faults, opts.Tracer
+	p.gov, p.faults, p.tracer, p.live = opts.Gov, opts.Faults, opts.Tracer, opts.Live
 	if opts.Stats != nil {
 		for _, c := range p.conds {
 			if c.index == nil && len(c.baseKey) == 0 {
@@ -426,6 +431,7 @@ func (s *state) feed(di int) error {
 	detailRow := p.detail.Rows[di]
 	copy(s.combined[p.baseW:], detailRow)
 	s.stats.DetailRows++
+	p.live.AddDetail(1)
 	for ci := range p.conds {
 		cp := &p.conds[ci]
 		if cp.detailPred != nil {
@@ -615,9 +621,13 @@ func (p *program) emit(decided []int8, accs [][]agg.Accumulator) (*relation.Rela
 		for _, a := range accs[bi] {
 			row = append(row, a.Result())
 		}
-		if p.gov != nil {
-			if err := p.gov.AccountAppend(1, row.ApproxBytes()); err != nil {
-				return nil, err
+		if p.gov != nil || p.live != nil {
+			bytes := row.ApproxBytes()
+			p.live.AddOut(1, bytes)
+			if p.gov != nil {
+				if err := p.gov.AccountAppend(1, bytes); err != nil {
+					return nil, err
+				}
 			}
 		}
 		out.Append(row)

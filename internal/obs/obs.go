@@ -42,8 +42,48 @@ type Op struct {
 	Err      string        `json:"err,omitempty"`
 	Counters []Counter     `json:"counters,omitempty"`
 	Children []*Op         `json:"children,omitempty"`
+	// EstRows, when present, is the cost model's predicted output
+	// cardinality for this operator — the drift column of EXPLAIN
+	// ANALYZE (est=N act=M), the feedback loop that tells us when the
+	// optimizer's estimates are off.
+	EstRows *int64 `json:"est_rows,omitempty"`
 
 	start time.Time
+}
+
+// MisestimateFactor is the actual/estimated cardinality ratio (either
+// direction) beyond which EXPLAIN ANALYZE flags an operator line.
+const MisestimateFactor = 10
+
+// SetEst attaches the cost model's cardinality estimate. Nil-safe.
+func (o *Op) SetEst(rows int64) {
+	if o == nil {
+		return
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	o.EstRows = &rows
+}
+
+// Misestimate returns the larger of act/est and est/act (both floored
+// at 1 to tolerate empty results) — 1.0 means a perfect estimate — and
+// whether an estimate is present at all.
+func (o *Op) Misestimate() (float64, bool) {
+	if o == nil || o.EstRows == nil {
+		return 0, false
+	}
+	act, est := float64(o.Rows), float64(*o.EstRows)
+	if act < 1 {
+		act = 1
+	}
+	if est < 1 {
+		est = 1
+	}
+	if act > est {
+		return act / est, true
+	}
+	return est / act, true
 }
 
 // Add accumulates a named counter on the operator. Nil-safe.
@@ -228,7 +268,15 @@ func formatOp(b *strings.Builder, o *Op, depth int) {
 		return
 	}
 	indent := strings.Repeat("  ", depth)
-	fmt.Fprintf(b, "%s%s (time=%s rows=%d", indent, o.Label, fmtDuration(o.Elapsed), o.Rows)
+	fmt.Fprintf(b, "%s%s (time=%s", indent, o.Label, fmtDuration(o.Elapsed))
+	if o.EstRows != nil {
+		fmt.Fprintf(b, " act=%d est=%d", o.Rows, *o.EstRows)
+		if mis, ok := o.Misestimate(); ok && mis >= MisestimateFactor {
+			fmt.Fprintf(b, " misest=%.0fx", mis)
+		}
+	} else {
+		fmt.Fprintf(b, " rows=%d", o.Rows)
+	}
 	if o.Bytes > 0 {
 		fmt.Fprintf(b, " bytes=%d", o.Bytes)
 	}

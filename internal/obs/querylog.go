@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Structured slow-query log: any query whose wall time meets a
+// configurable threshold is captured with everything needed to explain
+// it after the fact — the SQL text, the strategy that ran, the
+// governance outcome, and the full EXPLAIN ANALYZE stats tree of that
+// exact execution. Retention is a fixed-capacity ring, so a
+// long-running server keeps the most recent window without unbounded
+// growth (the same policy as the trace recorder).
+
+// DefaultQueryLogCapacity bounds the ring when the caller passes a
+// non-positive capacity to NewQueryLog.
+const DefaultQueryLogCapacity = 256
+
+// QueryRecord is one logged query.
+type QueryRecord struct {
+	// Time is when the query finished.
+	Time time.Time `json:"time"`
+	// SQL is the statement text ("" for programmatic plans).
+	SQL string `json:"sql,omitempty"`
+	// Strategy names the evaluation strategy that ran.
+	Strategy string `json:"strategy"`
+	// Elapsed is the query's wall time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Rows is the result cardinality (0 on error).
+	Rows int64 `json:"rows"`
+	// Outcome is the governance taxonomy bucket: "ok", "canceled",
+	// "timeout", "row_budget", "mem_budget", "internal", or "other".
+	Outcome string `json:"outcome"`
+	// Err is the error text for non-ok outcomes.
+	Err string `json:"err,omitempty"`
+	// Stats is the EXPLAIN ANALYZE tree of this execution (nil when the
+	// engine ran without a collector).
+	Stats *Op `json:"stats,omitempty"`
+}
+
+// QueryLog is a threshold-filtered ring buffer of QueryRecords. All
+// methods are safe for concurrent use and nil-safe.
+type QueryLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	entries   []QueryRecord
+	cap       int
+	next      int
+	wrapped   bool
+	// total counts every record that met the threshold, including ones
+	// since overwritten by ring wraparound.
+	total int64
+}
+
+// NewQueryLog creates a log keeping up to capacity records
+// (DefaultQueryLogCapacity when capacity <= 0) of queries at least
+// threshold slow. A zero threshold logs every query.
+func NewQueryLog(threshold time.Duration, capacity int) *QueryLog {
+	if capacity <= 0 {
+		capacity = DefaultQueryLogCapacity
+	}
+	return &QueryLog{threshold: threshold, cap: capacity}
+}
+
+// Threshold reports the slow-query threshold. Nil-safe.
+func (l *QueryLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Observe appends rec when it meets the threshold, reporting whether
+// it was kept. Nil-safe.
+func (l *QueryLog) Observe(rec QueryRecord) bool {
+	if l == nil || rec.Elapsed < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, rec)
+		return true
+	}
+	l.entries[l.next] = rec
+	l.next = (l.next + 1) % l.cap
+	l.wrapped = true
+	return true
+}
+
+// Len reports the number of retained records. Nil-safe.
+func (l *QueryLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Total reports how many queries met the threshold since creation
+// (retained or since overwritten). Nil-safe.
+func (l *QueryLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Entries returns the retained records, oldest first. Nil-safe.
+func (l *QueryLog) Entries() []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, 0, len(l.entries))
+	if l.wrapped {
+		out = append(out, l.entries[l.next:]...)
+		out = append(out, l.entries[:l.next]...)
+	} else {
+		out = append(out, l.entries...)
+	}
+	return out
+}
+
+// WriteJSON exports the retained records (oldest first) as an indented
+// JSON array. Nil-safe (writes an empty array).
+func (l *QueryLog) WriteJSON(w io.Writer) error {
+	entries := l.Entries()
+	if entries == nil {
+		entries = []QueryRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// Format renders the retained records as text, newest first — the
+// REPL's \slowlog view.
+func (l *QueryLog) Format() string {
+	entries := l.Entries()
+	if len(entries) == 0 {
+		return "(no slow queries recorded)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d slow quer%s (threshold %s, %d retained):\n",
+		l.Total(), plural(l.Total(), "y", "ies"), fmtDuration(l.Threshold()), len(entries))
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		sql := e.SQL
+		if sql == "" {
+			sql = "(plan)"
+		}
+		fmt.Fprintf(&b, "  [%s] %-9s %-10s rows=%-8d %s  %s\n",
+			e.Time.Format("15:04:05.000"), fmtDuration(e.Elapsed), e.Strategy, e.Rows, e.Outcome, sql)
+		if e.Err != "" {
+			fmt.Fprintf(&b, "      err: %s\n", e.Err)
+		}
+	}
+	return b.String()
+}
+
+func plural(n int64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// NormalizeRecords zeroes every wall-clock-dependent field (record
+// time, elapsed, and the stats tree's per-operator timings and byte
+// approximations stay) so golden tests can compare slow-query-log JSON
+// reproducibly. Returns the same slice for chaining.
+func NormalizeRecords(recs []QueryRecord) []QueryRecord {
+	for i := range recs {
+		recs[i].Time = time.Time{}
+		recs[i].Elapsed = 0
+		normalizeOpTimings(recs[i].Stats)
+	}
+	return recs
+}
+
+func normalizeOpTimings(o *Op) {
+	if o == nil {
+		return
+	}
+	o.Elapsed = 0
+	for _, ch := range o.Children {
+		normalizeOpTimings(ch)
+	}
+}

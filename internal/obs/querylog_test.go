@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueryLogThresholdAndRing(t *testing.T) {
+	l := NewQueryLog(10*time.Millisecond, 3)
+	if l.Observe(QueryRecord{Elapsed: 5 * time.Millisecond}) {
+		t.Error("below-threshold record kept")
+	}
+	for i := 0; i < 5; i++ {
+		if !l.Observe(QueryRecord{SQL: strings.Repeat("x", i+1), Elapsed: 20 * time.Millisecond}) {
+			t.Fatalf("record %d rejected", i)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want ring capacity 3", l.Len())
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", l.Total())
+	}
+	got := l.Entries()
+	// Oldest-first after wraparound: records 3, 4, 5 (lengths 3, 4, 5).
+	for i, want := range []int{3, 4, 5} {
+		if len(got[i].SQL) != want {
+			t.Errorf("entry %d SQL len = %d, want %d", i, len(got[i].SQL), want)
+		}
+	}
+}
+
+func TestQueryLogNilSafe(t *testing.T) {
+	var l *QueryLog
+	if l.Observe(QueryRecord{Elapsed: time.Hour}) {
+		t.Error("nil log kept a record")
+	}
+	if l.Len() != 0 || l.Total() != 0 || l.Entries() != nil || l.Threshold() != 0 {
+		t.Error("nil log not inert")
+	}
+	var b strings.Builder
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Errorf("nil WriteJSON = %q, want []", b.String())
+	}
+}
+
+func TestQueryLogFormatNewestFirst(t *testing.T) {
+	l := NewQueryLog(0, 8)
+	l.Observe(QueryRecord{SQL: "first", Strategy: "gmdj-opt", Outcome: "ok", Elapsed: time.Millisecond})
+	l.Observe(QueryRecord{SQL: "second", Strategy: "native", Outcome: "timeout", Err: "deadline", Elapsed: 2 * time.Millisecond})
+	out := l.Format()
+	if strings.Index(out, "second") > strings.Index(out, "first") {
+		t.Errorf("format not newest-first:\n%s", out)
+	}
+	if !strings.Contains(out, "timeout") || !strings.Contains(out, "deadline") {
+		t.Errorf("outcome/err missing:\n%s", out)
+	}
+}

@@ -28,14 +28,20 @@ func TestQueryAnalyzeReconciles(t *testing.T) {
 			t.Errorf("%v: header missing:\n%s", s, plan)
 		}
 		// The root operator line is the first line after the header; its
-		// rows= annotation must equal the result cardinality.
+		// actual-cardinality annotation (act= when the cost model
+		// attached an estimate, rows= otherwise) must equal the result
+		// cardinality.
 		lines := strings.Split(plan, "\n")
 		if len(lines) < 2 {
 			t.Fatalf("%v: short plan:\n%s", s, plan)
 		}
 		rows := -1
 		for _, f := range strings.Fields(lines[1]) {
-			if v, ok := strings.CutPrefix(f, "rows="); ok {
+			v, ok := strings.CutPrefix(f, "act=")
+			if !ok {
+				v, ok = strings.CutPrefix(f, "rows=")
+			}
+			if ok {
 				rows, _ = strconv.Atoi(strings.TrimRight(v, ")"))
 			}
 		}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Bench-trajectory pipeline: runs cmd/benchfig in trajectory mode and
+# compares the fresh run against the committed BENCH_<fig>.json
+# baselines at the repo root, failing (exit 3 from benchfig) when any
+# matching cell is more than 15% (+2ms absolute slack) slower.
+#
+# Usage:
+#   scripts/bench_trajectory.sh               # compare fig4 and fig5
+#   scripts/bench_trajectory.sh fig4          # compare one figure
+#   scripts/bench_trajectory.sh -update       # re-record all baselines
+#   scripts/bench_trajectory.sh -update fig4  # re-record one baseline
+#
+# Environment overrides:
+#   BENCH_TRAJECTORY_SCALE      row-count multiplier (default 0.0625)
+#   BENCH_TRAJECTORY_REPEAT     measurements per cell (default 3)
+#   BENCH_TRAJECTORY_TOLERANCE  allowed relative slowdown (default 0.15)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${BENCH_TRAJECTORY_SCALE:-0.0625}"
+repeat="${BENCH_TRAJECTORY_REPEAT:-3}"
+tolerance="${BENCH_TRAJECTORY_TOLERANCE:-0.15}"
+
+update=0
+if [ "${1:-}" = "-update" ]; then
+  update=1
+  shift
+fi
+figs=("$@")
+if [ ${#figs[@]} -eq 0 ]; then
+  figs=(fig4 fig5)
+fi
+
+bin=$(mktemp -d)/benchfig
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/benchfig
+
+status=0
+for fig in "${figs[@]}"; do
+  baseline="BENCH_${fig}.json"
+  if [ "$update" = 1 ] || [ ! -f "$baseline" ]; then
+    echo "bench_trajectory: recording baseline $baseline"
+    "$bin" -fig "$fig" -scale "$scale" -repeat "$repeat" -json "$baseline"
+    continue
+  fi
+  echo "bench_trajectory: comparing $fig against $baseline"
+  if ! "$bin" -fig "$fig" -scale "$scale" -repeat "$repeat" -json "BENCH_${fig}.current.json" \
+      -baseline "$baseline" -tolerance "$tolerance"; then
+    status=3
+  fi
+done
+exit "$status"

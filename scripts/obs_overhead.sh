@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Guards the "observability is free when nobody is looking" invariant:
 # runs the Figure 4 gmdj-opt benchmark with stats collection on
-# (GMDJ_OBS=1) and off, takes the minimum ns/op of several runs each,
-# and fails if the observed run is more than 5% slower than the plain
-# run. Because the disabled path is a strict subset of the enabled one
-# (every hook short-circuits on a nil collector), bounding the enabled
+# (GMDJ_OBS=1), with a full workload observer attached — histograms,
+# live-query registry, slow-query log — (GMDJ_OBS=2), and off, takes
+# the minimum ns/op of several runs each, and fails if either enabled
+# mode is more than 5% slower than the plain run. Because the disabled
+# path is a strict subset of the enabled one (every hook
+# short-circuits on a nil collector/observer), bounding the enabled
 # overhead also bounds any disabled-path regression.
 #
 # Usage: scripts/obs_overhead.sh [runs]
@@ -33,15 +35,20 @@ min_nsop() {
 
 plain=$(min_nsop 0)
 observed=$(min_nsop 1)
-echo "obs_overhead: plain=${plain} ns/op observed=${observed} ns/op"
+full=$(min_nsop 2)
+echo "obs_overhead: plain=${plain} ns/op observed=${observed} ns/op observer=${full} ns/op"
 
 # Allow 5% relative or 200µs absolute slack, whichever is larger, so
 # sub-millisecond cells don't flake on scheduler noise.
-awk -v p="$plain" -v o="$observed" 'BEGIN {
-  slack = p * 0.05; if (slack < 200000) slack = 200000
-  if (o > p + slack) {
-    printf "obs_overhead: FAIL: observed run %.0f ns/op exceeds plain %.0f ns/op by more than 5%% (+%.0f ns allowed)\n", o, p, slack
-    exit 1
-  }
-  printf "obs_overhead: OK (+%.1f%%)\n", (o - p) / p * 100
-}'
+check() {
+  awk -v p="$plain" -v o="$1" -v mode="$2" 'BEGIN {
+    slack = p * 0.05; if (slack < 200000) slack = 200000
+    if (o > p + slack) {
+      printf "obs_overhead: FAIL: %s run %.0f ns/op exceeds plain %.0f ns/op by more than 5%% (+%.0f ns allowed)\n", mode, o, p, slack
+      exit 1
+    }
+    printf "obs_overhead: %s OK (%+.1f%%)\n", mode, (o - p) / p * 100
+  }'
+}
+check "$observed" "stats-collection"
+check "$full" "histogram+registry"
