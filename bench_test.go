@@ -332,3 +332,81 @@ func BenchmarkPartitionedGMDJ(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPreparedReplay measures the redesigned API on the paper's
+// Example 2.3 workload replayed with rotating constants — the
+// dashboard-replay pattern the plan cache and prepared statements
+// exist for:
+//
+//	unprepared    — Query against a DB with the plan cache disabled:
+//	                every replay parses, resolves, and rewrites.
+//	plancache     — plain Query (Open's default): constants are lifted
+//	                into parameters and the compiled template is shared.
+//	prepared      — an explicit prepared statement, bound per replay.
+//	prepared-memo — prepared plus WithResultCache: replays also reuse
+//	                GMDJ detail-side hash vectors across queries.
+func BenchmarkPreparedReplay(b *testing.B) {
+	const flows = 125
+	tmpl := `SELECT u.IPAddress FROM User u
+	 WHERE NOT EXISTS (SELECT * FROM Flow f1 WHERE f1.SourceIP = u.IPAddress AND f1.DestIP = %s)
+	   AND EXISTS     (SELECT * FROM Flow f2 WHERE f2.SourceIP = u.IPAddress AND f2.DestIP = %s)
+	   AND NOT EXISTS (SELECT * FROM Flow f3 WHERE f3.SourceIP = u.IPAddress AND f3.DestIP = %s)`
+	dests := [][3]string{
+		{"167.167.167.0", "168.168.168.0", "169.169.169.0"},
+		{"168.168.168.0", "169.169.169.0", "167.167.167.0"},
+		{"169.169.169.0", "167.167.167.0", "168.168.168.0"},
+	}
+
+	b.Run("unprepared", func(b *testing.B) {
+		db := OpenNetflowSample(flows, WithPlanCache(-1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := dests[i%len(dests)]
+			q := fmt.Sprintf(tmpl, "'"+d[0]+"'", "'"+d[1]+"'", "'"+d[2]+"'")
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plancache", func(b *testing.B) {
+		db := OpenNetflowSample(flows)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := dests[i%len(dests)]
+			q := fmt.Sprintf(tmpl, "'"+d[0]+"'", "'"+d[1]+"'", "'"+d[2]+"'")
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		db := OpenNetflowSample(flows)
+		stmt, err := db.Prepare(fmt.Sprintf(tmpl, "$1", "$2", "$3"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer stmt.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := dests[i%len(dests)]
+			if _, err := stmt.Query(d[0], d[1], d[2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared-memo", func(b *testing.B) {
+		db := OpenNetflowSample(flows, WithResultCache(0))
+		stmt, err := db.Prepare(fmt.Sprintf(tmpl, "$1", "$2", "$3"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer stmt.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := dests[i%len(dests)]
+			if _, err := stmt.Query(d[0], d[1], d[2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

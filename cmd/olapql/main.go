@@ -4,8 +4,16 @@
 //
 //	olapql [-data netflow|tpcr|none] [-scale f] [-strategy s] [-workers n]
 //	       [-timeout d] [-max-rows n] [-max-mem bytes]
+//	       [-plancache bytes] [-resultcache bytes]
 //	       [-explain] [-trace out.json] [-metrics-addr :8080]
 //	       [-slowlog out.json] [-slow-ms n]
+//
+// Caching: the parameterized plan cache is on by default (-plancache
+// sets its byte budget; negative disables it); -resultcache enables
+// the cross-query memo of uncorrelated subquery results and GMDJ
+// detail-side hash vectors, invalidated by table version on any write
+// (negative, the default, leaves it off). \caches shows both caches'
+// hit/miss/eviction counters.
 //
 // Observability: -explain (with -e) prints the EXPLAIN ANALYZE plan —
 // per-operator wall time, act=/est= cardinalities with cost-model
@@ -25,6 +33,10 @@
 //	\strategy <name>     switch evaluation strategy (native, unnest, gmdj, gmdj-opt)
 //	\explain <query>     show the physical plan for the current strategy
 //	\explain analyze <q> run the query, show the plan annotated with runtime stats
+//	\prepare <query>     compile a statement with ? or $n placeholders
+//	\execute <args...>   run the prepared statement with bound arguments
+//	                     ('quoted' strings, numbers, true/false, null)
+//	\caches              show plan-cache and result-memo counters
 //	\stats               show process-wide engine counters
 //	\hist                show workload latency/row histograms (p50/p90/p99)
 //	\slowlog             show the slow-query log, newest first
@@ -56,6 +68,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -99,6 +112,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (0 = none)")
 	maxRows := flag.Int64("max-rows", 0, "per-query cap on materialized rows (0 = none)")
 	maxMem := flag.Int64("max-mem", 0, "per-query cap on approximate materialized bytes (0 = none)")
+	planCacheBytes := flag.Int64("plancache", 0, "parameterized plan cache byte budget (0 = default 16 MiB, negative disables)")
+	resultCacheBytes := flag.Int64("resultcache", -1, "cross-query result memo byte budget (0 = default 64 MiB, negative = off)")
 	execQuery := flag.String("e", "", "execute one query and exit")
 	explain := flag.Bool("explain", false, "with -e: print the EXPLAIN ANALYZE plan alongside the result")
 	traceOut := flag.String("trace", "", "record query spans and write Chrome trace_event JSON to this file on exit")
@@ -107,20 +122,24 @@ func main() {
 	slowMS := flag.Int64("slow-ms", 0, "slow-query threshold in milliseconds (0 logs every query)")
 	flag.Parse()
 
+	opts := []gmdj.Option{
+		gmdj.WithParallelism(*workers),
+		gmdj.WithBudget(gmdj.Budget{Timeout: *timeout, MaxRows: *maxRows, MaxMemBytes: *maxMem}),
+		gmdj.WithPlanCache(*planCacheBytes),
+		gmdj.WithResultCache(*resultCacheBytes),
+	}
 	var db *gmdj.DB
 	switch *data {
 	case "netflow":
-		db = gmdj.OpenNetflowSample(int(50_000 * *scale))
+		db = gmdj.OpenNetflowSample(int(50_000 * *scale), opts...)
 	case "tpcr":
-		db = gmdj.OpenTPCRSample(*scale)
+		db = gmdj.OpenTPCRSample(*scale, opts...)
 	case "none":
-		db = gmdj.Open()
+		db = gmdj.Open(opts...)
 	default:
 		fmt.Fprintf(os.Stderr, "olapql: unknown dataset %q\n", *data)
 		os.Exit(exitUsage)
 	}
-	db.SetParallelism(*workers)
-	db.SetBudget(gmdj.Budget{Timeout: *timeout, MaxRows: *maxRows, MaxMemBytes: *maxMem})
 
 	strat, ok := parseStrategy(*strategy)
 	if !ok {
@@ -220,11 +239,12 @@ func main() {
 
 	fmt.Printf("olapql — GMDJ subquery engine (strategy: %v)\n", strat)
 	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
-	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \stats, \hist, \slowlog, \live, \quit`)
+	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \prepare <q>, \execute <args>, \caches, \stats, \hist, \slowlog, \live, \quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	defer flush()
+	var prepared *gmdj.Stmt
 	for {
 		fmt.Print("olap> ")
 		if !sc.Scan() {
@@ -242,6 +262,8 @@ func main() {
 			}
 		case line == `\stats`:
 			printMetrics(db.Metrics())
+		case line == `\caches`:
+			printCacheStats(db)
 		case line == `\hist`:
 			fmt.Print(db.FormatHistograms())
 		case line == `\slowlog`:
@@ -272,6 +294,38 @@ func main() {
 				continue
 			}
 			fmt.Print(plan)
+		case strings.HasPrefix(line, `\prepare`):
+			q := strings.TrimSpace(strings.TrimPrefix(line, `\prepare`))
+			if q == "" {
+				fmt.Println(`usage: \prepare <query with ? or $n placeholders>`)
+				continue
+			}
+			st, err := db.PrepareStrategy(q, strat)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if prepared != nil {
+				prepared.Close()
+			}
+			prepared = st
+			fmt.Printf("prepared (%d params); run \\execute <args...>\n", st.NumParams())
+		case strings.HasPrefix(line, `\execute`):
+			if prepared == nil {
+				fmt.Println(`no prepared statement; run \prepare <query> first`)
+				continue
+			}
+			args, err := splitArgs(strings.TrimSpace(strings.TrimPrefix(line, `\execute`)))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			res, err := prepared.Query(args...)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printResult(res)
 		default:
 			res, err := db.ExecStrategy(line, strat)
 			if err != nil {
@@ -285,6 +339,70 @@ func main() {
 			printResult(res)
 		}
 	}
+}
+
+func printCacheStats(db *gmdj.DB) {
+	p, r := db.PlanCacheStats(), db.ResultCacheStats()
+	fmt.Printf("  plan cache:  hits=%d misses=%d evictions=%d invalidations=%d entries=%d bytes=%d\n",
+		p.Hits, p.Misses, p.Evictions, p.Invalidations, p.Entries, p.Bytes)
+	fmt.Printf("  result memo: hits=%d misses=%d evictions=%d entries=%d bytes=%d\n",
+		r.Hits, r.Misses, r.Evictions, r.Entries, r.Bytes)
+}
+
+// splitArgs parses \execute arguments: whitespace- or comma-separated
+// tokens; 'quoted' strings ('' escapes a quote), integers, floats,
+// true/false, and null; any other bare token is a string.
+func splitArgs(s string) ([]any, error) {
+	var args []any
+	i := 0
+	for i < len(s) {
+		switch c := s[i]; {
+		case c == ' ' || c == '\t' || c == ',':
+			i++
+		case c == '\'':
+			var b strings.Builder
+			i++
+			for {
+				j := strings.IndexByte(s[i:], '\'')
+				if j < 0 {
+					return nil, fmt.Errorf("unterminated string in arguments")
+				}
+				b.WriteString(s[i : i+j])
+				i += j + 1
+				if i < len(s) && s[i] == '\'' {
+					b.WriteByte('\'')
+					i++
+					continue
+				}
+				break
+			}
+			args = append(args, b.String())
+		default:
+			j := i
+			for j < len(s) && s[j] != ' ' && s[j] != '\t' && s[j] != ',' {
+				j++
+			}
+			tok := s[i:j]
+			i = j
+			switch strings.ToLower(tok) {
+			case "true":
+				args = append(args, true)
+			case "false":
+				args = append(args, false)
+			case "null":
+				args = append(args, nil)
+			default:
+				if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+					args = append(args, n)
+				} else if f, err := strconv.ParseFloat(tok, 64); err == nil {
+					args = append(args, f)
+				} else {
+					args = append(args, tok)
+				}
+			}
+		}
+	}
+	return args, nil
 }
 
 func printMetrics(snap map[string]int64) {

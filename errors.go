@@ -1,0 +1,23 @@
+package gmdj
+
+import (
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/storage"
+)
+
+// Catalog and statement errors. Every error returned from the public
+// API for these conditions matches the corresponding sentinel with
+// errors.Is, regardless of how much context wraps it.
+var (
+	// ErrTableExists: CREATE TABLE (SQL or CreateTable) named a table
+	// that is already registered.
+	ErrTableExists = storage.ErrTableExists
+	// ErrUnknownTable: a statement referenced a table that does not
+	// exist.
+	ErrUnknownTable = storage.ErrUnknownTable
+	// ErrBadParam: a statement's placeholders and the supplied
+	// arguments disagree — wrong count, an unsupported Go value, or a
+	// query containing placeholders executed without a prepared
+	// statement.
+	ErrBadParam = expr.ErrBadParam
+)

@@ -38,18 +38,10 @@ func (db *DB) ExecStrategyContext(ctx context.Context, stmt string, s Strategy) 
 	}
 	switch st := parsed.(type) {
 	case *sql.SelectStmt:
-		plan, err := sql.Resolve(st.Plan, db.eng)
-		if err != nil {
-			return nil, err
-		}
-		rel, err := db.eng.RunQueryContext(ctx, stmt, plan, s)
-		if err != nil {
-			return nil, err
-		}
-		return toResult(rel), nil
+		return db.QueryStrategyContext(ctx, stmt, s)
 	case *sql.CreateTableStmt:
 		if _, err := db.cat.Table(st.Name); err == nil {
-			return nil, fmt.Errorf("gmdj: table %q already exists", st.Name)
+			return nil, fmt.Errorf("gmdj: %w: %q", ErrTableExists, st.Name)
 		}
 		db.cat.Register(storage.NewTable(st.Name, relation.New(relation.NewSchema(st.Cols...))))
 		return nil, nil
@@ -79,6 +71,9 @@ func (db *DB) ExecStrategyContext(ctx context.Context, stmt string, s Strategy) 
 		}
 		for _, row := range checked {
 			t.Rel.Append(row)
+		}
+		if len(checked) > 0 {
+			t.BumpVersion()
 		}
 		return nil, nil
 	case *sql.DropTableStmt:

@@ -27,9 +27,11 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/engine"
 	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/plancache"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/sql"
 	"github.com/olaplab/gmdj/internal/storage"
@@ -124,35 +126,60 @@ type DB struct {
 	eng *engine.Engine
 }
 
-// Open creates an empty database.
-func Open() *DB {
-	cat := storage.NewCatalog()
-	return &DB{cat: cat, eng: engine.New(cat)}
+// Open creates an empty database, configured by options. With no
+// options the database has the parameterized plan cache enabled
+// (16 MiB LRU; see WithPlanCache), secondary-index use on, serial
+// GMDJ scans, no budget, and no cross-query result memo.
+func Open(opts ...Option) *DB {
+	return newDB(storage.NewCatalog(), opts)
+}
+
+// newDB is the shared constructor behind Open and the sample openers:
+// defaults first, then the caller's options in order.
+func newDB(cat *storage.Catalog, opts []Option) *DB {
+	db := &DB{cat: cat, eng: engine.New(cat)}
+	db.eng.SetPlanCache(plancache.New(0))
+	for _, opt := range opts {
+		opt(db)
+	}
+	return db
 }
 
 // SetParallelism sets the number of workers used by GMDJ detail scans
 // (0 or 1 means serial).
+//
+// Deprecated: pass WithParallelism to Open.
 func (db *DB) SetParallelism(workers int) { db.eng.SetGMDJWorkers(workers) }
 
 // SetBudget bounds every subsequent query on this DB. Exceeding a
 // bound aborts that query (typed error; see ErrTimeout, ErrRowBudget,
 // ErrMemBudget) without affecting the DB or other queries. Not safe to
 // call concurrently with running queries.
+//
+// Deprecated: pass WithBudget to Open.
 func (db *DB) SetBudget(b Budget) { db.eng.SetBudget(b) }
 
 // SetUseIndexes toggles secondary-index use by the Native strategy.
 // GMDJ evaluation never depends on it — one of the paper's points.
+//
+// Deprecated: pass WithUseIndexes to Open.
 func (db *DB) SetUseIndexes(on bool) { db.eng.SetUseIndexes(on) }
 
 // SetMemoizeSubqueries toggles invariant reuse (Rao & Ross) in the
 // Native strategy: subquery outcomes are cached per distinct outer
 // correlation binding, so duplicate bindings share one evaluation.
+//
+// Deprecated: pass WithMemoizeSubqueries to Open.
 func (db *DB) SetMemoizeSubqueries(on bool) { db.eng.SetMemoizeSubqueries(on) }
 
-// CreateTable registers an empty table.
+// CreateTable registers an empty table. Registering a name that
+// already exists fails with an error matching ErrTableExists.
 func (db *DB) CreateTable(name string, cols ...Column) error {
 	if name == "" {
 		return fmt.Errorf("gmdj: empty table name")
+	}
+	if _, err := db.cat.Table(name); err == nil {
+		return fmt.Errorf("gmdj: %w: %q", ErrTableExists, name)
 	}
 	if len(cols) == 0 {
 		return fmt.Errorf("gmdj: table %q needs at least one column", name)
@@ -213,6 +240,9 @@ func (db *DB) Insert(table string, rows ...[]any) error {
 			tup[i] = cv
 		}
 		t.Rel.Append(tup)
+	}
+	if len(rows) > 0 {
+		t.BumpVersion()
 	}
 	return nil
 }
@@ -324,26 +354,110 @@ func (db *DB) QueryStrategy(query string, s Strategy) (*Result, error) {
 }
 
 // QueryStrategyContext is QueryStrategy honoring the caller's context.
+// When the plan cache is enabled (the Open default), the query's
+// literals are lifted into parameters and the resulting template is
+// compiled at most once per (normalized text, strategy); replays bind
+// the literals back into the cached physical plan and skip parsing,
+// resolution, and strategy rewriting entirely.
 func (db *DB) QueryStrategyContext(ctx context.Context, query string, s Strategy) (*Result, error) {
-	plan, err := sql.ParseAndResolve(query, db.eng)
+	phys, err := db.physicalPlan(query, s)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := db.eng.RunQueryContext(ctx, query, plan, s)
+	rel, err := db.eng.RunPlannedContext(ctx, query, phys, s)
 	if err != nil {
 		return nil, err
 	}
 	return toResult(rel), nil
 }
 
+// physicalPlan produces an executable (fully bound) physical plan for
+// the query, consulting the plan cache when one is installed.
+func (db *DB) physicalPlan(query string, s Strategy) (algebra.Node, error) {
+	pc := db.eng.PlanCache()
+	if pc == nil {
+		return db.planUncached(query, s)
+	}
+	norm, args, explicit, err := sql.Normalize(query)
+	if err != nil {
+		return nil, err
+	}
+	if explicit {
+		return nil, fmt.Errorf("gmdj: query contains placeholders; use Prepare and pass arguments: %w", ErrBadParam)
+	}
+	key := plancache.Key{Text: norm, Strategy: uint8(s)}
+	epoch := db.cat.SchemaEpoch()
+	ent, ok := pc.Get(key, epoch)
+	if !ok {
+		plan, perr := sql.ParseAndResolve(norm, db.eng)
+		if perr != nil {
+			// Safety valve: if the canonicalized text fails to compile,
+			// fall back to the original, uncached. (A parse error in the
+			// original surfaces with its own positions this way.)
+			return db.planUncached(query, s)
+		}
+		phys, perr := db.eng.Plan(plan, s)
+		if perr != nil {
+			return nil, perr
+		}
+		ent = &plancache.Entry{
+			Plan:        phys,
+			NParams:     len(args),
+			Tables:      algebra.Tables(phys),
+			SchemaEpoch: epoch,
+		}
+		pc.Put(key, ent)
+	}
+	bound, berr := algebra.BindParams(ent.Plan, args)
+	if berr != nil {
+		// A strategy rewrite may in principle drop a lifted literal from
+		// the plan; recompile the original text rather than fail.
+		return db.planUncached(query, s)
+	}
+	return bound, nil
+}
+
+// planUncached is the pre-cache compile pipeline: parse, resolve,
+// strategy-rewrite.
+func (db *DB) planUncached(query string, s Strategy) (algebra.Node, error) {
+	plan, err := sql.ParseAndResolve(query, db.eng)
+	if err != nil {
+		return nil, err
+	}
+	return db.eng.Plan(plan, s)
+}
+
 // Explain returns the physical plan a strategy would execute for a
-// query, as an indented operator tree.
+// query, as an indented operator tree. When the query's plan template
+// is already resident in the plan cache (a subsequent Query would skip
+// compilation), the output leads with a "plan: cached" line.
 func (db *DB) Explain(query string, s Strategy) (string, error) {
 	plan, err := sql.ParseAndResolve(query, db.eng)
 	if err != nil {
 		return "", err
 	}
-	return db.eng.Explain(plan, s)
+	out, err := db.eng.Explain(plan, s)
+	if err != nil {
+		return "", err
+	}
+	if db.planCached(query, s) {
+		out = "plan: cached\n" + out
+	}
+	return out, nil
+}
+
+// planCached reports whether Query(query) under s would hit the plan
+// cache right now.
+func (db *DB) planCached(query string, s Strategy) bool {
+	pc := db.eng.PlanCache()
+	if pc == nil {
+		return false
+	}
+	norm, _, explicit, err := sql.Normalize(query)
+	if err != nil || explicit {
+		return false
+	}
+	return pc.Peek(plancache.Key{Text: norm, Strategy: uint8(s)}, db.cat.SchemaEpoch())
 }
 
 // ExplainAnalyze parses, runs, and renders the query's plan annotated
@@ -510,6 +624,7 @@ func (db *DB) LoadCSV(table string, r io.Reader) error {
 		return err
 	}
 	t.Rel.Rows = append(t.Rel.Rows, rel.Rows...)
+	t.BumpVersion()
 	return nil
 }
 

@@ -61,6 +61,12 @@ type Experiment struct {
 	Query func(s Size) algebra.Node
 	// Prepare runs after catalog construction (index builds).
 	Prepare func(cat *storage.Catalog) error
+	// Run, when non-nil, replaces the default plan-once/execute-many
+	// cell measurement: experiments that measure a whole pipeline (the
+	// prepared-replay figure times compile+bind+execute per query, not
+	// a pre-planned tree) own their timing loop. It must honor
+	// r.Repeat and fill Result.Elapsed with a per-query time.
+	Run func(r *Runner, exp *Experiment, s Size, v Variant) (Result, error)
 }
 
 // Result is one measured cell.
@@ -128,11 +134,11 @@ func (r *Runner) Experiments() []*Experiment {
 // AllExperiments additionally includes the extension experiments
 // beyond the paper's figures.
 func (r *Runner) AllExperiments() []*Experiment {
-	return append(r.Experiments(), r.ExtCoalesce())
+	return append(r.Experiments(), r.ExtCoalesce(), r.Prepared())
 }
 
 // Experiment returns one figure by id ("fig2".."fig5",
-// "ext-coalesce").
+// "ext-coalesce", "prepared").
 func (r *Runner) Experiment(id string) (*Experiment, error) {
 	for _, e := range r.AllExperiments() {
 		if e.ID == id {
@@ -149,6 +155,9 @@ func (r *Runner) RunCell(exp *Experiment, s Size, v Variant) (Result, error) {
 		res.Skipped = true
 		res.SkipNote = v.SkipNote
 		return res, nil
+	}
+	if exp.Run != nil {
+		return exp.Run(r, exp, s, v)
 	}
 	cat := exp.Build(s)
 	if exp.Prepare != nil {

@@ -174,7 +174,7 @@ func TestExtCoalesceExperiment(t *testing.T) {
 	if len(results) != 12 { // 4 widths × 3 variants
 		t.Errorf("results = %d, want 12", len(results))
 	}
-	if len(r.AllExperiments()) != 5 {
-		t.Errorf("AllExperiments = %d, want 5", len(r.AllExperiments()))
+	if len(r.AllExperiments()) != 6 {
+		t.Errorf("AllExperiments = %d, want 6", len(r.AllExperiments()))
 	}
 }

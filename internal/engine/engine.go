@@ -23,6 +23,7 @@ import (
 	"github.com/olaplab/gmdj/internal/gmdj"
 	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/plancache"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/rewrite"
 	"github.com/olaplab/gmdj/internal/storage"
@@ -85,6 +86,14 @@ type Engine struct {
 	// fastPath permits the governor-free execution path; see
 	// WithGovernorFastPath.
 	fastPath bool
+	// plans, when non-nil, is the parameterized plan cache consulted by
+	// API layers above the engine; the engine itself only hosts it so
+	// one cache serves every entry point over this catalog.
+	plans *plancache.Cache
+	// results, when non-nil, memoizes cross-query invariants (subquery
+	// source materializations, GMDJ detail-side hash vectors); it is
+	// threaded into the executor.
+	results *plancache.ResultCache
 }
 
 // Budget bounds one query evaluation: wall clock, materialized rows,
@@ -157,6 +166,26 @@ func (e *Engine) SetGMDJWorkers(n int) { e.exec.GMDJWorkers = n }
 // strategy: subquery outcomes are cached per distinct correlation
 // binding.
 func (e *Engine) SetMemoizeSubqueries(on bool) { e.exec.MemoizeSubqueries = on }
+
+// SetPlanCache installs (or removes, with nil) the parameterized plan
+// cache hosted by this engine. Not safe to call concurrently with
+// running queries.
+func (e *Engine) SetPlanCache(c *plancache.Cache) { e.plans = c }
+
+// PlanCache returns the engine's plan cache, or nil.
+func (e *Engine) PlanCache() *plancache.Cache { return e.plans }
+
+// SetResultCache installs (or removes, with nil) the cross-query
+// result memo and threads it into the executor, which uses it for
+// uncorrelated subquery sources and GMDJ detail-side hash vectors. Not
+// safe to call concurrently with running queries.
+func (e *Engine) SetResultCache(c *plancache.ResultCache) {
+	e.results = c
+	e.exec.Results = c
+}
+
+// ResultCache returns the engine's result memo, or nil.
+func (e *Engine) ResultCache() *plancache.ResultCache { return e.results }
 
 // GMDJStats exposes the GMDJ operator counters collector.
 func (e *Engine) GMDJStats() *gmdj.Stats {
@@ -244,6 +273,15 @@ func (e *Engine) RunQueryContext(ctx context.Context, text string, plan algebra.
 		return nil, err
 	}
 	rel, _, err := e.runQuery(ctx, text, p, s, false)
+	return rel, err
+}
+
+// RunPlannedContext executes a plan that has already been through
+// Plan (e.g. a plan-cache hit or a bound prepared statement), skipping
+// the strategy rewrite entirely. The strategy argument only labels the
+// run for the observer and metrics.
+func (e *Engine) RunPlannedContext(ctx context.Context, text string, phys algebra.Node, s Strategy) (*relation.Relation, error) {
+	rel, _, err := e.runQuery(ctx, text, phys, s, false)
 	return rel, err
 }
 

@@ -21,6 +21,7 @@ import (
 	"github.com/olaplab/gmdj/internal/gmdj"
 	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/plancache"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/storage"
 	"github.com/olaplab/gmdj/internal/value"
@@ -46,6 +47,12 @@ type Executor struct {
 	// (nil = no injection). Set once at engine construction; read-only
 	// during evaluation, so concurrent queries are safe.
 	Faults *govern.Injector
+	// Results, when non-nil, is the engine-level cross-query memo:
+	// uncorrelated subquery source materializations and GMDJ
+	// detail-side hash partitions are published to it under keys that
+	// embed each dependency table's id@version, so entries computed
+	// before a write are unreachable afterwards (see internal/plancache).
+	Results *plancache.ResultCache
 }
 
 // New builds an executor with index use enabled.
@@ -524,7 +531,7 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 	// attribute them to this GMDJ node, then fold them into the
 	// per-query totals.
 	var local gmdj.Stats
-	out, err := gmdj.Evaluate(base, detail, g.Conds, gmdj.Options{
+	opts := gmdj.Options{
 		Completion: g.Completion,
 		Workers:    e.GMDJWorkers,
 		Stats:      &local,
@@ -532,7 +539,20 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 		Faults:     ev.q.faults,
 		Tracer:     ev.q.col.Tracer(),
 		Live:       ev.q.live,
-	})
+	}
+	// Cross-query hash-partition reuse is sound only when the detail
+	// relation IS a base table (a bare scan shares the table's row
+	// slice, so row positions and versions line up); any operator in
+	// between produces a fresh derived relation per query.
+	if e.Results != nil {
+		if s, ok := g.Detail.(*algebra.Scan); ok {
+			if t, err := e.Cat.Table(s.Table); err == nil {
+				opts.HashCache = e.Results
+				opts.DetailID = plancache.EpochTag(s.Table, t.ID(), t.Version())
+			}
+		}
+	}
+	out, err := gmdj.Evaluate(base, detail, g.Conds, opts)
 	ev.q.gstats.Merge(&local)
 	if e.GMDJStats != nil {
 		e.GMDJStats.Merge(&local)
@@ -544,6 +564,10 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 		op.Add("completed", local.Completed)
 		op.Add("short_circuit_rows", local.ShortCircuitRows)
 		op.Add("fallback_conds", int64(local.FallbackConds))
+		if local.HashCacheHits+local.HashCacheMisses > 0 {
+			op.Add("hash_cache_hits", local.HashCacheHits)
+			op.Add("hash_cache_misses", local.HashCacheMisses)
+		}
 		for w, rows := range local.WorkerRows {
 			op.Add(fmt.Sprintf("worker%d_rows", w), rows)
 		}

@@ -132,7 +132,7 @@ func RenameQualifier(e Expr, from, to string) Expr {
 // fn receives a node whose children are already rewritten.
 func Rewrite(e Expr, fn func(Expr) Expr) Expr {
 	switch n := e.(type) {
-	case *Col, *Lit:
+	case *Col, *Lit, *Param:
 		return fn(e)
 	case *Arith:
 		return fn(&Arith{Op: n.Op, L: Rewrite(n.L, fn), R: Rewrite(n.R, fn)})

@@ -1,0 +1,37 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// ErrBadParam reports a statement-parameter problem: an unbound
+// placeholder reached evaluation, an argument count mismatched the
+// statement, or an argument value could not be converted. The root
+// package re-exports it so callers can errors.Is without depending on
+// internals.
+var ErrBadParam = errors.New("bad statement parameter")
+
+// Param is a statement placeholder ($1, $2, ... — the parser assigns
+// ordinals to `?` left to right). Plans containing Params are
+// templates: algebra.BindParams substitutes literals for them before
+// execution, so an evaluated Param is always a bug or a missing
+// argument, and Eval reports it as ErrBadParam.
+type Param struct {
+	// Ordinal is the 1-based parameter position.
+	Ordinal int
+}
+
+func (p *Param) String() string { return fmt.Sprintf("$%d", p.Ordinal) }
+
+// Bind is a no-op: placeholders carry no column references.
+func (p *Param) Bind(*relation.Schema) (Expr, error) { return p, nil }
+
+func (p *Param) Eval(relation.Tuple) (value.Value, error) {
+	return value.Value{}, fmt.Errorf("expr: unbound placeholder $%d: %w", p.Ordinal, ErrBadParam)
+}
+
+func (p *Param) Children() []Expr { return nil }

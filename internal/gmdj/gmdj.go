@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +65,12 @@ type Stats struct {
 	// for serial evaluation. Merge concatenates, so partitioned runs
 	// list every scan's workers in order.
 	WorkerRows []int64
+	// HashCacheHits / HashCacheMisses count detail-side key-hash
+	// partitions reused from (or computed and published to) the
+	// cross-query hash cache (Options.HashCache). A hit saves one full
+	// hashing pass over the detail relation per condition key set.
+	HashCacheHits   int64
+	HashCacheMisses int64
 }
 
 // Merge folds src into s. Counters add; WorkerRows concatenate. Safe
@@ -79,6 +87,8 @@ func (s *Stats) Merge(src *Stats) {
 	s.ShortCircuitRows += src.ShortCircuitRows
 	s.FallbackConds += src.FallbackConds
 	s.WorkerRows = append(s.WorkerRows, src.WorkerRows...)
+	s.HashCacheHits += src.HashCacheHits
+	s.HashCacheMisses += src.HashCacheMisses
 }
 
 // Options tunes evaluation.
@@ -110,6 +120,32 @@ type Options struct {
 	// query dashboard. Shared by parallel workers (atomic counters), so
 	// a long detail scan shows advancing numbers while it runs.
 	Live *obs.LiveQuery
+	// HashCache, together with a non-empty DetailID, lets the evaluator
+	// reuse detail-side key-hash partitions across queries: the vector
+	// of key hashes for (detail relation, key columns) is looked up
+	// before being recomputed, and published after. The caller is
+	// responsible for DetailID capturing the detail relation's identity
+	// AND version, so a stale vector is unreachable by construction.
+	HashCache HashCache
+	// DetailID identifies the detail relation for HashCache keys
+	// (e.g. "Flow#3@7"). Empty disables hash-partition caching.
+	DetailID string
+}
+
+// HashCache is the minimal cache surface the evaluator needs for
+// detail-hash reuse (satisfied by plancache.ResultCache). Values are
+// immutable after Put.
+type HashCache interface {
+	Get(key string) (any, bool)
+	Put(key string, v any, bytes int64)
+}
+
+// detailHashVec is the cached per-detail-row key-hash partition for
+// one key-column set: H[i] is the FNV hash of row i's key columns and
+// OK[i] is false where any key component is NULL (never matches).
+type detailHashVec struct {
+	H  []uint64
+	OK []bool
 }
 
 // condProg is one compiled θᵢ with its aggregate list.
@@ -125,6 +161,12 @@ type condProg struct {
 	atoms      []int // completion atom indexes watching this condition
 
 	index map[uint64][]int32 // base positions by key hash (nil ⇒ fallback)
+
+	// detailHash, when non-nil, holds the (possibly cache-shared)
+	// precomputed key hash per detail row, replacing per-row keyHash
+	// calls in feed. Read-only once attached (shared across workers and
+	// across queries).
+	detailHash *detailHashVec
 }
 
 type program struct {
@@ -156,6 +198,9 @@ func Evaluate(base, detail *relation.Relation, conds []algebra.GMDJCond, opts Op
 		return nil, err
 	}
 	p.gov, p.faults, p.tracer, p.live = opts.Gov, opts.Faults, opts.Tracer, opts.Live
+	if opts.HashCache != nil && opts.DetailID != "" {
+		p.attachDetailHashes(opts.HashCache, opts.DetailID, opts.Stats)
+	}
 	if opts.Stats != nil {
 		for _, c := range p.conds {
 			if c.index == nil && len(c.baseKey) == 0 {
@@ -225,6 +270,48 @@ func compile(base, detail *relation.Relation, conds []algebra.GMDJCond, comp *al
 		}
 	}
 	return p, nil
+}
+
+// attachDetailHashes resolves each indexed condition's detail-side
+// key-hash partition against the cross-query cache: a hit replaces the
+// per-row hashing feed would otherwise do; a miss computes the vector
+// once here and publishes it. Conditions sharing a key-column set
+// (coalesced subqueries probing the same binding, the common GMDJOpt
+// shape) resolve to the same entry, so the second condition is free
+// even on a cold cache.
+func (p *program) attachDetailHashes(cache HashCache, detailID string, stats *Stats) {
+	for i := range p.conds {
+		cp := &p.conds[i]
+		if cp.index == nil || len(cp.detailKey) == 0 {
+			continue
+		}
+		keyCols := make([]string, len(cp.detailKey))
+		for k, pos := range cp.detailKey {
+			keyCols[k] = strconv.Itoa(pos)
+		}
+		key := "gmdjhash|" + detailID + "|k" + strings.Join(keyCols, ",")
+		if v, ok := cache.Get(key); ok {
+			if vec, ok := v.(*detailHashVec); ok && len(vec.H) == len(p.detail.Rows) {
+				cp.detailHash = vec
+				if stats != nil {
+					stats.HashCacheHits++
+				}
+				continue
+			}
+		}
+		vec := &detailHashVec{
+			H:  make([]uint64, len(p.detail.Rows)),
+			OK: make([]bool, len(p.detail.Rows)),
+		}
+		for di, row := range p.detail.Rows {
+			vec.H[di], vec.OK[di] = keyHash(row, cp.detailKey)
+		}
+		cache.Put(key, vec, int64(len(vec.H))*9)
+		cp.detailHash = vec
+		if stats != nil {
+			stats.HashCacheMisses++
+		}
+	}
 }
 
 // classifyTheta splits θ's conjuncts into bindings and side-local
@@ -444,7 +531,13 @@ func (s *state) feed(di int) error {
 			}
 		}
 		if cp.index != nil {
-			h, ok := keyHash(detailRow, cp.detailKey)
+			var h uint64
+			var ok bool
+			if vec := cp.detailHash; vec != nil {
+				h, ok = vec.H[di], vec.OK[di]
+			} else {
+				h, ok = keyHash(detailRow, cp.detailKey)
+			}
 			if !ok {
 				continue
 			}

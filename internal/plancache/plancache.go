@@ -1,0 +1,195 @@
+// Package plancache implements the cross-query caching layers behind
+// prepared statements: a parameterized plan cache (normalized SQL →
+// compiled physical plan template) and a generic byte-budgeted result
+// cache used for engine-level memoization of uncorrelated subquery
+// materializations and GMDJ detail-side hash partitions.
+//
+// Correctness relies on two epoch mechanisms (see DESIGN.md):
+//
+//   - Plan entries record the catalog schema epoch at compile time and
+//     are revalidated on every hit; CREATE/DROP and index changes bump
+//     the epoch, so a stale plan is never served.
+//   - Result entries embed each dependency table's id@version pair in
+//     their keys. Writers bump versions, so a write does not so much
+//     invalidate old entries as make them unreachable; LRU pressure
+//     eventually evicts them.
+//
+// Both caches are safe for concurrent use and surface hit/miss/
+// eviction counters through internal/obs expvars.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/obs"
+)
+
+// Key identifies a cached plan: the normalized query text (literals
+// lifted to $n placeholders) plus the strategy it was compiled for.
+type Key struct {
+	Text     string
+	Strategy uint8
+}
+
+// Entry is one compiled plan template.
+type Entry struct {
+	// Plan is the physical plan, possibly containing expr.Param
+	// placeholders. It is shared between executions and must be treated
+	// as immutable; execution binds parameters onto a rewritten copy.
+	Plan algebra.Node
+	// NParams is the number of placeholders the template expects.
+	NParams int
+	// Tables lists the base tables the plan reads (sorted).
+	Tables []string
+	// SchemaEpoch is the catalog schema epoch the plan was compiled
+	// under; a hit under any other epoch is discarded.
+	SchemaEpoch uint64
+
+	bytes int64
+}
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits, Misses, Evictions, Invalidations int64
+	Entries                                int
+	Bytes                                  int64
+}
+
+// Cache is a byte-budgeted LRU plan cache.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	cur   int64
+	ll    *list.List // front = most recent; values are *planItem
+	items map[Key]*list.Element
+	stats Stats
+}
+
+type planItem struct {
+	key   Key
+	entry *Entry
+}
+
+// DefaultPlanBytes is the plan-cache budget used when callers pass a
+// non-positive limit: generous for plan templates (a plan is a few KB)
+// while still bounding a pathological workload of distinct shapes.
+const DefaultPlanBytes = 16 << 20
+
+// New creates a plan cache holding at most maxBytes of estimated plan
+// memory (<= 0 uses DefaultPlanBytes).
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultPlanBytes
+	}
+	return &Cache{max: maxBytes, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+// Get returns the entry for k when present and compiled under
+// schemaEpoch. A present-but-stale entry is dropped and counted as an
+// invalidation (plus a miss: the caller must recompile either way).
+func (c *Cache) Get(k Key, schemaEpoch uint64) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.stats.Misses++
+		obs.MetricAdd("plancache.miss", 1)
+		return nil, false
+	}
+	it := el.Value.(*planItem)
+	if it.entry.SchemaEpoch != schemaEpoch {
+		c.removeLocked(el)
+		c.stats.Invalidations++
+		c.stats.Misses++
+		obs.MetricAdd("plancache.invalidation", 1)
+		obs.MetricAdd("plancache.miss", 1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	obs.MetricAdd("plancache.hit", 1)
+	return it.entry, true
+}
+
+// Peek reports whether a valid entry for k exists without touching
+// recency or counters (EXPLAIN uses it to annotate "plan: cached").
+func (c *Cache) Peek(k Key, schemaEpoch uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	return ok && el.Value.(*planItem).entry.SchemaEpoch == schemaEpoch
+}
+
+// Put inserts (or replaces) the entry for k and evicts from the LRU
+// tail until the byte budget holds.
+func (c *Cache) Put(k Key, e *Entry) {
+	e.bytes = planBytes(k, e)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.removeLocked(el)
+	}
+	el := c.ll.PushFront(&planItem{key: k, entry: e})
+	c.items[k] = el
+	c.cur += e.bytes
+	for c.cur > c.max && c.ll.Len() > 1 {
+		c.stats.Evictions++
+		obs.MetricAdd("plancache.eviction", 1)
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	it := el.Value.(*planItem)
+	c.ll.Remove(el)
+	delete(c.items, it.key)
+	c.cur -= it.entry.bytes
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Bytes = c.cur
+	return s
+}
+
+// Purge drops every entry (counters are preserved).
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element)
+	c.cur = 0
+}
+
+// planBytes estimates an entry's resident size: key text plus a flat
+// charge per plan node and expression. Exactness doesn't matter — the
+// estimate only has to grow with plan complexity so the LRU budget
+// means something.
+func planBytes(k Key, e *Entry) int64 {
+	const nodeCost, exprCost = 128, 48
+	n := int64(len(k.Text)) + 64
+	for _, t := range e.Tables {
+		n += int64(len(t)) + 16
+	}
+	var nodes, exprs int64
+	countNodes(e.Plan, &nodes)
+	algebra.WalkExprs(e.Plan, func(expr.Expr) { exprs++ })
+	return n + nodes*nodeCost + exprs*exprCost
+}
+
+func countNodes(n algebra.Node, total *int64) {
+	if n == nil {
+		return
+	}
+	*total++
+	for _, c := range n.Children() {
+		countNodes(c, total)
+	}
+}

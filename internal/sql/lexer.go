@@ -30,6 +30,7 @@ const (
 	tokString
 	tokOp     // comparison and arithmetic operators, parens, commas
 	tokDotSep // '.' between identifiers
+	tokParam  // statement placeholder: '?' or '$n'
 )
 
 // token is one lexeme with position info for error messages.
@@ -134,6 +135,19 @@ func lex(input string) ([]token, error) {
 			} else {
 				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
 			}
+		case c == '?':
+			toks = append(toks, token{kind: tokParam, text: "?", pos: i})
+			i++
+		case c == '$':
+			j := i + 1
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("sql: expected digits after '$' at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokParam, text: input[i:j], pos: i})
+			i = j
 		default:
 			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
 		}

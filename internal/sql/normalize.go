@@ -1,0 +1,110 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Normalize canonicalizes a query for plan-cache keying: whitespace
+// collapses to single separators, keywords upper-case, and literal
+// constants are lifted into auto-parameters ($1, $2, ...) with their
+// values returned in order — so two dashboard replays differing only
+// in constants share one cache entry and one compiled plan template.
+//
+// Two literal positions are structural, not parametric, and stay
+// inline: the LIMIT row count (part of the plan's shape) and LIKE
+// patterns (the executor compiles the pattern at plan time). Boolean
+// and NULL keywords likewise stay inline — lifting them buys no
+// sharing worth the type ambiguity.
+//
+// A query that already contains explicit placeholders ('?' or '$n')
+// is canonicalized but not auto-parameterized (explicit set → lifted
+// ordinals would collide); it is returned with explicit=true and nil
+// args, and the caller must obtain arguments elsewhere (a prepared
+// statement) or fail.
+func Normalize(query string) (text string, args []value.Value, explicit bool, err error) {
+	toks, err := lex(query)
+	if err != nil {
+		return "", nil, false, err
+	}
+	for _, t := range toks {
+		if t.kind == tokParam {
+			explicit = true
+			break
+		}
+	}
+	var b strings.Builder
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokNumber:
+			if explicit || structuralLiteral(toks, i) {
+				b.WriteString(t.text)
+				break
+			}
+			v, perr := numberValue(t.text)
+			if perr != nil {
+				// Leave unparseable numbers inline; the parser will
+				// report them with position info.
+				b.WriteString(t.text)
+				break
+			}
+			args = append(args, v)
+			b.WriteByte('$')
+			b.WriteString(strconv.Itoa(len(args)))
+		case tokString:
+			if explicit || structuralLiteral(toks, i) {
+				writeStringLit(&b, t.text)
+				break
+			}
+			args = append(args, value.Str(t.text))
+			b.WriteByte('$')
+			b.WriteString(strconv.Itoa(len(args)))
+		case tokDotSep:
+			b.WriteString(".")
+		default:
+			b.WriteString(t.text)
+		}
+	}
+	return b.String(), args, explicit, nil
+}
+
+// structuralLiteral reports whether the literal at index i shapes the
+// plan itself and must therefore stay inline: LIMIT counts and LIKE
+// patterns (including NOT LIKE, whose LIKE token still immediately
+// precedes the pattern).
+func structuralLiteral(toks []token, i int) bool {
+	if i == 0 {
+		return false
+	}
+	prev := toks[i-1]
+	return prev.kind == tokKeyword && (prev.text == "LIMIT" || prev.text == "LIKE")
+}
+
+func numberValue(text string) (value.Value, error) {
+	if strings.ContainsRune(text, '.') {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Float(f), nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return value.Int(n), nil
+}
+
+func writeStringLit(b *strings.Builder, s string) {
+	b.WriteByte('\'')
+	b.WriteString(strings.ReplaceAll(s, "'", "''"))
+	b.WriteByte('\'')
+}

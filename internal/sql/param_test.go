@@ -1,0 +1,50 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+)
+
+func TestParsePlaceholders(t *testing.T) {
+	plan, err := Parse(`SELECT name FROM users WHERE score > ? AND ip = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := algebra.ParamCount(plan); n != 2 {
+		t.Fatalf("ParamCount = %d, want 2", n)
+	}
+	plan, err = Parse(`SELECT name FROM users WHERE ip = $2 OR name = $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := algebra.ParamCount(plan); n != 2 {
+		t.Fatalf("ParamCount = %d, want 2", n)
+	}
+}
+
+func TestParsePlaceholderInSubquery(t *testing.T) {
+	plan, err := Parse(`SELECT u.name FROM users u WHERE EXISTS (
+		SELECT * FROM flows f WHERE f.src = u.ip AND f.bytes > ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := algebra.ParamCount(plan); n != 1 {
+		t.Fatalf("ParamCount = %d, want 1", n)
+	}
+}
+
+func TestParsePlaceholderErrors(t *testing.T) {
+	cases := []struct{ q, want string }{
+		{`SELECT x FROM t WHERE x = ? AND y = $1`, "mix"},
+		{`SELECT x FROM t WHERE x = $1 AND y = ?`, "mix"},
+		{`SELECT x FROM t WHERE x = $0`, "ordinals start"},
+		{`SELECT x FROM t WHERE x = $`, "digits"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.q); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.q, err, c.want)
+		}
+	}
+}

@@ -34,6 +34,11 @@ type parser struct {
 	toks []token
 	pos  int
 	src  string
+	// Placeholder bookkeeping: '?' takes ordinals left to right, '$n'
+	// names them explicitly; mixing the two styles in one statement is
+	// rejected because the implied numbering would be ambiguous.
+	qmarks  int
+	dollars bool
 }
 
 // peek and next clamp at the trailing EOF token: error paths may call
@@ -831,6 +836,9 @@ func (p *parser) parseAtom() (expr.Expr, error) {
 	case t.kind == tokKeyword && t.text == "FALSE":
 		p.next()
 		return expr.BoolLit(false), nil
+	case t.kind == tokParam:
+		p.next()
+		return p.placeholder(t)
 	case t.kind == tokIdent:
 		return p.parseColumnRef()
 	case t.kind == tokOp && t.text == "(":
@@ -846,6 +854,27 @@ func (p *parser) parseAtom() (expr.Expr, error) {
 	default:
 		return nil, p.errf("expected an expression, found %q", t.text)
 	}
+}
+
+// placeholder turns a tokParam into an expr.Param, assigning '?'
+// ordinals sequentially and taking '$n' ordinals verbatim.
+func (p *parser) placeholder(t token) (expr.Expr, error) {
+	if t.text == "?" {
+		if p.dollars {
+			return nil, p.errf("cannot mix '?' and '$n' placeholders in one statement")
+		}
+		p.qmarks++
+		return &expr.Param{Ordinal: p.qmarks}, nil
+	}
+	if p.qmarks > 0 {
+		return nil, p.errf("cannot mix '?' and '$n' placeholders in one statement")
+	}
+	p.dollars = true
+	n, err := strconv.Atoi(t.text[1:])
+	if err != nil || n < 1 {
+		return nil, p.errf("bad placeholder %q (ordinals start at $1)", t.text)
+	}
+	return &expr.Param{Ordinal: n}, nil
 }
 
 func (p *parser) parseColumnRef() (*expr.Col, error) {

@@ -1,38 +1,73 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
+)
+
+// Sentinel errors for catalog operations. The root package re-exports
+// them so callers can errors.Is instead of matching message strings.
+var (
+	// ErrUnknownTable reports a lookup of a table the catalog does not
+	// hold.
+	ErrUnknownTable = errors.New("unknown table")
+	// ErrTableExists reports a CREATE of a name already registered.
+	ErrTableExists = errors.New("table already exists")
 )
 
 // Catalog is the registry of named tables a query engine instance
 // works against.
+//
+// The catalog also carries the epoch machinery cache layers key on:
+// every registered table gets a process-unique id (so a drop+recreate
+// under the same name can never alias a stale cache entry) and the
+// catalog tracks a schema epoch bumped by every registration, drop,
+// and index change. Compiled plans are validated against the schema
+// epoch; memoized results embed table id@version pairs in their keys,
+// making stale entries unreachable rather than merely invalid.
 type Catalog struct {
 	tables map[string]*Table
+
+	schemaEpoch atomic.Uint64
 }
+
+// nextTableID assigns process-unique table ids (catalog-independent so
+// results can never collide across catalogs either).
+var nextTableID atomic.Uint64
 
 // NewCatalog creates an empty catalog.
 func NewCatalog() *Catalog {
 	return &Catalog{tables: make(map[string]*Table)}
 }
 
-// Register adds (or replaces) a table.
+// Register adds (or replaces) a table and bumps the schema epoch.
 func (c *Catalog) Register(t *Table) {
+	if t.id == 0 {
+		t.id = nextTableID.Add(1)
+	}
+	t.epochs = &c.schemaEpoch
 	c.tables[t.Name] = t
+	c.schemaEpoch.Add(1)
 }
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*Table, error) {
 	t, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("storage: unknown table %q", name)
+		return nil, fmt.Errorf("storage: %w: %q", ErrUnknownTable, name)
 	}
 	return t, nil
 }
 
 // Drop removes a table; dropping an absent table is a no-op.
 func (c *Catalog) Drop(name string) {
+	if _, ok := c.tables[name]; !ok {
+		return
+	}
 	delete(c.tables, name)
+	c.schemaEpoch.Add(1)
 }
 
 // Names lists all table names, sorted.
@@ -43,4 +78,11 @@ func (c *Catalog) Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// SchemaEpoch returns the current schema epoch. It changes whenever a
+// table is created or dropped, or any table's index set changes —
+// exactly the events that can invalidate a compiled plan.
+func (c *Catalog) SchemaEpoch() uint64 {
+	return c.schemaEpoch.Load()
 }

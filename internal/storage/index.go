@@ -8,6 +8,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/value"
@@ -137,6 +138,15 @@ type Table struct {
 
 	hashIdx   map[string]*HashIndex
 	sortedIdx map[string]*SortedIndex
+
+	// id is the process-unique identity assigned at registration;
+	// version counts data and index mutations. Cache keys embed
+	// "t<id>v<version>", so any write makes older entries unreachable.
+	id      uint64
+	version atomic.Uint64
+	// epochs points at the owning catalog's schema epoch (nil before
+	// registration) so index changes invalidate compiled plans too.
+	epochs *atomic.Uint64
 }
 
 // NewTable wraps a relation as a named table.
@@ -157,6 +167,7 @@ func (t *Table) BuildHashIndex(col string) error {
 		return fmt.Errorf("storage: table %s: %w", t.Name, err)
 	}
 	t.hashIdx[col] = NewHashIndex(t.Rel, pos)
+	t.BumpVersion()
 	return nil
 }
 
@@ -168,6 +179,7 @@ func (t *Table) BuildSortedIndex(col string) error {
 		return fmt.Errorf("storage: table %s: %w", t.Name, err)
 	}
 	t.sortedIdx[col] = NewSortedIndex(t.Rel, pos)
+	t.BumpVersion()
 	return nil
 }
 
@@ -188,6 +200,26 @@ func (t *Table) SortedIndexOn(col string) (*SortedIndex, bool) {
 func (t *Table) DropIndexes() {
 	t.hashIdx = make(map[string]*HashIndex)
 	t.sortedIdx = make(map[string]*SortedIndex)
+	t.BumpVersion()
+}
+
+// ID returns the table's process-unique identity (0 before the table
+// is registered in a catalog).
+func (t *Table) ID() uint64 { return t.id }
+
+// Version returns the table's mutation counter.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// BumpVersion records a data or index mutation: it advances the
+// table's version (unreaching every memoized result keyed on the old
+// one) and the owning catalog's schema epoch (invalidating compiled
+// plans, which may have frozen index-based access-path choices).
+// Writers must call it after appending rows outside the DDL layer.
+func (t *Table) BumpVersion() {
+	t.version.Add(1)
+	if t.epochs != nil {
+		t.epochs.Add(1)
+	}
 }
 
 // IndexedColumns lists columns that carry any index, sorted for

@@ -1,0 +1,108 @@
+package gmdj
+
+import (
+	"github.com/olaplab/gmdj/internal/plancache"
+)
+
+// Option configures a DB at Open time. Options replace the historical
+// Set* mutators (still available, deprecated) so a fully configured
+// database is built in one expression:
+//
+//	db := gmdj.Open(
+//		gmdj.WithParallelism(4),
+//		gmdj.WithBudget(gmdj.Budget{Timeout: time.Second}),
+//		gmdj.WithResultCache(0),
+//	)
+type Option func(*DB)
+
+// WithParallelism sets GMDJ detail-scan parallelism (0 or 1 = serial).
+func WithParallelism(workers int) Option {
+	return func(db *DB) { db.eng.SetGMDJWorkers(workers) }
+}
+
+// WithBudget bounds every query on the DB; see Budget.
+func WithBudget(b Budget) Option {
+	return func(db *DB) { db.eng.SetBudget(b) }
+}
+
+// WithUseIndexes toggles secondary-index use by the Native strategy
+// (on by default).
+func WithUseIndexes(on bool) Option {
+	return func(db *DB) { db.eng.SetUseIndexes(on) }
+}
+
+// WithMemoizeSubqueries toggles per-query invariant reuse (Rao & Ross)
+// in the Native strategy.
+func WithMemoizeSubqueries(on bool) Option {
+	return func(db *DB) { db.eng.SetMemoizeSubqueries(on) }
+}
+
+// WithPlanCache sets the parameterized plan cache's byte budget. The
+// cache is on by default (see Open); 0 keeps the default budget, a
+// negative value disables plan caching entirely.
+func WithPlanCache(maxBytes int64) Option {
+	return func(db *DB) {
+		if maxBytes < 0 {
+			db.eng.SetPlanCache(nil)
+			return
+		}
+		db.eng.SetPlanCache(plancache.New(maxBytes))
+	}
+}
+
+// WithResultCache enables cross-query memoization: uncorrelated
+// subquery source materializations and GMDJ detail-side hash vectors
+// are cached across queries, keyed by table versions so any write to a
+// dependency invalidates them. maxBytes bounds the memo (0 = 64 MiB
+// default); a negative value disables it (the Open default).
+func WithResultCache(maxBytes int64) Option {
+	return func(db *DB) {
+		if maxBytes < 0 {
+			db.eng.SetResultCache(nil)
+			return
+		}
+		db.eng.SetResultCache(plancache.NewResults(maxBytes))
+	}
+}
+
+// CacheStats snapshots one cache's counters (PlanCacheStats,
+// ResultCacheStats).
+type CacheStats struct {
+	// Hits and Misses count lookups.
+	Hits, Misses int64
+	// Evictions counts entries dropped for space (LRU order).
+	Evictions int64
+	// Invalidations counts plan-cache entries dropped because the
+	// catalog changed under them. (The result cache invalidates by key
+	// construction, so this stays 0 there.)
+	Invalidations int64
+	// Entries and Bytes describe current occupancy.
+	Entries int
+	Bytes   int64
+}
+
+func toCacheStats(s plancache.Stats) CacheStats {
+	return CacheStats{
+		Hits: s.Hits, Misses: s.Misses,
+		Evictions: s.Evictions, Invalidations: s.Invalidations,
+		Entries: s.Entries, Bytes: s.Bytes,
+	}
+}
+
+// PlanCacheStats snapshots the plan cache's counters. All zeros when
+// plan caching is disabled.
+func (db *DB) PlanCacheStats() CacheStats {
+	if c := db.eng.PlanCache(); c != nil {
+		return toCacheStats(c.Stats())
+	}
+	return CacheStats{}
+}
+
+// ResultCacheStats snapshots the cross-query memo's counters. All
+// zeros unless WithResultCache enabled it.
+func (db *DB) ResultCacheStats() CacheStats {
+	if c := db.eng.ResultCache(); c != nil {
+		return toCacheStats(c.Stats())
+	}
+	return CacheStats{}
+}

@@ -1,0 +1,164 @@
+package gmdj
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestQueryRowsIterate(t *testing.T) {
+	db := usersDB(t)
+	rows, err := db.QueryRows(`SELECT name, score FROM users ORDER BY score`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) != 2 || cols[0] != "name" || cols[1] != "score" {
+		t.Fatalf("Columns = %v", cols)
+	}
+	var names []string
+	var last int64 = -1
+	for rows.Next() {
+		var name string
+		var score int64
+		if err := rows.Scan(&name, &score); err != nil {
+			t.Fatal(err)
+		}
+		if score < last {
+			t.Fatalf("rows out of order: %d after %d", score, last)
+		}
+		last = score
+		names = append(names, name)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(names, ",") != "ann,bob,cat" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestQueryRowsScanAny(t *testing.T) {
+	db := usersDB(t)
+	rows, err := db.QueryRows(`SELECT name, score FROM users WHERE name = 'ann'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("no rows: %v", rows.Err())
+	}
+	var name, score any
+	if err := rows.Scan(&name, &score); err != nil {
+		t.Fatal(err)
+	}
+	if name != "ann" || score != int64(10) {
+		t.Fatalf("got (%v, %v)", name, score)
+	}
+	// Type mismatch is an error, not a panic.
+	if rows.Next() {
+		t.Fatal("expected one row")
+	}
+}
+
+func TestQueryRowsScanErrors(t *testing.T) {
+	db := usersDB(t)
+	rows, err := db.QueryRows(`SELECT name FROM users`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var s string
+	if err := rows.Scan(&s); err == nil {
+		t.Fatal("Scan before Next should fail")
+	}
+	if !rows.Next() {
+		t.Fatal("no rows")
+	}
+	var n int64
+	if err := rows.Scan(&n); err == nil {
+		t.Fatal("Scan string into *int64 should fail")
+	}
+	var a, b string
+	if err := rows.Scan(&a, &b); err == nil {
+		t.Fatal("Scan arity mismatch should fail")
+	}
+}
+
+func TestQueryRowsParseErrorIsSynchronous(t *testing.T) {
+	db := usersDB(t)
+	if _, err := db.QueryRows(`SELEC name FROM users`); err == nil {
+		t.Fatal("parse error should surface from QueryRows, not Next")
+	}
+}
+
+func TestQueryRowsCloseCancelsRunningQuery(t *testing.T) {
+	db := Open()
+	db.MustCreateTable("big", Col("x", Int))
+	rows := make([][]any, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		rows = append(rows, []any{int64(i)})
+	}
+	db.MustInsert("big", rows...)
+	// A quadratic NOT EXISTS under Native keeps the engine busy long
+	// enough for Close to land mid-flight on most runs; the asserts
+	// below hold either way.
+	r, err := db.QueryRowsStrategy(`SELECT a.x FROM big a WHERE NOT EXISTS (
+		SELECT * FROM big b WHERE b.x = a.x + 3001)`, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Next() {
+		t.Fatal("Next after Close should be false")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err after Close = %v, want nil (cancellation is not a failure)", err)
+	}
+	// The database remains fully usable.
+	res, err := db.Query(`SELECT COUNT(*) AS n FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(3000) {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestQueryRowsRealError(t *testing.T) {
+	db := usersDB(t)
+	db.SetBudget(Budget{MaxRows: 1})
+	r, err := db.QueryRows(`SELECT name FROM users`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for r.Next() {
+	}
+	if err := r.Err(); !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("Err = %v, want ErrRowBudget", err)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	db := Open()
+	db.MustCreateTable("t", Col("x", Int))
+	if err := db.CreateTable("t", Col("x", Int)); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("CreateTable dup: %v, want ErrTableExists", err)
+	}
+	if _, err := db.Exec(`CREATE TABLE t (x INT)`); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("SQL CREATE dup: %v, want ErrTableExists", err)
+	}
+	if err := db.Insert("missing", []any{int64(1)}); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("Insert missing: %v, want ErrUnknownTable", err)
+	}
+	if _, err := db.Query(`SELECT x FROM missing`); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("Query missing: %v, want ErrUnknownTable", err)
+	}
+	if err := fmt.Errorf("wrap: %w", ErrUnknownTable); !errors.Is(err, ErrUnknownTable) {
+		t.Fatal("sentinel does not survive wrapping")
+	}
+}

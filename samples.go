@@ -2,7 +2,6 @@ package gmdj
 
 import (
 	"github.com/olaplab/gmdj/internal/datagen"
-	"github.com/olaplab/gmdj/internal/engine"
 	"github.com/olaplab/gmdj/internal/storage"
 )
 
@@ -11,13 +10,12 @@ import (
 // Protocol, NumBytes), Hours(HourDsc, StartInterval, EndInterval), and
 // User(Name, IPAddress). flows controls the fact-table size (0 uses a
 // 50k-row default); generation is deterministic.
-func OpenNetflowSample(flows int) *DB {
-	opts := datagen.DefaultNetflow()
+func OpenNetflowSample(flows int, opts ...Option) *DB {
+	gen := datagen.DefaultNetflow()
 	if flows > 0 {
-		opts.Flows = flows
+		gen.Flows = flows
 	}
-	cat := datagen.Netflow(opts)
-	return &DB{cat: cat, eng: engine.New(cat)}
+	return newDB(datagen.Netflow(gen), opts)
 }
 
 // OpenTPCRSample opens a database pre-loaded with a TPC-R-like
@@ -25,15 +23,14 @@ func OpenNetflowSample(flows int) *DB {
 // lineitem), matching the data the paper benchmarked against. scale
 // multiplies the default sizes (1000 customers / 10k orders / 40k
 // lineitems); scale <= 0 uses 1.
-func OpenTPCRSample(scale float64) *DB {
-	opts := datagen.DefaultTPCR()
+func OpenTPCRSample(scale float64, opts ...Option) *DB {
+	gen := datagen.DefaultTPCR()
 	if scale > 0 {
-		opts.Customers = int(float64(opts.Customers) * scale)
-		opts.Orders = int(float64(opts.Orders) * scale)
-		opts.Lineitems = int(float64(opts.Lineitems) * scale)
+		gen.Customers = int(float64(gen.Customers) * scale)
+		gen.Orders = int(float64(gen.Orders) * scale)
+		gen.Lineitems = int(float64(gen.Lineitems) * scale)
 	}
-	cat := datagen.TPCR(opts)
-	return &DB{cat: cat, eng: engine.New(cat)}
+	return newDB(datagen.TPCR(gen), opts)
 }
 
 // SaveDir persists every table of the database into dir as CSV files
@@ -41,10 +38,10 @@ func OpenTPCRSample(scale float64) *DB {
 func (db *DB) SaveDir(dir string) error { return storage.SaveDir(db.cat, dir) }
 
 // OpenDir opens a database previously written with SaveDir.
-func OpenDir(dir string) (*DB, error) {
+func OpenDir(dir string, opts ...Option) (*DB, error) {
 	cat, err := storage.LoadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{cat: cat, eng: engine.New(cat)}, nil
+	return newDB(cat, opts), nil
 }
