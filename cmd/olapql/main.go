@@ -4,6 +4,7 @@
 //
 //	olapql [-data netflow|tpcr|none] [-scale f] [-strategy s] [-workers n]
 //	       [-timeout d] [-max-rows n] [-max-mem bytes]
+//	       [-mem-limit bytes] [-spill-dir dir] [-admission-timeout d]
 //	       [-plancache bytes] [-resultcache bytes]
 //	       [-explain] [-trace out.json] [-metrics-addr :8080]
 //	       [-slowlog out.json] [-slow-ms n]
@@ -14,6 +15,13 @@
 // detail-side hash vectors, invalidated by table version on any write
 // (negative, the default, leaves it off). \caches shows both caches'
 // hit/miss/eviction counters.
+//
+// Memory-adaptive execution: -mem-limit bounds tracked operator state
+// across all concurrent queries; under the limit, GMDJ state and cached
+// results spill to temp files under -spill-dir instead of failing
+// (an empty -spill-dir disables spilling, turning exhaustion into a
+// hard abort), and queries queue up to -admission-timeout for pool capacity
+// before being shed. \mem shows the pool and spill-store counters.
 //
 // Observability: -explain (with -e) prints the EXPLAIN ANALYZE plan —
 // per-operator wall time, act=/est= cardinalities with cost-model
@@ -37,6 +45,7 @@
 //	\execute <args...>   run the prepared statement with bound arguments
 //	                     ('quoted' strings, numbers, true/false, null)
 //	\caches              show plan-cache and result-memo counters
+//	\mem                 show memory-pool and spill-store counters
 //	\stats               show process-wide engine counters
 //	\hist                show workload latency/row histograms (p50/p90/p99)
 //	\slowlog             show the slow-query log, newest first
@@ -56,6 +65,8 @@
 //	5  query exceeded -max-rows
 //	6  query exceeded -max-mem
 //	7  internal error (operator panic, recovered)
+//	8  spill I/O failure (disk full, corrupt spill file)
+//	9  admission timeout (memory pool contended; query shed)
 package main
 
 import (
@@ -77,13 +88,15 @@ import (
 
 // Exit codes for governed failures; see the package comment.
 const (
-	exitErr      = 1
-	exitUsage    = 2
-	exitTimeout  = 3
-	exitCanceled = 4
-	exitRowCap   = 5
-	exitMemCap   = 6
-	exitInternal = 7
+	exitErr       = 1
+	exitUsage     = 2
+	exitTimeout   = 3
+	exitCanceled  = 4
+	exitRowCap    = 5
+	exitMemCap    = 6
+	exitInternal  = 7
+	exitSpillIO   = 8
+	exitAdmission = 9
 )
 
 // exitCode maps a query error onto the CLI's exit-code contract.
@@ -97,6 +110,10 @@ func exitCode(err error) int {
 		return exitRowCap
 	case errors.Is(err, gmdj.ErrMemBudget):
 		return exitMemCap
+	case errors.Is(err, gmdj.ErrSpillIO):
+		return exitSpillIO
+	case errors.Is(err, gmdj.ErrAdmissionTimeout):
+		return exitAdmission
 	case errors.Is(err, gmdj.ErrInternal):
 		return exitInternal
 	default:
@@ -112,6 +129,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (0 = none)")
 	maxRows := flag.Int64("max-rows", 0, "per-query cap on materialized rows (0 = none)")
 	maxMem := flag.Int64("max-mem", 0, "per-query cap on approximate materialized bytes (0 = none)")
+	memLimit := flag.Int64("mem-limit", 0, "engine-wide tracked-state memory pool in bytes; queries spill or queue under pressure (0 = untracked)")
+	spillDir := flag.String("spill-dir", "auto", "spill scratch root ('auto' = system temp dir, '' disables spilling: exhaustion kills the query)")
+	admission := flag.Duration("admission-timeout", 0, "how long a query may queue for pool memory before being shed (0 = 10s default)")
 	planCacheBytes := flag.Int64("plancache", 0, "parameterized plan cache byte budget (0 = default 16 MiB, negative disables)")
 	resultCacheBytes := flag.Int64("resultcache", -1, "cross-query result memo byte budget (0 = default 64 MiB, negative = off)")
 	execQuery := flag.String("e", "", "execute one query and exit")
@@ -128,10 +148,19 @@ func main() {
 		gmdj.WithPlanCache(*planCacheBytes),
 		gmdj.WithResultCache(*resultCacheBytes),
 	}
+	if *memLimit > 0 {
+		opts = append(opts, gmdj.WithMemoryLimit(*memLimit))
+		if *admission > 0 {
+			opts = append(opts, gmdj.WithAdmissionTimeout(*admission))
+		}
+	}
+	if *spillDir != "auto" {
+		opts = append(opts, gmdj.WithSpillDir(*spillDir))
+	}
 	var db *gmdj.DB
 	switch *data {
 	case "netflow":
-		db = gmdj.OpenNetflowSample(int(50_000 * *scale), opts...)
+		db = gmdj.OpenNetflowSample(int(50_000**scale), opts...)
 	case "tpcr":
 		db = gmdj.OpenTPCRSample(*scale, opts...)
 	case "none":
@@ -195,7 +224,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "olapql:", err)
 		}
 	}
-	flush := func() { writeTrace(); writeSlowLog() }
+	// flush also closes the DB so the scratch spill directory (if any)
+	// is removed on every exit path.
+	flush := func() { writeTrace(); writeSlowLog(); db.Close() }
 	if *metricsAddr != "" {
 		// The expvar handler registers itself on the default mux (the
 		// engine's "gmdj" map appears at /debug/vars); the live workload
@@ -239,7 +270,7 @@ func main() {
 
 	fmt.Printf("olapql — GMDJ subquery engine (strategy: %v)\n", strat)
 	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
-	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \prepare <q>, \execute <args>, \caches, \stats, \hist, \slowlog, \live, \quit`)
+	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \prepare <q>, \execute <args>, \caches, \mem, \stats, \hist, \slowlog, \live, \quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -264,6 +295,8 @@ func main() {
 			printMetrics(db.Metrics())
 		case line == `\caches`:
 			printCacheStats(db)
+		case line == `\mem`:
+			printMemStats(db)
 		case line == `\hist`:
 			fmt.Print(db.FormatHistograms())
 		case line == `\slowlog`:
@@ -341,6 +374,22 @@ func main() {
 	}
 }
 
+func printMemStats(db *gmdj.DB) {
+	m := db.MemStats()
+	if !m.Enabled {
+		fmt.Println("  memory tracking off (run with -mem-limit)")
+		return
+	}
+	fmt.Printf("  pool:  capacity=%d in_use=%d queued=%d admitted=%d timed_out=%d reclaimed=%d\n",
+		m.Capacity, m.InUse, m.Queued, m.Admitted, m.TimedOut, m.ReclaimedBytes)
+	if !m.SpillEnabled {
+		fmt.Println("  spill: disabled (exhaustion aborts the query)")
+		return
+	}
+	fmt.Printf("  spill: dir=%s live_files=%d writes=%d reads=%d bytes_written=%d bytes_read=%d\n",
+		m.SpillDir, m.SpillLiveFiles, m.SpillWrites, m.SpillReads, m.SpillBytesWritten, m.SpillBytesRead)
+}
+
 func printCacheStats(db *gmdj.DB) {
 	p, r := db.PlanCacheStats(), db.ResultCacheStats()
 	fmt.Printf("  plan cache:  hits=%d misses=%d evictions=%d invalidations=%d entries=%d bytes=%d\n",
@@ -350,7 +399,7 @@ func printCacheStats(db *gmdj.DB) {
 }
 
 // splitArgs parses \execute arguments: whitespace- or comma-separated
-// tokens; 'quoted' strings ('' escapes a quote), integers, floats,
+// tokens; 'quoted' strings (” escapes a quote), integers, floats,
 // true/false, and null; any other bare token is a string.
 func splitArgs(s string) ([]any, error) {
 	var args []any

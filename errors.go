@@ -2,6 +2,8 @@ package gmdj
 
 import (
 	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/mem"
+	"github.com/olaplab/gmdj/internal/spill"
 	"github.com/olaplab/gmdj/internal/storage"
 )
 
@@ -20,4 +22,17 @@ var (
 	// query containing placeholders executed without a prepared
 	// statement.
 	ErrBadParam = expr.ErrBadParam
+)
+
+// Memory-adaptive execution errors (see WithMemoryLimit).
+var (
+	// ErrSpillIO: a disk operation on spilled operator state failed —
+	// writing a partition (e.g. ENOSPC, short write) or reading one back
+	// (I/O error, checksum mismatch). The query is aborted and its spill
+	// files are removed; the database itself is unaffected.
+	ErrSpillIO = spill.ErrSpillIO
+	// ErrAdmissionTimeout: the query waited longer than the admission
+	// timeout for memory-pool capacity and was shed without running.
+	// Retry when concurrent load subsides, or raise the limit.
+	ErrAdmissionTimeout = mem.ErrAdmissionTimeout
 )

@@ -134,11 +134,11 @@ func (r *Runner) Experiments() []*Experiment {
 // AllExperiments additionally includes the extension experiments
 // beyond the paper's figures.
 func (r *Runner) AllExperiments() []*Experiment {
-	return append(r.Experiments(), r.ExtCoalesce(), r.Prepared())
+	return append(r.Experiments(), r.ExtCoalesce(), r.Prepared(), r.Memory())
 }
 
 // Experiment returns one figure by id ("fig2".."fig5",
-// "ext-coalesce", "prepared").
+// "ext-coalesce", "prepared", "memory").
 func (r *Runner) Experiment(id string) (*Experiment, error) {
 	for _, e := range r.AllExperiments() {
 		if e.ID == id {

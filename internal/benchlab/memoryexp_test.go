@@ -1,0 +1,52 @@
+package benchlab
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMemoryExperiment: the spill arm must finish with the same rows
+// as unlimited (RunExperiment's Verify enforces it), and the kill arm
+// must record a DNF with the typed-error note — the trajectory the
+// figure exists to show.
+func TestMemoryExperiment(t *testing.T) {
+	r := &Runner{Scale: 1.0 / 100.0, Repeat: 1, Verify: true}
+	exp, err := r.Experiment("memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One size keeps the test quick; the sweep shape is covered by the
+	// CLI run.
+	exp.Sizes = exp.Sizes[:1]
+	results, err := r.RunExperiment(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	byVariant := map[string]Result{}
+	for _, res := range results {
+		byVariant[res.Variant] = res
+	}
+	for _, name := range []string{"unlimited", "spill"} {
+		res := byVariant[name]
+		if res.Skipped {
+			t.Errorf("%s skipped: %s", name, res.SkipNote)
+		}
+		if res.Rows == 0 {
+			t.Errorf("%s returned no rows", name)
+		}
+	}
+	if byVariant["spill"].Rows != byVariant["unlimited"].Rows {
+		t.Errorf("spill rows %d != unlimited rows %d",
+			byVariant["spill"].Rows, byVariant["unlimited"].Rows)
+	}
+	kill := byVariant["kill"]
+	if !kill.Skipped {
+		t.Error("kill arm should DNF under the constrained pool")
+	}
+	if !strings.Contains(kill.SkipNote, "memory budget") {
+		t.Errorf("kill skip note = %q, want the typed-error note", kill.SkipNote)
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"github.com/olaplab/gmdj/internal/exec"
 	"github.com/olaplab/gmdj/internal/gmdj"
 	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/mem"
 	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/plancache"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/rewrite"
+	"github.com/olaplab/gmdj/internal/spill"
 	"github.com/olaplab/gmdj/internal/storage"
 	"github.com/olaplab/gmdj/internal/unnest"
 )
@@ -94,6 +96,19 @@ type Engine struct {
 	// source materializations, GMDJ detail-side hash vectors); it is
 	// threaded into the executor.
 	results *plancache.ResultCache
+	// Memory-adaptive execution knobs (see memory.go). memLimit <= 0
+	// leaves tracked allocation unlimited; spillDirSet records whether
+	// spillRoot was set explicitly ("" then means spilling disabled —
+	// the kill regime — rather than "use the default scratch root").
+	memLimit    int64
+	admission   time.Duration
+	spillRoot   string
+	spillDirSet bool
+	// pool is the engine-wide byte pool queries draw reservations from;
+	// spillStore backs spilled operator state and the result cache's
+	// cold tier. Both nil when memLimit is unset.
+	pool       *mem.Pool
+	spillStore *spill.Store
 }
 
 // Budget bounds one query evaluation: wall clock, materialized rows,
@@ -127,13 +142,14 @@ func WithGovernorFastPath(on bool) Option {
 // WithObserver attaches a workload observer at construction; see
 // SetObserver.
 func WithObserver(o *obs.Observer) Option {
-	return func(e *Engine) { e.observer = o }
+	return func(e *Engine) { e.SetObserver(o) }
 }
 
 // New creates an engine over a catalog, with index use enabled and the
 // governor fast path on. Fault injection honors the GMDJ_FAULTS
-// environment variable (see govern.EnvFaults); production deployments
-// leave it unset.
+// environment variable (see govern.EnvFaults) and memory limits honor
+// GMDJ_MEM (see mem.EnvMem); production deployments configure both
+// explicitly or leave them unset.
 func New(cat *storage.Catalog, opts ...Option) *Engine {
 	ex := exec.New(cat)
 	ex.Faults = govern.FromEnv()
@@ -141,6 +157,7 @@ func New(cat *storage.Catalog, opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.applyEnvMem()
 	return e
 }
 
@@ -149,8 +166,12 @@ func New(cat *storage.Catalog, opts ...Option) *Engine {
 func (e *Engine) SetBudget(b Budget) { e.budget = b }
 
 // SetFaultInjector installs a fault injector (tests of failure paths);
-// nil disables injection.
-func (e *Engine) SetFaultInjector(in *govern.Injector) { e.exec.Faults = in }
+// nil disables injection. The scratch spill store is rebuilt so disk
+// sites (spill.write, spill.read) see the new injector too.
+func (e *Engine) SetFaultInjector(in *govern.Injector) {
+	e.exec.Faults = in
+	e.reconfigureMemory()
+}
 
 // Catalog returns the underlying catalog.
 func (e *Engine) Catalog() *storage.Catalog { return e.cat }
@@ -182,6 +203,19 @@ func (e *Engine) PlanCache() *plancache.Cache { return e.plans }
 func (e *Engine) SetResultCache(c *plancache.ResultCache) {
 	e.results = c
 	e.exec.Results = c
+	// Rewire the cache into the memory subsystem: the pool reclaims
+	// pressure by demoting the cache's LRU tail, and the cache's cold
+	// tier shares the engine scratch store.
+	if e.pool != nil {
+		if c != nil {
+			e.pool.SetReclaim(c.SpillDown)
+		} else {
+			e.pool.SetReclaim(nil)
+		}
+	}
+	if c != nil && e.spillStore != nil {
+		c.EnableSpill(e.spillStore)
+	}
 }
 
 // ResultCache returns the engine's result memo, or nil.
@@ -301,7 +335,13 @@ func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 // per-operator stats collection (the slow-query log stores the full
 // EXPLAIN ANALYZE tree). nil disables workload observation. Not safe
 // to call concurrently with running queries.
-func (e *Engine) SetObserver(o *obs.Observer) { e.observer = o }
+func (e *Engine) SetObserver(o *obs.Observer) {
+	e.observer = o
+	// The dashboard's /debug/olap/mem endpoint snapshots the engine's
+	// memory posture on demand; the closure reads whatever pool and
+	// store are current at request time.
+	o.SetMemSource(func() any { return e.MemStatus() })
+}
 
 // Observer returns the attached observer (nil when workload
 // observation is off).
@@ -419,7 +459,7 @@ func (e *Engine) execute(ctx context.Context, p algebra.Node, col *obs.Collector
 	// need no governor, so benchmark hot loops skip even the per-row
 	// atomic tick. Observability is independent of governance — the
 	// collector and live counters flow on both paths.
-	if e.fastPath && e.budget == (Budget{}) && ctx.Done() == nil {
+	if e.fastPath && e.budget == (Budget{}) && ctx.Done() == nil && e.pool == nil {
 		return e.exec.RunLive(p, nil, col, live)
 	}
 	if e.budget.Timeout > 0 {
@@ -428,6 +468,18 @@ func (e *Engine) execute(ctx context.Context, p algebra.Node, col *obs.Collector
 		defer cancel()
 	}
 	gov := govern.New(ctx, govern.Budget{MaxRows: e.budget.MaxRows, MaxMemBytes: e.budget.MaxMemBytes})
+	if e.pool != nil {
+		// Admission control: block until the pool can seed this query's
+		// reservation, shedding with mem.ErrAdmissionTimeout when the
+		// deadline passes first. The reservation rides on the governor so
+		// every operator can reach it without signature changes.
+		res, err := e.pool.Acquire(ctx, mem.DefaultQueryReserve)
+		if err != nil {
+			return nil, govern.MapContextErr(err)
+		}
+		defer res.Release()
+		gov.AttachReservation(res)
+	}
 	return e.exec.RunLive(p, gov, col, live)
 }
 
@@ -454,6 +506,10 @@ func errKind(err error) string {
 		return "row_budget"
 	case errors.Is(err, govern.ErrMemBudget):
 		return "mem_budget"
+	case errors.Is(err, mem.ErrAdmissionTimeout):
+		return "admission_timeout"
+	case errors.Is(err, spill.ErrSpillIO):
+		return "spill_io"
 	case errors.Is(err, govern.ErrInternal):
 		return "internal"
 	default:

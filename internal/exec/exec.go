@@ -20,9 +20,11 @@ import (
 	"github.com/olaplab/gmdj/internal/expr"
 	"github.com/olaplab/gmdj/internal/gmdj"
 	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/mem"
 	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/plancache"
 	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/spill"
 	"github.com/olaplab/gmdj/internal/storage"
 	"github.com/olaplab/gmdj/internal/value"
 )
@@ -53,6 +55,12 @@ type Executor struct {
 	// embed each dependency table's id@version, so entries computed
 	// before a write are unreachable afterwards (see internal/plancache).
 	Results *plancache.ResultCache
+	// Spill, when non-nil, is the engine's file-backed store for
+	// operator state evicted under memory pressure; GMDJ nodes use it
+	// to spill base partitions when the query reservation (carried by
+	// the governor) is exhausted. Nil keeps the pre-spill behavior:
+	// reservation exhaustion is a hard memory-budget error.
+	Spill *spill.Store
 }
 
 // New builds an executor with index use enabled.
@@ -103,6 +111,14 @@ func (e *Executor) RunLive(plan algebra.Node, gov *govern.Governor, col *obs.Col
 			out = nil
 			err = &govern.InternalError{Panic: r, Node: fmt.Sprintf("%T", q.node), Stack: debug.Stack()}
 		}
+		// Release operator memory charges even when evaluation unwound
+		// through a panic or an abort — the reservation outlives this
+		// call (the engine releases it), so leaked charges would starve
+		// the next operator of the same query... and the trackers are
+		// the only record of what was charged.
+		for _, t := range q.trackers {
+			t.Release()
+		}
 		// Flush per-query totals into the process metrics regardless of
 		// outcome: partial work is still work done.
 		obs.MetricAdd("rows_scanned", q.scanned)
@@ -110,6 +126,9 @@ func (e *Executor) RunLive(plan algebra.Node, gov *govern.Governor, col *obs.Col
 		obs.MetricAdd("gmdj.probes", q.gstats.Probes)
 		obs.MetricAdd("gmdj.matches", q.gstats.Matches)
 		obs.MetricAdd("gmdj.completed", q.gstats.Completed)
+		obs.MetricAdd("gmdj.spill_partitions", q.gstats.SpillPartitions)
+		obs.MetricAdd("gmdj.spill_bytes_written", q.gstats.SpillBytesWritten)
+		obs.MetricAdd("gmdj.extra_detail_scans", q.gstats.ExtraDetailScans)
 	}()
 	if err := gov.Check(); err != nil {
 		return nil, err
@@ -133,6 +152,25 @@ type query struct {
 	// metrics once per query.
 	scanned int64
 	gstats  gmdj.Stats
+	// trackers collects the per-operator memory trackers handed out
+	// during this evaluation so RunLive can release their charges even
+	// when an operator aborts or panics mid-flight.
+	trackers []*mem.Tracker
+}
+
+// tracker derives a named per-operator tracker from the query's
+// reservation (carried by the governor) and registers it for release at
+// the end of the run. The nil-safe chain means ungoverned or
+// unreserved queries get a nil tracker, i.e. unlimited.
+func (q *query) tracker(name string) *mem.Tracker {
+	if q == nil {
+		return nil
+	}
+	t := q.gov.Reservation().Tracker(name)
+	if t != nil {
+		q.trackers = append(q.trackers, t)
+	}
+	return t
 }
 
 // tick is the cooperative cancellation check for operator row loops.
@@ -539,6 +577,8 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 		Faults:     ev.q.faults,
 		Tracer:     ev.q.col.Tracer(),
 		Live:       ev.q.live,
+		Mem:        ev.q.tracker("gmdj"),
+		Spill:      e.Spill,
 	}
 	// Cross-query hash-partition reuse is sound only when the detail
 	// relation IS a base table (a bare scan shares the table's row
@@ -567,6 +607,12 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 		if local.HashCacheHits+local.HashCacheMisses > 0 {
 			op.Add("hash_cache_hits", local.HashCacheHits)
 			op.Add("hash_cache_misses", local.HashCacheMisses)
+		}
+		if local.SpillPartitions > 0 {
+			op.Add("spill_partitions", local.SpillPartitions)
+			op.Add("spill_bytes_written", local.SpillBytesWritten)
+			op.Add("spill_bytes_read", local.SpillBytesRead)
+			op.Add("extra_detail_scans", local.ExtraDetailScans)
 		}
 		for w, rows := range local.WorkerRows {
 			op.Add(fmt.Sprintf("worker%d_rows", w), rows)

@@ -6,6 +6,7 @@ import (
 	"github.com/olaplab/gmdj/internal/agg"
 	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/plancache"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/storage"
@@ -173,8 +174,28 @@ func (e *Executor) evalSubquerySource(src algebra.Node, q *query) (*relation.Rel
 	for _, row := range rel.Rows {
 		bytes += row.ApproxBytes()
 	}
+	q.chargeSubquery(bytes)
 	e.Results.Put(key, rel, bytes)
 	return rel, nil
+}
+
+// chargeSubquery accounts a materialized subquery source against the
+// query's reservation, best-effort: the relation already exists by the
+// time its size is known, so on exhaustion there is nothing to spill —
+// the overcommit is recorded and the query proceeds. The real relief
+// valve is the result cache's cold tier, which the pool's reclaim hook
+// drains when reservations cannot grow.
+func (q *query) chargeSubquery(bytes int64) {
+	if q == nil || bytes <= 0 {
+		return
+	}
+	t := q.tracker("subquery")
+	if t == nil {
+		return
+	}
+	if err := t.Grow(bytes); err != nil {
+		obs.MetricAdd("mem.subquery_overcommit", 1)
+	}
 }
 
 // cacheableSource reports whether materializing src does work worth

@@ -37,8 +37,10 @@ import (
 	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/expr"
 	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/mem"
 	"github.com/olaplab/gmdj/internal/obs"
 	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/spill"
 	"github.com/olaplab/gmdj/internal/value"
 )
 
@@ -71,6 +73,17 @@ type Stats struct {
 	// hashing pass over the detail relation per condition key set.
 	HashCacheHits   int64
 	HashCacheMisses int64
+	// SpillPartitions counts base-state partitions evicted to the spill
+	// store because the memory reservation could not hold the whole
+	// base state; SpillBytesWritten/SpillBytesRead are their on-disk
+	// frame traffic.
+	SpillPartitions   int64
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	// ExtraDetailScans counts full detail scans beyond the first: the
+	// paper's one-scan guarantee relaxes to 1+k scans when k partitions
+	// spill, and this reports k honestly.
+	ExtraDetailScans int64
 }
 
 // Merge folds src into s. Counters add; WorkerRows concatenate. Safe
@@ -89,6 +102,10 @@ func (s *Stats) Merge(src *Stats) {
 	s.WorkerRows = append(s.WorkerRows, src.WorkerRows...)
 	s.HashCacheHits += src.HashCacheHits
 	s.HashCacheMisses += src.HashCacheMisses
+	s.SpillPartitions += src.SpillPartitions
+	s.SpillBytesWritten += src.SpillBytesWritten
+	s.SpillBytesRead += src.SpillBytesRead
+	s.ExtraDetailScans += src.ExtraDetailScans
 }
 
 // Options tunes evaluation.
@@ -130,6 +147,17 @@ type Options struct {
 	// DetailID identifies the detail relation for HashCache keys
 	// (e.g. "Flow#3@7"). Empty disables hash-partition caching.
 	DetailID string
+	// Mem, when non-nil, charges the estimated base-state footprint
+	// (hash indexes, accumulators, completion flags) against the
+	// query's memory reservation before building it. When the
+	// reservation cannot supply the bytes, evaluation spills (Spill
+	// non-nil) or fails with govern.ErrMemBudget (Spill nil).
+	Mem *mem.Tracker
+	// Spill, when non-nil, is the file-backed store used to evict base
+	// partitions under memory pressure. Nil turns reservation
+	// exhaustion into a hard govern.ErrMemBudget error — the pre-spill
+	// "kill" regime.
+	Spill *spill.Store
 }
 
 // HashCache is the minimal cache surface the evaluator needs for
@@ -193,6 +221,21 @@ func Evaluate(base, detail *relation.Relation, conds []algebra.GMDJCond, opts Op
 	if err := opts.Faults.Fire("gmdj.compile", opts.Gov); err != nil {
 		return nil, err
 	}
+	// Memory admission for the resident base state: charge the
+	// estimated footprint before building it. A reservation that cannot
+	// supply the bytes sends evaluation down the spill path — or, with
+	// no spill store, fails with the typed memory-budget error (the
+	// pre-spill "kill" regime).
+	if opts.Mem != nil && len(base.Rows) > 0 {
+		est := estimateStateBytes(base, conds, opts.Completion)
+		if err := opts.Mem.Grow(est); err != nil {
+			if opts.Spill == nil {
+				return nil, &govern.BudgetError{Kind: govern.ErrMemBudget, Limit: opts.Mem.Available(), Observed: est}
+			}
+			return evaluateSpilled(base, detail, conds, opts, est)
+		}
+		defer opts.Mem.Shrink(est)
+	}
 	p, err := compile(base, detail, conds, opts.Completion)
 	if err != nil {
 		return nil, err
@@ -208,14 +251,49 @@ func Evaluate(base, detail *relation.Relation, conds []algebra.GMDJCond, opts Op
 			}
 		}
 	}
-	workers := opts.Workers
+	decided, accs, err := p.run(opts.Workers, opts.Stats)
+	if err != nil {
+		return nil, err
+	}
+	return p.emit(decided, accs)
+}
+
+// run executes the detail scan (serial or parallel) and returns the
+// per-base decisions and accumulator rows, leaving materialization to
+// emit — the split that lets the spill path evaluate partitions
+// independently and still emit once, in base order.
+func (p *program) run(workers int, stats *Stats) ([]int8, [][]agg.Accumulator, error) {
 	if workers <= 0 {
 		workers = 1
 	}
-	if workers > 1 && len(detail.Rows) >= 2*workers {
-		return p.runParallel(workers, opts.Stats)
+	if workers > 1 && len(p.detail.Rows) >= 2*workers {
+		return p.runParallel(workers, stats)
 	}
-	return p.runSerial(opts.Stats)
+	return p.runSerial(stats)
+}
+
+// estimateStateBytes approximates the resident footprint of the GMDJ
+// base state: per base row, the re-materialized tuple (spilled
+// partitions decode rows from disk), hash-index entries per condition,
+// accumulator structs, and completion flags. It is an estimate — what
+// an admission decision needs — not an allocation count.
+func estimateStateBytes(base *relation.Relation, conds []algebra.GMDJCond, comp *algebra.CompletionInfo) int64 {
+	nBase := int64(len(base.Rows))
+	if nBase == 0 {
+		return 0
+	}
+	totalAggs := 0
+	for _, c := range conds {
+		totalAggs += len(c.Aggs)
+	}
+	per := int64(64)                  // accumulator-row slice header + flags
+	per += int64(totalAggs) * 48      // accumulator structs
+	per += int64(len(conds)) * 24     // index entries + fallback scan lists
+	per += base.Rows[0].ApproxBytes() // representative row footprint
+	if comp != nil {
+		per += int64(len(comp.Atoms)) * 2 // matched flags
+	}
+	return nBase * per
 }
 
 // compile binds and classifies every condition.
@@ -728,10 +806,10 @@ func (p *program) emit(decided []int8, accs [][]agg.Accumulator) (*relation.Rela
 	return out, nil
 }
 
-func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
+func (p *program) runSerial(stats *Stats) ([]int8, [][]agg.Accumulator, error) {
 	s, err := p.newState()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for di := range p.detail.Rows {
 		if s.remaining == 0 {
@@ -742,14 +820,14 @@ func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
 			break
 		}
 		if err := p.gov.Tick(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := s.feed(di); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	stats.Merge(&s.stats)
-	return p.emit(s.decided, s.accs)
+	return s.decided, s.accs, nil
 }
 
 // runParallel shards the detail scan. Each worker evaluates its chunk
@@ -768,7 +846,7 @@ func (p *program) runSerial(stats *Stats) (*relation.Relation, error) {
 // panics are recovered on the worker goroutine itself — the engine's
 // panic boundary lives on the query goroutine and cannot shield
 // workers — and surface as *govern.InternalError.
-func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, error) {
+func (p *program) runParallel(workers int, stats *Stats) ([]int8, [][]agg.Accumulator, error) {
 	if workers > runtime.GOMAXPROCS(0)*4 {
 		workers = runtime.GOMAXPROCS(0) * 4
 	}
@@ -778,7 +856,7 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 	for w := range states {
 		st, err := p.newState()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		states[w] = st
 	}
@@ -834,7 +912,7 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
 	// Record per-worker row counts before merging collapses the locals.
 	workerRows := make([]int64, workers)
@@ -848,7 +926,7 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 		for bi := range root.accs {
 			for k := range root.accs[bi] {
 				if err := agg.Merge(root.accs[bi][k], st.accs[bi][k]); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 			if root.matched != nil {
@@ -872,7 +950,7 @@ func (p *program) runParallel(workers int, stats *Stats) (*relation.Relation, er
 		}
 	}
 	stats.Merge(&root.stats)
-	return p.emit(decided, root.accs)
+	return decided, root.accs, nil
 }
 
 // evaluatePartitioned processes the base relation in bounded chunks,

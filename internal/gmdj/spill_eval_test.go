@@ -1,0 +1,248 @@
+package gmdj
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/agg"
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/mem"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/spill"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// spillFixture builds a base/detail pair large enough that the
+// estimated base state (~200 rows x ~200 bytes) overflows a small
+// reservation and forces the spill regime.
+func spillFixture() (*relation.Relation, *relation.Relation, []algebra.GMDJCond) {
+	rng := rand.New(rand.NewSource(23))
+	base := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+	))
+	for i := 0; i < 200; i++ {
+		base.Append(relation.Tuple{value.Int(int64(rng.Intn(40)))})
+	}
+	detail := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+		relation.Column{Qualifier: "R", Name: "v", Type: value.KindInt},
+	))
+	for i := 0; i < 2000; i++ {
+		detail.Append(relation.Tuple{value.Int(int64(rng.Intn(40))), value.Int(int64(rng.Intn(100)))})
+	}
+	conds := []algebra.GMDJCond{{
+		Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+		Aggs: []agg.Spec{
+			{Func: agg.CountStar, As: "cnt"},
+			{Func: agg.Sum, Arg: expr.C("R.v"), As: "s"},
+		},
+	}}
+	return base, detail, conds
+}
+
+// tinyTracker acquires a reservation from an 8 KiB pool — far below
+// the fixture's state estimate — so Evaluate must spill.
+func tinyTracker(t *testing.T) (*mem.Tracker, func()) {
+	t.Helper()
+	p := mem.NewPool(8<<10, time.Second)
+	res, err := p.Acquire(context.Background(), mem.DefaultQueryReserve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Tracker("gmdj"), res.Release
+}
+
+// TestSpillParity: with a reservation that forces >= 2 partitions to
+// disk, the spilled evaluation must return byte-identical results to
+// the unbounded in-memory run, serially and in parallel.
+func TestSpillParity(t *testing.T) {
+	base, detail, conds := spillFixture()
+	full, err := Evaluate(base, detail, conds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		tr, release := tinyTracker(t)
+		store, err := spill.NewStore(filepath.Join(t.TempDir(), "scratch"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats Stats
+		got, err := Evaluate(base, detail, conds, Options{
+			Workers: workers, Mem: tr, Spill: store, Stats: &stats,
+		})
+		release()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d := full.Diff(got); d != "" {
+			t.Errorf("workers=%d: spilled result differs: %s", workers, d)
+		}
+		if stats.SpillPartitions < 2 {
+			t.Errorf("workers=%d: SpillPartitions = %d, want >= 2", workers, stats.SpillPartitions)
+		}
+		if stats.SpillBytesWritten <= 0 || stats.SpillBytesRead <= 0 {
+			t.Errorf("workers=%d: spill traffic = %d written / %d read, want > 0",
+				workers, stats.SpillBytesWritten, stats.SpillBytesRead)
+		}
+		if stats.ExtraDetailScans < 1 {
+			t.Errorf("workers=%d: ExtraDetailScans = %d, want >= 1", workers, stats.ExtraDetailScans)
+		}
+		if n := store.LiveFiles(); n != 0 {
+			t.Errorf("workers=%d: %d spill files leaked", workers, n)
+		}
+	}
+}
+
+// TestSpillParityWithCompletion: tuple completion (the Theorem 3.1
+// machinery) must survive the spill regime unchanged.
+func TestSpillParityWithCompletion(t *testing.T) {
+	base, detail, conds := spillFixture()
+	comp := &algebra.CompletionInfo{
+		Atoms: []algebra.CompletionAtom{{Cond: 0, Kind: algebra.AtomZero}},
+		Tree:  algebra.Leaf(0),
+	}
+	full, err := Evaluate(base, detail, conds, Options{Completion: comp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, release := tinyTracker(t)
+	defer release()
+	store, err := spill.NewStore(filepath.Join(t.TempDir(), "scratch"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	got, err := Evaluate(base, detail, conds, Options{
+		Completion: comp, Mem: tr, Spill: store, Stats: &stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := full.Diff(got); d != "" {
+		t.Errorf("spilled completion result differs: %s", d)
+	}
+	if stats.SpillPartitions < 2 {
+		t.Errorf("SpillPartitions = %d, want >= 2", stats.SpillPartitions)
+	}
+}
+
+// TestSpillPreservesBaseOrder: output rows must appear in original
+// base order even though partitions complete out of order.
+func TestSpillPreservesBaseOrder(t *testing.T) {
+	base := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
+	))
+	for i := int64(0); i < 300; i++ {
+		base.Append(relation.Tuple{value.Int(i)})
+	}
+	detail := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "R", Name: "k", Type: value.KindInt},
+	))
+	conds := []algebra.GMDJCond{{
+		Theta: expr.Eq(expr.C("B.k"), expr.C("R.k")),
+		Aggs:  []agg.Spec{{Func: agg.CountStar, As: "cnt"}},
+	}}
+	tr, release := tinyTracker(t)
+	defer release()
+	store, err := spill.NewStore(filepath.Join(t.TempDir(), "scratch"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	out, err := Evaluate(base, detail, conds, Options{Mem: tr, Spill: store, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SpillPartitions < 1 {
+		t.Fatalf("fixture did not spill (partitions = %d)", stats.SpillPartitions)
+	}
+	for i, row := range out.Rows {
+		if row[0].AsInt() != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, row)
+		}
+	}
+}
+
+// TestSpillKillRegime: memory pressure with no spill store must fail
+// with the typed memory-budget error, not a panic or a silent OOM.
+func TestSpillKillRegime(t *testing.T) {
+	base, detail, conds := spillFixture()
+	tr, release := tinyTracker(t)
+	defer release()
+	_, err := Evaluate(base, detail, conds, Options{Mem: tr})
+	if !errors.Is(err, govern.ErrMemBudget) {
+		t.Fatalf("err = %v, want ErrMemBudget", err)
+	}
+	var be *govern.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T, want *govern.BudgetError", err)
+	}
+}
+
+// TestSpillDiskFaults: injected disk faults during a spilled run must
+// surface as typed spill I/O errors and leave no temp files behind.
+func TestSpillDiskFaults(t *testing.T) {
+	base, detail, conds := spillFixture()
+	for _, spec := range []string{
+		"spill.write=enospc",
+		"spill.write=shortwrite",
+		"spill.read=corrupt",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			in, err := govern.ParseFaults(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, release := tinyTracker(t)
+			defer release()
+			store, err := spill.NewStore(filepath.Join(t.TempDir(), "scratch"), in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = Evaluate(base, detail, conds, Options{Mem: tr, Spill: store})
+			if !errors.Is(err, spill.ErrSpillIO) {
+				t.Fatalf("err = %v, want ErrSpillIO", err)
+			}
+			if n := store.LiveFiles(); n != 0 {
+				t.Errorf("%d spill files leaked after fault", n)
+			}
+			entries, err := os.ReadDir(store.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				t.Errorf("leftover temp file %s", e.Name())
+			}
+		})
+	}
+}
+
+// TestSpillCancellation: governor cancellation between partitions must
+// abort the spilled run with the canceled error and clean up files.
+func TestSpillCancellation(t *testing.T) {
+	base, detail, conds := spillFixture()
+	ctx, cancel := context.WithCancel(context.Background())
+	gov := govern.New(ctx, govern.Budget{})
+	tr, release := tinyTracker(t)
+	defer release()
+	store, err := spill.NewStore(filepath.Join(t.TempDir(), "scratch"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // cancel before evaluation: the first Gov.Check aborts
+	_, err = Evaluate(base, detail, conds, Options{Gov: gov, Mem: tr, Spill: store})
+	if !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if n := store.LiveFiles(); n != 0 {
+		t.Errorf("%d spill files leaked after cancellation", n)
+	}
+}

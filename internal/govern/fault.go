@@ -19,7 +19,15 @@ import (
 // Known sites are named at the point of injection; the current set is
 // exec.scan, exec.restrict, exec.project, exec.distinct, exec.join,
 // exec.groupby, exec.sort, exec.setop, exec.subquery, exec.number,
-// gmdj.compile, gmdj.worker, and gmdj.emit.
+// gmdj.compile, gmdj.worker, gmdj.emit, spill.write, and spill.read.
+//
+// The spill sites additionally accept the disk-fault actions "enospc"
+// (the write fails as if the device were full), "shortwrite" (the
+// write is truncated mid-frame), and "corrupt" (a byte of the frame is
+// flipped, tripping the checksum — on spill.read this corrupts the
+// re-read, modeling at-rest corruption). Disk actions are interpreted
+// by the spill store via Disk; Fire treats them as no-ops so they are
+// inert at non-disk sites.
 const EnvFaults = "GMDJ_FAULTS"
 
 // ErrInjected is the error returned by an "error" fault; injected
@@ -33,6 +41,25 @@ const (
 	faultError faultKind = iota
 	faultPanic
 	faultDelay
+	faultENOSPC
+	faultShortWrite
+	faultCorrupt
+)
+
+// DiskFault classifies the disk-level fault configured at a spill
+// site; the spill store interprets it at the byte level (Fire cannot —
+// it does not own the file descriptor).
+type DiskFault uint8
+
+const (
+	// DiskNone: no disk fault at this site.
+	DiskNone DiskFault = iota
+	// DiskENOSPC: fail the write as if the device were full.
+	DiskENOSPC
+	// DiskShortWrite: truncate the write mid-frame.
+	DiskShortWrite
+	// DiskCorrupt: flip a byte of the frame so the checksum trips.
+	DiskCorrupt
 )
 
 type fault struct {
@@ -76,6 +103,12 @@ func ParseFaults(spec string) (*Injector, error) {
 				return nil, fmt.Errorf("govern: fault spec %q: %w", part, err)
 			}
 			in.faults[site] = fault{kind: faultDelay, delay: d}
+		case action == "enospc":
+			in.faults[site] = fault{kind: faultENOSPC}
+		case action == "shortwrite":
+			in.faults[site] = fault{kind: faultShortWrite}
+		case action == "corrupt":
+			in.faults[site] = fault{kind: faultCorrupt}
 		default:
 			return nil, fmt.Errorf("govern: fault spec %q: unknown action %q", part, action)
 		}
@@ -124,11 +157,12 @@ func (in *Injector) Fire(site string, g *Governor) error {
 	if !ok {
 		return nil
 	}
-	obs.MetricAdd("faults.injected", 1)
 	switch f.kind {
 	case faultPanic:
+		obs.MetricAdd("faults.injected", 1)
 		panic(fmt.Sprintf("govern: injected panic at %s", site))
 	case faultDelay:
+		obs.MetricAdd("faults.injected", 1)
 		t := time.NewTimer(f.delay)
 		defer t.Stop()
 		select {
@@ -137,7 +171,35 @@ func (in *Injector) Fire(site string, g *Governor) error {
 		case <-g.Context().Done():
 			return g.Check()
 		}
+	case faultENOSPC, faultShortWrite, faultCorrupt:
+		// Disk faults are byte-level: the spill store asks for them via
+		// Disk and enacts them against its own file I/O. Inert here so a
+		// disk action at a non-disk site does nothing.
+		return nil
 	default:
+		obs.MetricAdd("faults.injected", 1)
 		return fmt.Errorf("%w at %s", ErrInjected, site)
 	}
+}
+
+// Disk reports the disk-level fault configured at site (DiskNone when
+// none, or when the site's action is not a disk action). The spill
+// store calls this before each file operation and enacts the fault at
+// the byte level. Safe on a nil Injector.
+func (in *Injector) Disk(site string) DiskFault {
+	if in == nil {
+		return DiskNone
+	}
+	switch in.faults[site].kind {
+	case faultENOSPC:
+		obs.MetricAdd("faults.injected", 1)
+		return DiskENOSPC
+	case faultShortWrite:
+		obs.MetricAdd("faults.injected", 1)
+		return DiskShortWrite
+	case faultCorrupt:
+		obs.MetricAdd("faults.injected", 1)
+		return DiskCorrupt
+	}
+	return DiskNone
 }

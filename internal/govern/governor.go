@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+
+	"github.com/olaplab/gmdj/internal/mem"
 )
 
 // Budget bounds one query evaluation. The zero Budget is unlimited.
@@ -31,6 +33,7 @@ const tickMask = 255
 type Governor struct {
 	ctx    context.Context
 	budget Budget
+	res    *mem.Reservation
 	rows   atomic.Int64
 	bytes  atomic.Int64
 	ticks  atomic.Uint64
@@ -41,6 +44,27 @@ type Governor struct {
 // (engine.RunContext does exactly that).
 func New(ctx context.Context, b Budget) *Governor {
 	return &Governor{ctx: ctx, budget: b}
+}
+
+// AttachReservation binds the query's memory-pool reservation to the
+// governor, making the governor the single per-query handle operators
+// consult for both budget accounting and tracked allocation. Called
+// once at query admission, before evaluation starts.
+func (g *Governor) AttachReservation(r *mem.Reservation) {
+	if g == nil {
+		return
+	}
+	g.res = r
+}
+
+// Reservation returns the query's memory reservation (nil — unlimited
+// — for a nil Governor or an unreserved query). Operators derive
+// per-operator trackers from it.
+func (g *Governor) Reservation() *mem.Reservation {
+	if g == nil {
+		return nil
+	}
+	return g.res
 }
 
 // Context returns the query's context (context.Background for a nil

@@ -1,0 +1,558 @@
+// Package mem is the engine's hierarchical byte accountant — the
+// substrate that turns the govern package's memory budget from a
+// tripwire into a control signal. It tracks three levels:
+//
+//	Pool        — one per engine: total bytes the engine may hold in
+//	              operator state, with queue-based admission control
+//	              for new queries when the pool is contended;
+//	Reservation — one per query: bytes granted to that query out of
+//	              the pool, acquired at admission and released when
+//	              the query finishes;
+//	Tracker     — one per operator instance: bytes charged against
+//	              the query's reservation, so a memory-hungry
+//	              operator (the GMDJ base-state hash map, a subquery
+//	              materialization) learns it is out of budget *before*
+//	              allocating, and can spill instead of erroring.
+//
+// Every method on every type is safe on a nil receiver and degrades to
+// "unlimited, unaccounted" — exactly as govern's nil Governor does —
+// so ungoverned evaluation pays one nil check.
+//
+// When the pool cannot satisfy a grow request it first invokes an
+// optional reclaim hook (the engine wires this to the result cache's
+// spill-down, which pushes cold cached values to disk), then retries;
+// only then does the request fail and the operator fall back to its
+// own spill path.
+package mem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/obs"
+)
+
+// ErrAdmissionTimeout reports that a query waited in the admission
+// queue for the engine memory pool and was shed because its deadline
+// (the admission timeout, or the query context's own deadline if
+// sooner) expired before capacity freed up.
+var ErrAdmissionTimeout = errors.New("admission queue timed out")
+
+// ErrExhausted is the internal signal that a reservation (and the pool
+// behind it) cannot supply the requested bytes. Operators that can
+// degrade treat it as "spill now"; operators that cannot map it to
+// govern.ErrMemBudget.
+var ErrExhausted = errors.New("memory reservation exhausted")
+
+// DefaultAdmissionTimeout bounds how long a query waits for pool
+// capacity before being shed, when the engine does not configure one.
+const DefaultAdmissionTimeout = 10 * time.Second
+
+// DefaultQueryReserve is the reservation requested per query at
+// admission (clamped to the pool capacity, so a pool smaller than this
+// still admits one query at a time).
+const DefaultQueryReserve = 1 << 20
+
+// Pool is an engine-wide byte budget with admission control. All
+// methods are safe for concurrent use; a nil Pool is unlimited.
+type Pool struct {
+	mu        sync.Mutex
+	capacity  int64
+	used      int64
+	waiters   []*waiter // FIFO admission queue
+	reclaim   func(int64) int64
+	admission time.Duration
+
+	admitted  int64
+	queued    int64
+	timeouts  int64
+	reclaimed int64
+}
+
+type waiter struct {
+	need    int64
+	granted chan struct{}
+	done    bool // set under Pool.mu when granted or abandoned
+}
+
+// NewPool creates a pool of capacity bytes. admission bounds the
+// admission-queue wait (<= 0 selects DefaultAdmissionTimeout).
+// capacity <= 0 returns nil — an unlimited pool is no pool.
+func NewPool(capacity int64, admission time.Duration) *Pool {
+	if capacity <= 0 {
+		return nil
+	}
+	if admission <= 0 {
+		admission = DefaultAdmissionTimeout
+	}
+	return &Pool{capacity: capacity, admission: admission}
+}
+
+// SetReclaim installs the memory-pressure valve: when a grow request
+// finds the pool short by n bytes, fn(n) is invoked (outside the pool
+// lock) and should return how many bytes it freed — e.g. by spilling
+// cold cache entries to disk. Not safe to call concurrently with
+// running queries.
+func (p *Pool) SetReclaim(fn func(int64) int64) {
+	if p == nil {
+		return
+	}
+	p.reclaim = fn
+}
+
+// Capacity returns the pool capacity (0 for a nil pool).
+func (p *Pool) Capacity() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.capacity
+}
+
+// Acquire admits one query: it reserves want bytes (clamped to the
+// pool capacity) and returns the query's Reservation. When the pool is
+// contended the caller queues FIFO and blocks with deadline-aware
+// backoff — it wakes when capacity frees or when the earlier of the
+// admission timeout and ctx's own deadline expires, in which case the
+// query is shed with ErrAdmissionTimeout (or ctx.Err() when the
+// context itself was canceled). A nil pool grants an unlimited (nil)
+// reservation immediately.
+func (p *Pool) Acquire(ctx context.Context, want int64) (*Reservation, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if want <= 0 {
+		want = DefaultQueryReserve
+	}
+	if want > p.capacity {
+		want = p.capacity
+	}
+	p.mu.Lock()
+	if p.used+want <= p.capacity && len(p.waiters) == 0 {
+		p.used += want
+		p.admitted++
+		p.mu.Unlock()
+		obs.MetricAdd("mem.admitted", 1)
+		return &Reservation{pool: p, granted: want}, nil
+	}
+	w := &waiter{need: want, granted: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.queued++
+	p.mu.Unlock()
+	obs.MetricAdd("mem.queued", 1)
+
+	deadline := time.NewTimer(p.admission)
+	defer deadline.Stop()
+	select {
+	case <-w.granted:
+		obs.MetricAdd("mem.admitted", 1)
+		return &Reservation{pool: p, granted: want}, nil
+	case <-ctx.Done():
+		if p.abandon(w, false) {
+			return nil, ctx.Err()
+		}
+		// Granted concurrently with cancellation: keep the grant usable
+		// so the caller releases it uniformly.
+		<-w.granted
+		return &Reservation{pool: p, granted: want}, nil
+	case <-deadline.C:
+		if p.abandon(w, true) {
+			obs.MetricAdd("mem.admission_timeouts", 1)
+			return nil, fmt.Errorf("%w after %v (pool %d/%d bytes in use)",
+				ErrAdmissionTimeout, p.admission, p.inUse(), p.capacity)
+		}
+		<-w.granted
+		return &Reservation{pool: p, granted: want}, nil
+	}
+}
+
+// abandon removes w from the queue; it reports false when w was
+// already granted (the grant then must be consumed by the caller).
+func (p *Pool) abandon(w *waiter, timedOut bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w.done {
+		return false
+	}
+	w.done = true
+	for i, x := range p.waiters {
+		if x == w {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			break
+		}
+	}
+	if timedOut {
+		p.timeouts++
+	}
+	return true
+}
+
+// tryGrow attempts to take n more bytes, invoking the reclaim hook
+// once when short. It never blocks.
+func (p *Pool) tryGrow(n int64) bool {
+	if p == nil {
+		return true
+	}
+	p.mu.Lock()
+	if p.used+n <= p.capacity {
+		p.used += n
+		p.mu.Unlock()
+		return true
+	}
+	short := p.used + n - p.capacity
+	fn := p.reclaim
+	p.mu.Unlock()
+	if fn == nil {
+		return false
+	}
+	freed := fn(short)
+	if freed <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reclaimed += freed
+	obs.MetricAdd("mem.reclaimed_bytes", freed)
+	if p.used+n <= p.capacity {
+		p.used += n
+		return true
+	}
+	return false
+}
+
+// release returns n bytes to the pool and grants queued waiters FIFO.
+func (p *Pool) release(n int64) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.used -= n
+	if p.used < 0 {
+		p.used = 0
+	}
+	// Grant waiters strictly in arrival order; stop at the first that
+	// does not fit so admission stays fair under contention.
+	for len(p.waiters) > 0 {
+		w := p.waiters[0]
+		if p.used+w.need > p.capacity {
+			break
+		}
+		p.used += w.need
+		w.done = true
+		p.waiters = p.waiters[1:]
+		close(w.granted)
+	}
+	p.mu.Unlock()
+}
+
+// free returns the currently unreserved bytes.
+func (p *Pool) free() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity - p.used
+}
+
+func (p *Pool) inUse() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// PoolStats is a point-in-time snapshot of the pool.
+type PoolStats struct {
+	// Capacity and InUse describe the byte budget.
+	Capacity int64 `json:"capacity"`
+	InUse    int64 `json:"in_use"`
+	// Queued is the current admission-queue length; Admitted, TimedOut
+	// count queries over the pool's lifetime.
+	Queued   int   `json:"queued"`
+	Admitted int64 `json:"admitted"`
+	TimedOut int64 `json:"timed_out"`
+	// ReclaimedBytes counts bytes freed by the reclaim hook (cache
+	// spill-down) under pressure.
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+}
+
+// Stats snapshots the pool (zero value for a nil pool).
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Capacity:       p.capacity,
+		InUse:          p.used,
+		Queued:         len(p.waiters),
+		Admitted:       p.admitted,
+		TimedOut:       p.timeouts,
+		ReclaimedBytes: p.reclaimed,
+	}
+}
+
+// Reservation is one query's slice of the pool. Trackers charge
+// against it; when it is exhausted it grows from the pool
+// (non-blocking — a running query never re-queues for admission). A
+// nil Reservation is unlimited.
+type Reservation struct {
+	pool *Pool
+
+	mu      sync.Mutex
+	granted int64 // bytes held from the pool
+	used    int64 // bytes charged by trackers
+}
+
+// Tracker returns a per-operator tracker charging this reservation.
+// Safe on a nil reservation (returns a nil, unlimited tracker).
+func (r *Reservation) Tracker(name string) *Tracker {
+	if r == nil {
+		return nil
+	}
+	return &Tracker{res: r, name: name}
+}
+
+// grow charges n bytes, growing the grant from the pool when needed.
+func (r *Reservation) grow(n int64) error {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	if r.used+n <= r.granted {
+		r.used += n
+		r.mu.Unlock()
+		return nil
+	}
+	need := r.used + n - r.granted
+	r.mu.Unlock()
+	if !r.pool.tryGrow(need) {
+		return fmt.Errorf("%w: need %d more bytes (reservation %d used of %d granted, pool %d/%d)",
+			ErrExhausted, need, r.Used(), r.Granted(), r.pool.inUse(), r.pool.Capacity())
+	}
+	r.mu.Lock()
+	r.granted += need
+	r.used += n
+	r.mu.Unlock()
+	return nil
+}
+
+// shrink returns n charged bytes. Surplus grant above the original
+// admission grant is returned to the pool eagerly so contended
+// neighbors can use it.
+func (r *Reservation) shrink(n int64) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.used -= n
+	if r.used < 0 {
+		r.used = 0
+	}
+	r.mu.Unlock()
+}
+
+// Available estimates how many more bytes a grow could obtain right
+// now: reservation headroom plus the pool's free capacity. Operators
+// use it to size spill partitions. Unlimited (nil) reservations report
+// a conservatively huge value.
+func (r *Reservation) Available() int64 {
+	if r == nil {
+		return 1 << 60
+	}
+	r.mu.Lock()
+	head := r.granted - r.used
+	r.mu.Unlock()
+	return head + r.pool.free()
+}
+
+// Used returns the bytes currently charged by trackers.
+func (r *Reservation) Used() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// Granted returns the bytes currently held from the pool.
+func (r *Reservation) Granted() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.granted
+}
+
+// Release returns the whole grant to the pool. The query is over;
+// outstanding tracker charges are forgotten with it. Idempotent.
+func (r *Reservation) Release() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	g := r.granted
+	r.granted, r.used = 0, 0
+	r.mu.Unlock()
+	r.pool.release(g)
+}
+
+// Tracker charges one operator's state bytes against a query
+// reservation. Not safe for concurrent use by multiple goroutines
+// (operators grow on the query goroutine); a nil Tracker is unlimited.
+type Tracker struct {
+	res  *Reservation
+	name string
+	used int64
+}
+
+// Grow charges n more bytes; ErrExhausted means the reservation and
+// pool cannot supply them and the operator should spill (or abort with
+// govern.ErrMemBudget if it cannot).
+func (t *Tracker) Grow(n int64) error {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	if err := t.res.grow(n); err != nil {
+		return err
+	}
+	t.used += n
+	return nil
+}
+
+// Shrink returns n bytes (clamped to the tracker's own charge).
+func (t *Tracker) Shrink(n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	if n > t.used {
+		n = t.used
+	}
+	t.used -= n
+	t.res.shrink(n)
+}
+
+// Used returns the tracker's outstanding charge.
+func (t *Tracker) Used() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.used
+}
+
+// Available estimates how much more this tracker could grow by.
+func (t *Tracker) Available() int64 {
+	if t == nil {
+		return 1 << 60
+	}
+	return t.res.Available()
+}
+
+// Release returns everything the tracker still holds (operator done).
+func (t *Tracker) Release() {
+	if t == nil {
+		return
+	}
+	t.res.shrink(t.used)
+	t.used = 0
+}
+
+// EnvMem is the environment variable read by FromEnv: a comma-
+// separated spec configuring a constrained-memory engine for a whole
+// test run, e.g.
+//
+//	GMDJ_MEM="limit=8MiB,spill=/tmp/scratch,admission=2s"
+//
+// Fields: limit (pool capacity; required for the spec to take effect),
+// spill (scratch root; empty keeps the default), admission (queue
+// timeout). Sizes accept KiB/MiB/GiB suffixes or raw bytes.
+const EnvMem = "GMDJ_MEM"
+
+// EnvConfig is the parsed GMDJ_MEM spec.
+type EnvConfig struct {
+	Limit     int64
+	SpillDir  string
+	Admission time.Duration
+}
+
+// FromEnv parses GMDJ_MEM; ok is false when unset or malformed
+// (malformed specs are reported on stderr and ignored, mirroring
+// govern.FromEnv).
+func FromEnv() (EnvConfig, bool) {
+	spec := strings.TrimSpace(os.Getenv(EnvMem))
+	if spec == "" {
+		return EnvConfig{}, false
+	}
+	cfg, err := ParseEnv(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mem: ignoring %s: %v\n", EnvMem, err)
+		return EnvConfig{}, false
+	}
+	return cfg, true
+}
+
+// ParseEnv parses a GMDJ_MEM spec (see EnvMem).
+func ParseEnv(spec string) (EnvConfig, error) {
+	var cfg EnvConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("mem: spec %q is not key=value", part)
+		}
+		switch k {
+		case "limit":
+			n, err := ParseBytes(v)
+			if err != nil {
+				return cfg, fmt.Errorf("mem: limit: %w", err)
+			}
+			cfg.Limit = n
+		case "spill":
+			cfg.SpillDir = v
+		case "admission":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return cfg, fmt.Errorf("mem: admission: %w", err)
+			}
+			cfg.Admission = d
+		default:
+			return cfg, fmt.Errorf("mem: unknown key %q", k)
+		}
+	}
+	if cfg.Limit <= 0 {
+		return cfg, fmt.Errorf("mem: spec needs limit=<bytes>")
+	}
+	return cfg, nil
+}
+
+// ParseBytes parses "4096", "64KiB", "8MiB", "1GiB".
+func ParseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return n * mult, nil
+}

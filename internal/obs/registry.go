@@ -120,6 +120,10 @@ type Observer struct {
 	mu       sync.Mutex
 	inflight map[int64]*LiveQuery
 	nextID   atomic.Int64
+	// memSource, when set, provides the engine's memory-pool and
+	// spill-store snapshot for /debug/olap/mem (obs cannot import the
+	// engine, so the value crosses as an opaque JSON-marshalable any).
+	memSource func() any
 }
 
 // NewObserver creates an observer with the given slow-query policy.
@@ -280,11 +284,24 @@ func (o *Observer) FormatInFlight() string {
 	return b.String()
 }
 
+// SetMemSource registers the provider behind /debug/olap/mem (the
+// engine wires its memory-status snapshot here). Nil-safe; nil fn
+// removes the endpoint (404).
+func (o *Observer) SetMemSource(fn func() any) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.memSource = fn
+	o.mu.Unlock()
+}
+
 // Handler serves the observability dashboard:
 //
 //	/debug/olap/queries  in-flight queries with live counters
 //	/debug/olap/hist     latency/row-count histograms with p50/p90/p99
 //	/debug/olap/slowlog  retained slow-query records
+//	/debug/olap/mem      memory pool and spill store (when registered)
 //
 // Each endpoint returns JSON by default and plain text with
 // ?format=text. Mount at /debug/olap/ (trailing slash). Nil-safe: a
@@ -330,6 +347,15 @@ func (o *Observer) Handler() http.Handler {
 			}
 			w.Header().Set("Content-Type", "application/json")
 			_ = o.slowlog.WriteJSON(w)
+		case "mem":
+			o.mu.Lock()
+			src := o.memSource
+			o.mu.Unlock()
+			if src == nil {
+				http.NotFound(w, r)
+				return
+			}
+			writeJSON(src())
 		default:
 			http.NotFound(w, r)
 		}

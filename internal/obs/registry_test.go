@@ -46,6 +46,7 @@ func TestNilObserverHooks(t *testing.T) {
 			}
 		},
 		"FormatInFlight": func() { _ = o.FormatInFlight() },
+		"SetMemSource":   func() { o.SetMemSource(func() any { return nil }) },
 		"Handler": func() {
 			rec := httptest.NewRecorder()
 			o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/olap/queries", nil))

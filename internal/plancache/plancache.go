@@ -56,6 +56,12 @@ type Stats struct {
 	Hits, Misses, Evictions, Invalidations int64
 	Entries                                int
 	Bytes                                  int64
+	// Spill-tier counters (result cache only; zero for the plan cache):
+	// entries written to / promoted back from the file-backed cold
+	// tier, and the bytes currently held cold on disk.
+	SpillWrites, SpillReads int64
+	ColdEntries             int
+	ColdBytes               int64
 }
 
 // Cache is a byte-budgeted LRU plan cache.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/spill"
 )
 
 // ResultCache is the engine-level memo behind cross-query subquery and
@@ -23,6 +24,11 @@ type ResultCache struct {
 	ll    *list.List // front = most recent; values are *resultItem
 	items map[string]*list.Element
 	stats Stats
+	// store, when non-nil, backs the cold tier (see result_spill.go):
+	// evicted encodable values demote to checksummed temp files and
+	// promote back on Get instead of being recomputed.
+	store *spill.Store
+	cold  map[string]*coldItem
 }
 
 type resultItem struct {
@@ -51,6 +57,11 @@ func (c *ResultCache) Get(key string) (any, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		if v, ok := c.promoteLocked(key); ok {
+			c.stats.Hits++
+			obs.MetricAdd("resultcache.hit", 1)
+			return v, true
+		}
 		c.stats.Misses++
 		obs.MetricAdd("resultcache.miss", 1)
 		return nil, false
@@ -76,14 +87,15 @@ func (c *ResultCache) Put(key string, value any, bytes int64) {
 	if el, ok := c.items[key]; ok {
 		c.removeLocked(el)
 	}
+	if ci, ok := c.cold[key]; ok {
+		// A fresh Put supersedes any demoted copy of the same key.
+		delete(c.cold, key)
+		ci.file.Remove()
+	}
 	el := c.ll.PushFront(&resultItem{key: key, value: value, bytes: bytes})
 	c.items[key] = el
 	c.cur += bytes
-	for c.cur > c.max && c.ll.Len() > 1 {
-		c.stats.Evictions++
-		obs.MetricAdd("resultcache.eviction", 1)
-		c.removeLocked(c.ll.Back())
-	}
+	c.shrinkLocked()
 }
 
 func (c *ResultCache) removeLocked(el *list.Element) {
@@ -100,16 +112,24 @@ func (c *ResultCache) Stats() Stats {
 	s := c.stats
 	s.Entries = c.ll.Len()
 	s.Bytes = c.cur
+	s.ColdEntries = len(c.cold)
+	for _, ci := range c.cold {
+		s.ColdBytes += ci.file.Bytes
+	}
 	return s
 }
 
-// Purge drops every entry (counters are preserved).
+// Purge drops every entry, resident and cold (counters are preserved).
 func (c *ResultCache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
 	c.cur = 0
+	for key, ci := range c.cold {
+		ci.file.Remove()
+		delete(c.cold, key)
+	}
 }
 
 // EpochTag renders one table dependency as "name#id@version" for

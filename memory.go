@@ -1,0 +1,106 @@
+package gmdj
+
+import (
+	"time"
+)
+
+// Memory-adaptive execution. WithMemoryLimit bounds the bytes of
+// tracked operator state (GMDJ base-side hash state, materialized
+// subquery sources, the result memo) across all concurrent queries on
+// the DB. Under the limit, the engine degrades instead of failing:
+//
+//   - A GMDJ node whose state does not fit its reservation partitions
+//     its base state by hash prefix and spills cold partitions to temp
+//     files, re-probing each spilled partition with one extra detail
+//     scan (the paper's one-scan guarantee relaxes to 1+k scans;
+//     EXPLAIN ANALYZE reports the spill counters honestly).
+//   - The cross-query result memo demotes its LRU tail to disk under
+//     pressure and promotes entries back on demand.
+//   - A query that cannot be admitted to the pool queues until capacity
+//     frees, and is shed with ErrAdmissionTimeout as a last resort.
+//
+// Spill files live in a per-DB scratch directory that is janitored on
+// Open (stale leftovers from crashed runs are removed) and deleted on
+// Close, when a query finishes, or when it is canceled.
+//
+// The GMDJ_MEM environment variable ("limit=64MiB,spill=/tmp/x,
+// admission=2s") supplies defaults for all three knobs; explicit
+// options override it.
+
+// WithMemoryLimit bounds tracked operator state across all concurrent
+// queries to maxBytes (<= 0 leaves memory untracked and unlimited, the
+// default). Spilling to the default scratch directory is enabled;
+// combine with WithSpillDir to move or disable it.
+func WithMemoryLimit(maxBytes int64) Option {
+	return func(db *DB) { db.eng.SetMemoryLimit(maxBytes) }
+}
+
+// WithSpillDir sets the scratch root under which the DB's spill
+// directory is created. The empty string disables spilling entirely:
+// memory exhaustion then aborts the query with ErrMemBudget instead of
+// degrading to disk (the "kill" regime).
+func WithSpillDir(dir string) Option {
+	return func(db *DB) { db.eng.SetSpillDir(dir) }
+}
+
+// WithAdmissionTimeout bounds how long a query may queue for pool
+// memory before being shed with ErrAdmissionTimeout (0 keeps the 10s
+// default). Only meaningful together with WithMemoryLimit.
+func WithAdmissionTimeout(d time.Duration) Option {
+	return func(db *DB) { db.eng.SetAdmissionTimeout(d) }
+}
+
+// MemStats is a point-in-time snapshot of the DB's memory posture.
+type MemStats struct {
+	// Enabled reports whether WithMemoryLimit (or GMDJ_MEM) installed a
+	// pool; every other field is zero when false.
+	Enabled bool
+	// Capacity and InUse are the pool bounds, in bytes.
+	Capacity, InUse int64
+	// Queued is the number of queries currently waiting for admission;
+	// Admitted and TimedOut count queries granted and shed so far.
+	Queued             int
+	Admitted, TimedOut int64
+	// ReclaimedBytes counts bytes freed by demoting result-cache
+	// entries to disk under pressure.
+	ReclaimedBytes int64
+	// SpillEnabled reports whether exhaustion degrades to disk;
+	// SpillDir is the DB's scratch directory.
+	SpillEnabled bool
+	SpillDir     string
+	// SpillLiveFiles, SpillWrites, SpillReads, SpillBytesWritten, and
+	// SpillBytesRead describe scratch-store traffic.
+	SpillLiveFiles                    int
+	SpillWrites, SpillReads           int64
+	SpillBytesWritten, SpillBytesRead int64
+}
+
+// MemStats snapshots the memory pool and spill store.
+func (db *DB) MemStats() MemStats {
+	ms := db.eng.MemStatus()
+	return MemStats{
+		Enabled:           ms.Enabled,
+		Capacity:          ms.Pool.Capacity,
+		InUse:             ms.Pool.InUse,
+		Queued:            ms.Pool.Queued,
+		Admitted:          ms.Pool.Admitted,
+		TimedOut:          ms.Pool.TimedOut,
+		ReclaimedBytes:    ms.Pool.ReclaimedBytes,
+		SpillEnabled:      ms.SpillEnabled,
+		SpillDir:          ms.Spill.Dir,
+		SpillLiveFiles:    ms.Spill.LiveFiles,
+		SpillWrites:       ms.Spill.Writes,
+		SpillReads:        ms.Spill.Reads,
+		SpillBytesWritten: ms.Spill.BytesWritten,
+		SpillBytesRead:    ms.Spill.BytesRead,
+	}
+}
+
+// Close releases the DB's disk state (its scratch spill directory).
+// The DB must be idle; it remains usable afterwards — purely in-memory
+// until a query spills again, which recreates nothing (spilling is
+// disabled once closed). Safe to call more than once, and a no-op for
+// databases that never enabled a memory limit.
+func (db *DB) Close() error {
+	return db.eng.Close()
+}

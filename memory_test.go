@@ -1,0 +1,255 @@
+package gmdj
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/govern"
+)
+
+// memGovernDB is governDB plus memory options applied after open (the
+// setters rebuild the pool and scratch store, so order is irrelevant).
+func memGovernDB(t *testing.T, hours, flows int, opts ...Option) *DB {
+	t.Helper()
+	db := governDB(t, hours, flows)
+	for _, o := range opts {
+		o(db)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// memSpillLimit is small enough that governDB(800, ...)'s GMDJ base
+// state (~150 KiB estimated) cannot fit and must spill.
+const memSpillLimit = 32 << 10
+
+// TestMemSpillParityAllStrategies: with a reservation forcing the GMDJ
+// base state to spill across partitions, every strategy must return
+// byte-identical rows to the unlimited run, serially and in parallel.
+func TestMemSpillParityAllStrategies(t *testing.T) {
+	plain := governDB(t, 800, 4000)
+	memdb := memGovernDB(t, 800, 4000,
+		WithMemoryLimit(memSpillLimit), WithSpillDir(t.TempDir()))
+	for _, workers := range []int{1, 4} {
+		plain.SetParallelism(workers)
+		memdb.SetParallelism(workers)
+		for _, s := range allStrategies {
+			t.Run(fmt.Sprintf("%v/workers=%d", s, workers), func(t *testing.T) {
+				want, err := plain.QueryStrategy(governQuery, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := memdb.QueryStrategy(governQuery, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want.Columns, got.Columns) {
+					t.Fatalf("columns %v vs %v", want.Columns, got.Columns)
+				}
+				if !reflect.DeepEqual(want.Rows, got.Rows) {
+					t.Fatalf("rows differ: %d vs %d", len(want.Rows), len(got.Rows))
+				}
+			})
+		}
+	}
+	ms := memdb.MemStats()
+	if !ms.Enabled || !ms.SpillEnabled {
+		t.Fatalf("memory posture = %+v, want enabled+spill", ms)
+	}
+	if ms.SpillWrites == 0 || ms.SpillBytesWritten == 0 {
+		t.Errorf("GMDJ runs never spilled: %+v", ms)
+	}
+	if ms.SpillLiveFiles != 0 {
+		t.Errorf("%d spill files leaked", ms.SpillLiveFiles)
+	}
+	if ms.InUse != 0 {
+		t.Errorf("pool bytes leaked: %d in use after queries", ms.InUse)
+	}
+}
+
+// TestMemSpillReportedInExplain: EXPLAIN ANALYZE must report the spill
+// partitions, byte traffic, and the relaxed 1+k scan count.
+func TestMemSpillReportedInExplain(t *testing.T) {
+	memdb := memGovernDB(t, 800, 4000,
+		WithMemoryLimit(memSpillLimit), WithSpillDir(t.TempDir()))
+	_, plan, err := memdb.QueryAnalyze(governQuery, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, counter := range []string{"spill_partitions=", "spill_bytes_written=", "spill_bytes_read=", "extra_detail_scans="} {
+		if !containsCounter(plan, counter) {
+			t.Errorf("analyzed plan missing %s:\n%s", counter, plan)
+		}
+	}
+}
+
+func containsCounter(plan, prefix string) bool {
+	for i := 0; i+len(prefix) < len(plan); i++ {
+		if plan[i:i+len(prefix)] == prefix && plan[i+len(prefix)] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMemKillRegime: WithSpillDir("") disables degradation — memory
+// exhaustion must surface as the typed budget error, and the database
+// must stay usable afterwards.
+func TestMemKillRegime(t *testing.T) {
+	memdb := memGovernDB(t, 800, 4000,
+		WithMemoryLimit(memSpillLimit), WithSpillDir(""))
+	if ms := memdb.MemStats(); !ms.Enabled || ms.SpillEnabled {
+		t.Fatalf("posture = %+v, want pool without spill", ms)
+	}
+	for _, s := range []Strategy{GMDJ, GMDJOpt} {
+		if _, err := memdb.QueryStrategy(governQuery, s); !errors.Is(err, ErrMemBudget) {
+			t.Errorf("%v: err = %v, want ErrMemBudget", s, err)
+		}
+	}
+	if _, err := memdb.Query("SELECT hr FROM hours"); err != nil {
+		t.Fatalf("database unusable after memory kill: %v", err)
+	}
+}
+
+// TestMemAdmissionTimeout: a query that cannot get pool memory within
+// the admission deadline is shed with the typed error while the
+// holder finishes normally.
+func TestMemAdmissionTimeout(t *testing.T) {
+	memdb := memGovernDB(t, 20, 500,
+		WithMemoryLimit(64<<10),
+		WithSpillDir(t.TempDir()),
+		WithAdmissionTimeout(50*time.Millisecond))
+	// Pin the first query mid-flight so it holds its (whole-pool)
+	// reservation while the second tries to get in.
+	memdb.eng.SetFaultInjector(govern.NewInjector(map[string]string{"exec.scan": "delay:300ms"}))
+	defer memdb.eng.SetFaultInjector(nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := memdb.Query(governQuery)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if _, err := memdb.Query(governQuery); !errors.Is(err, ErrAdmissionTimeout) {
+		t.Fatalf("err = %v, want ErrAdmissionTimeout", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("holder query failed: %v", err)
+	}
+	if ms := memdb.MemStats(); ms.TimedOut != 1 {
+		t.Errorf("TimedOut = %d, want 1 (stats %+v)", ms.TimedOut, ms)
+	}
+}
+
+// TestMemDiskFaultMatrix: every injected disk fault during a spilled
+// run must yield the typed spill error and leave the scratch directory
+// empty; removing the injector restores normal operation.
+func TestMemDiskFaultMatrix(t *testing.T) {
+	memdb := memGovernDB(t, 800, 4000,
+		WithMemoryLimit(memSpillLimit), WithSpillDir(t.TempDir()))
+	for _, site := range []struct{ site, action string }{
+		{"spill.write", "enospc"},
+		{"spill.write", "shortwrite"},
+		{"spill.write", "error"},
+		{"spill.read", "corrupt"},
+		{"spill.read", "error"},
+	} {
+		t.Run(site.site+"="+site.action, func(t *testing.T) {
+			memdb.eng.SetFaultInjector(govern.NewInjector(map[string]string{site.site: site.action}))
+			_, err := memdb.QueryStrategy(governQuery, GMDJOpt)
+			if !errors.Is(err, ErrSpillIO) {
+				t.Fatalf("err = %v, want ErrSpillIO", err)
+			}
+			ms := memdb.MemStats()
+			if ms.SpillLiveFiles != 0 {
+				t.Errorf("%d spill files leaked", ms.SpillLiveFiles)
+			}
+			entries, err := os.ReadDir(ms.SpillDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				t.Errorf("leftover temp file %s", e.Name())
+			}
+		})
+	}
+	memdb.eng.SetFaultInjector(nil)
+	if _, err := memdb.QueryStrategy(governQuery, GMDJOpt); err != nil {
+		t.Fatalf("database unusable after disk faults: %v", err)
+	}
+}
+
+// TestMemEnvConfig: GMDJ_MEM supplies the three knobs at Open.
+func TestMemEnvConfig(t *testing.T) {
+	t.Setenv("GMDJ_MEM", "limit=32KiB,spill="+t.TempDir()+",admission=1s")
+	memdb := governDB(t, 800, 4000) // plain Open picks up the env
+	defer memdb.Close()
+	ms := memdb.MemStats()
+	if !ms.Enabled || ms.Capacity != 32<<10 || !ms.SpillEnabled {
+		t.Fatalf("env config not applied: %+v", ms)
+	}
+	if _, err := memdb.QueryStrategy(governQuery, GMDJOpt); err != nil {
+		t.Fatal(err)
+	}
+	if ms := memdb.MemStats(); ms.SpillWrites == 0 {
+		t.Errorf("env-configured limit never spilled: %+v", ms)
+	}
+}
+
+// TestMemCloseRemovesScratch: Close deletes the scratch directory; the
+// DB survives for in-memory work.
+func TestMemCloseRemovesScratch(t *testing.T) {
+	memdb := memGovernDB(t, 800, 4000,
+		WithMemoryLimit(memSpillLimit), WithSpillDir(t.TempDir()))
+	if _, err := memdb.QueryStrategy(governQuery, GMDJOpt); err != nil {
+		t.Fatal(err)
+	}
+	dir := memdb.MemStats().SpillDir
+	if dir == "" {
+		t.Fatal("no scratch dir")
+	}
+	if err := memdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("scratch dir %s survived Close", dir)
+	}
+	if err := memdb.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := memdb.Query("SELECT hr FROM hours"); err != nil {
+		t.Fatalf("database unusable after Close: %v", err)
+	}
+}
+
+// TestMemNetflowSpillParity: the paper's Example 2.3-shaped workload
+// (netflow hours x flows) agrees between unlimited and spilled runs.
+func TestMemNetflowSpillParity(t *testing.T) {
+	const q = `SELECT h.HourDsc FROM Hours h WHERE EXISTS (
+	        SELECT * FROM Flow f
+	        WHERE f.StartTime >= h.StartInterval AND f.StartTime < h.EndInterval
+	          AND f.Protocol = 'FTP')`
+	plain := OpenNetflowSample(8000)
+	// The Hours base is only 24 rows (~4 KiB of estimated state), so the
+	// limit must be tiny to force the spill regime.
+	memdb := OpenNetflowSample(8000,
+		WithMemoryLimit(2<<10), WithSpillDir(t.TempDir()))
+	defer memdb.Close()
+	want, err := plain.QueryStrategy(q, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := memdb.QueryStrategy(q, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Rows, got.Rows) {
+		t.Fatalf("netflow rows differ: %d vs %d", len(want.Rows), len(got.Rows))
+	}
+	if ms := memdb.MemStats(); ms.SpillWrites == 0 {
+		t.Errorf("netflow workload never spilled: %+v", ms)
+	}
+}

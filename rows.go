@@ -176,7 +176,8 @@ func (r *Rows) Err() error {
 
 // Close releases the cursor. If the query is still running its
 // context is canceled and Close blocks until evaluation has fully
-// stopped. Close is idempotent.
+// stopped — including the removal of any spill files the query had in
+// flight (see WithMemoryLimit). Close is idempotent.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil

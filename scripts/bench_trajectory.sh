@@ -5,7 +5,7 @@
 # matching cell is more than 15% (+2ms absolute slack) slower.
 #
 # Usage:
-#   scripts/bench_trajectory.sh               # compare fig4, fig5, prepared
+#   scripts/bench_trajectory.sh               # compare fig4, fig5, prepared, memory
 #   scripts/bench_trajectory.sh fig4          # compare one figure
 #   scripts/bench_trajectory.sh -update       # re-record all baselines
 #   scripts/bench_trajectory.sh -update fig4  # re-record one baseline
@@ -28,7 +28,7 @@ if [ "${1:-}" = "-update" ]; then
 fi
 figs=("$@")
 if [ ${#figs[@]} -eq 0 ]; then
-  figs=(fig4 fig5 prepared)
+  figs=(fig4 fig5 prepared memory)
 fi
 
 bin=$(mktemp -d)/benchfig
