@@ -1,0 +1,158 @@
+// Command loadgen drives olapd with a declarative YAML scenario: a
+// sequence of steps, each a worker pool issuing a weighted query mix
+// with optional concurrency ramps, per-request timeouts, think time,
+// and client-abort storms (a fraction of requests hang up early, the
+// cancellation-storm case).
+//
+// Usage:
+//
+//	loadgen -scenario scenarios/cancel_storm.yaml [-target http://127.0.0.1:8080]
+//	        [-bench BENCH_serve.json] [-commit sha] [-q]
+//
+// Outcome accounting is the point: every response must be either 200
+// or a typed error from the serving taxonomy (kind, exit_code,
+// retryable). Any other outcome — a panic page, a truncated body, a
+// hung connection not explained by a client abort — counts as
+// non-typed and fails the run with exit 1. Client aborts and shed
+// requests (429/503) are expected outcomes under chaos, not failures.
+//
+// -bench writes per-step p50/p99/mean latency cells in the repo's
+// bench-trajectory JSON format for plots over commits.
+//
+// Exit codes: 0 all steps completed with zero non-typed outcomes,
+// 1 non-typed outcomes or run error, 2 usage.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/olaplab/gmdj/internal/loadflow"
+	"github.com/olaplab/gmdj/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scenarioPath := flag.String("scenario", "", "scenario YAML file (required)")
+	target := flag.String("target", "", "olapd base URL (overrides the scenario's target)")
+	benchOut := flag.String("bench", "", "write per-step latency cells as bench-trajectory JSON to this file")
+	commit := flag.String("commit", "", "commit sha recorded in -bench output")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -scenario is required")
+		return 2
+	}
+	src, err := os.ReadFile(*scenarioPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 2
+	}
+	sc, err := loadflow.ParseScenario(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	r := &loadflow.Runner{
+		Target:     *target,
+		KnownKinds: serve.KnownKinds(),
+	}
+	if !*quiet {
+		r.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		}
+	}
+	res, err := r.Run(ctx, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	_ = out.Encode(res)
+
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, *commit, res); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			return 1
+		}
+	}
+
+	var nonTyped int64
+	for _, st := range res.Steps {
+		nonTyped += st.NonTyped
+		for _, s := range st.NonTypedSamples {
+			fmt.Fprintf(os.Stderr, "loadgen: non-typed outcome in %q: %s\n", st.Name, s)
+		}
+	}
+	if nonTyped > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d non-typed outcomes\n", nonTyped)
+		return 1
+	}
+	return 0
+}
+
+// benchCell matches the repo's bench-trajectory format (see
+// scripts/bench_trajectory.sh): one cell per (step, percentile).
+type benchCell struct {
+	Strategy    string `json:"strategy"`
+	Label       string `json:"label"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	RowsScanned int64  `json:"rows_scanned"`
+	Probes      int64  `json:"probes"`
+}
+
+type benchDoc struct {
+	Commit string      `json:"commit"`
+	Figure string      `json:"figure"`
+	Scale  float64     `json:"scale"`
+	Cells  []benchCell `json:"cells"`
+}
+
+func writeBench(path, commit string, res *loadflow.Result) error {
+	doc := benchDoc{Commit: commit, Figure: "serve:" + res.Scenario, Scale: 1}
+	for _, st := range res.Steps {
+		mean := int64(0)
+		if st.Latency.Count > 0 {
+			mean = st.Latency.Sum / st.Latency.Count
+		}
+		for _, cell := range []struct {
+			label string
+			v     int64
+		}{
+			{"p50", st.Latency.P50},
+			{"p99", st.Latency.P99},
+			{"mean", mean},
+		} {
+			doc.Cells = append(doc.Cells, benchCell{
+				Strategy:    st.Name,
+				Label:       cell.label,
+				NsPerOp:     cell.v,
+				RowsScanned: st.Requests,
+				Probes:      st.OK,
+			})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,244 @@
+// Command olapd serves the gmdj engine over HTTP/JSON: a concurrent
+// query server with per-tenant admission quotas, per-request deadlines,
+// typed structured errors, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	olapd [-addr :8080] [-data netflow|tpcr|none] [-scale f] [-workers n]
+//	      [-timeout d] [-max-timeout d]
+//	      [-mem-limit bytes] [-spill-dir dir] [-admission-timeout d]
+//	      [-plancache bytes] [-resultcache bytes]
+//	      [-quota spec] [-tenants spec] [-drain-timeout d]
+//	      [-admin] [-slow-ms n] [-slowlog out.json] [-leak-check]
+//
+// The API is one endpoint:
+//
+//	POST /query
+//	  {"sql": "...", "strategy": "gmdj-opt", "timeout_ms": 500, "args": [...]}
+//	  200 → {"columns": [...], "rows": [...], "row_count": n, ...}
+//	  else → {"error": "...", "kind": "...", "exit_code": n,
+//	          "http_status": n, "retryable": bool, "retry_after_ms": n}
+//
+// plus GET /healthz (accepting/draining + counters). The tenant is
+// named by the X-OLAP-Tenant header (default "default").
+//
+// Quotas: -quota is the default tenant envelope, -tenants grants
+// per-tenant overrides, e.g.
+//
+//	-quota inflight=64,admission=2s
+//	-tenants 'alice:inflight=8,mem=32MiB;bob:inflight=2,admission=500ms'
+//
+// A tenant over its in-flight cap queues FIFO and is shed with HTTP
+// 429 + Retry-After at its admission deadline; a draining server
+// answers 503 + Retry-After.
+//
+// Shutdown: SIGTERM or SIGINT starts the drain — stop accepting, let
+// in-flight queries finish within -drain-timeout, then hard-cancel
+// stragglers through their governor contexts. A drained exit is code
+// 0 even when the hard phase fired. -leak-check verifies at exit that
+// the goroutine count returned to its pre-serving baseline (code 12
+// and a stack dump otherwise) — the chaos harness runs with it on.
+//
+// Fault injection: GMDJ_FAULTS covers the server sites serve.accept,
+// serve.write, and serve.cancel alongside the engine sites, with an
+// optional @N rate suffix ("serve.accept=error@25" fails one accept
+// in 25). Injected serving faults degrade to typed 503 responses.
+//
+// -admin mounts the live dashboard (/debug/olap/queries, /hist,
+// /slowlog, /mem), the admission snapshot (/debug/serve), and expvar
+// (/debug/vars) on the same listener.
+//
+// Exit codes: 0 clean shutdown, 1 server error, 2 usage,
+// 12 goroutine leak detected (with -leak-check).
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	gmdj "github.com/olaplab/gmdj"
+	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/serve"
+)
+
+const (
+	exitClean = 0
+	exitErr   = 1
+	exitUsage = 2
+	exitLeak  = 12
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "netflow", "sample dataset to preload: netflow, tpcr, or none")
+	scale := flag.Float64("scale", 1.0, "sample dataset scale factor")
+	workers := flag.Int("workers", 0, "GMDJ scan parallelism (0 = serial)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline when the request carries none (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "clamp on client-requested timeouts (0 = unclamped)")
+	memLimit := flag.Int64("mem-limit", 0, "engine-wide tracked-state memory pool in bytes (0 = untracked)")
+	spillDir := flag.String("spill-dir", "auto", "spill scratch root ('auto' = system temp dir, '' disables spilling)")
+	admission := flag.Duration("admission-timeout", 0, "memory-pool admission deadline (0 = 10s default)")
+	planCacheBytes := flag.Int64("plancache", 0, "parameterized plan cache byte budget (0 = default, negative disables)")
+	resultCacheBytes := flag.Int64("resultcache", -1, "cross-query result memo byte budget (negative = off)")
+	quota := flag.String("quota", "", "default tenant quota spec, e.g. inflight=64,mem=64MiB,admission=2s")
+	tenants := flag.String("tenants", "", "per-tenant quota specs, e.g. 'a:inflight=8;b:inflight=2'")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight queries may finish after SIGTERM before being hard-canceled")
+	admin := flag.Bool("admin", false, "mount /debug/olap/*, /debug/serve, and /debug/vars")
+	slowMS := flag.Int64("slow-ms", 100, "slow-query threshold in milliseconds (0 logs every query)")
+	slowlogOut := flag.String("slowlog", "", "write the slow-query log as JSON to this file on exit")
+	leakCheck := flag.Bool("leak-check", false, "verify the goroutine count returns to baseline at exit (exit 12 on leak)")
+	flag.Parse()
+
+	defaultQuota, err := serve.ParseQuota(*quota)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "olapd:", err)
+		return exitUsage
+	}
+	tenantQuotas, err := serve.ParseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "olapd:", err)
+		return exitUsage
+	}
+
+	opts := []gmdj.Option{
+		gmdj.WithParallelism(*workers),
+		gmdj.WithPlanCache(*planCacheBytes),
+		gmdj.WithResultCache(*resultCacheBytes),
+	}
+	if *memLimit > 0 {
+		opts = append(opts, gmdj.WithMemoryLimit(*memLimit))
+		if *admission > 0 {
+			opts = append(opts, gmdj.WithAdmissionTimeout(*admission))
+		}
+	}
+	if *spillDir != "auto" {
+		opts = append(opts, gmdj.WithSpillDir(*spillDir))
+	}
+	var db *gmdj.DB
+	switch *data {
+	case "netflow":
+		db = gmdj.OpenNetflowSample(int(50_000**scale), opts...)
+	case "tpcr":
+		db = gmdj.OpenTPCRSample(*scale, opts...)
+	case "none":
+		db = gmdj.Open(opts...)
+	default:
+		fmt.Fprintf(os.Stderr, "olapd: unknown dataset %q\n", *data)
+		return exitUsage
+	}
+	db.EnableObservability(gmdj.ObsConfig{
+		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+	})
+
+	srv := serve.NewServer(db, serve.Config{
+		DefaultQuota:   defaultQuota,
+		Tenants:        tenantQuotas,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Admin:          *admin,
+		Faults:         govern.FromEnv(),
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *admin {
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	// The leak baseline is taken before the serving goroutines start,
+	// so a clean shutdown must return all of them.
+	baseline := runtime.NumGoroutine()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "olapd: serving on %s (data=%s scale=%g, drain=%v)\n", *addr, *data, *scale, *drainTimeout)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "olapd:", err)
+		db.Close()
+		return exitErr
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "olapd: %v — draining (budget %v, %d in flight)\n", s, *drainTimeout, srv.InFlight())
+	}
+	signal.Stop(sig)
+
+	// Drain state machine: reject new queries, wait out in-flight ones
+	// within the budget, hard-cancel stragglers, then close the
+	// listener and the DB.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	drainErr := srv.Drain(drainCtx)
+	cancel()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	shutErr := hs.Shutdown(shutCtx)
+	cancel()
+	if err := writeSlowLog(db, *slowlogOut); err != nil {
+		fmt.Fprintln(os.Stderr, "olapd:", err)
+	}
+	db.Close()
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "olapd: drained (accepted=%d completed=%d rejected=%d hard_canceled=%d faults=%d)\n",
+		st.Accepted, st.Completed, st.Rejected, st.HardCanceled, st.FaultsFired)
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "olapd:", drainErr)
+		return exitErr
+	}
+	if shutErr != nil && !errors.Is(shutErr, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "olapd: shutdown:", shutErr)
+		return exitErr
+	}
+	if *leakCheck {
+		if n, ok := awaitGoroutineBaseline(baseline, 10*time.Second); !ok {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			fmt.Fprintf(os.Stderr, "olapd: goroutine leak: %d live, baseline %d\n%s\n", n, baseline, buf)
+			return exitLeak
+		}
+		fmt.Fprintln(os.Stderr, "olapd: leak check passed")
+	}
+	return exitClean
+}
+
+// awaitGoroutineBaseline polls until the goroutine count returns to
+// baseline (+2 of slack for runtime helpers) or the deadline passes.
+func awaitGoroutineBaseline(baseline int, wait time.Duration) (int, bool) {
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return n, true
+		}
+		if time.Now().After(deadline) {
+			return n, false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func writeSlowLog(db *gmdj.DB, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.WriteSlowLog(f)
+}

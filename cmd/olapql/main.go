@@ -67,6 +67,7 @@
 //	7  internal error (operator panic, recovered)
 //	8  spill I/O failure (disk full, corrupt spill file)
 //	9  admission timeout (memory pool contended; query shed)
+//	10 database closed while the query waited for admission
 package main
 
 import (
@@ -97,6 +98,7 @@ const (
 	exitInternal  = 7
 	exitSpillIO   = 8
 	exitAdmission = 9
+	exitClosed    = 10
 )
 
 // exitCode maps a query error onto the CLI's exit-code contract.
@@ -114,6 +116,8 @@ func exitCode(err error) int {
 		return exitSpillIO
 	case errors.Is(err, gmdj.ErrAdmissionTimeout):
 		return exitAdmission
+	case errors.Is(err, gmdj.ErrClosed):
+		return exitClosed
 	case errors.Is(err, gmdj.ErrInternal):
 		return exitInternal
 	default:

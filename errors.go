@@ -35,4 +35,9 @@ var (
 	// timeout for memory-pool capacity and was shed without running.
 	// Retry when concurrent load subsides, or raise the limit.
 	ErrAdmissionTimeout = mem.ErrAdmissionTimeout
+	// ErrClosed: DB.Close ran while the query was queued for memory
+	// admission; the wait could never be satisfied, so the query was
+	// shed instead of deadlocking. Queries started after Close run
+	// unaccounted (purely in-memory) and do not see this error.
+	ErrClosed = mem.ErrPoolClosed
 )

@@ -508,6 +508,8 @@ func errKind(err error) string {
 		return "mem_budget"
 	case errors.Is(err, mem.ErrAdmissionTimeout):
 		return "admission_timeout"
+	case errors.Is(err, mem.ErrPoolClosed):
+		return "closed"
 	case errors.Is(err, spill.ErrSpillIO):
 		return "spill_io"
 	case errors.Is(err, govern.ErrInternal):

@@ -71,8 +71,13 @@ func (e *Engine) MemStatus() MemStatus {
 }
 
 // Close releases engine-owned disk state (the scratch spill
-// directory). The engine must be idle. Safe to call more than once.
+// directory) and closes the memory pool: queries queued for admission
+// are shed promptly with a typed error wrapping mem.ErrPoolClosed
+// instead of waiting out their deadlines, and subsequent queries run
+// unaccounted (purely in-memory). Safe to call more than once and
+// concurrently with queries waiting for admission.
 func (e *Engine) Close() error {
+	e.pool.Close()
 	var err error
 	if e.spillStore != nil {
 		err = e.spillStore.RemoveAll()
@@ -111,6 +116,9 @@ func (e *Engine) reconfigureMemory() {
 		e.spillStore = nil
 		e.exec.Spill = nil
 	}
+	// Shed anything still queued on a previous pool so reconfiguration
+	// can never strand a waiter (typed error, not a deadlock).
+	e.pool.Close()
 	e.pool = nil
 	if e.memLimit <= 0 {
 		return

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/olaplab/gmdj/internal/obs"
@@ -19,7 +21,16 @@ import (
 // Known sites are named at the point of injection; the current set is
 // exec.scan, exec.restrict, exec.project, exec.distinct, exec.join,
 // exec.groupby, exec.sort, exec.setop, exec.subquery, exec.number,
-// gmdj.compile, gmdj.worker, gmdj.emit, spill.write, and spill.read.
+// gmdj.compile, gmdj.worker, gmdj.emit, spill.write, spill.read, and
+// the serving-layer sites serve.accept (request admission), serve.write
+// (response serialization), and serve.cancel (drain/abort handling).
+//
+// Any action may carry an "@N" suffix ("serve.accept=error@25"): the
+// fault then fires deterministically on every Nth arrival at the site
+// (the Nth, 2Nth, ... calls) instead of every call, which is what a
+// chaos scenario wants — a server where every accept fails measures
+// nothing. Without the suffix N is 1 and the historical every-call
+// behavior is unchanged.
 //
 // The spill sites additionally accept the disk-fault actions "enospc"
 // (the write fails as if the device were full), "shortwrite" (the
@@ -65,6 +76,18 @@ const (
 type fault struct {
 	kind  faultKind
 	delay time.Duration
+	// every fires the fault on every every-th arrival only (1 = every
+	// call); hits counts arrivals at the site across goroutines.
+	every int64
+	hits  *atomic.Int64
+}
+
+// due reports whether this arrival at the site should fault.
+func (f fault) due() bool {
+	if f.every <= 1 {
+		return true
+	}
+	return f.hits.Add(1)%f.every == 0
 }
 
 // Injector triggers deterministic faults at named operator sites. A
@@ -92,26 +115,36 @@ func ParseFaults(spec string) (*Injector, error) {
 		if !ok || site == "" {
 			return nil, fmt.Errorf("govern: fault spec %q is not site=action", part)
 		}
+		every := int64(1)
+		if base, rate, hasRate := strings.Cut(action, "@"); hasRate {
+			n, err := strconv.ParseInt(rate, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("govern: fault spec %q: bad rate %q (want @N, N >= 1)", part, rate)
+			}
+			action, every = base, n
+		}
+		f := fault{every: every, hits: new(atomic.Int64)}
 		switch {
 		case action == "panic":
-			in.faults[site] = fault{kind: faultPanic}
+			f.kind = faultPanic
 		case action == "error":
-			in.faults[site] = fault{kind: faultError}
+			f.kind = faultError
 		case strings.HasPrefix(action, "delay:"):
 			d, err := time.ParseDuration(strings.TrimPrefix(action, "delay:"))
 			if err != nil {
 				return nil, fmt.Errorf("govern: fault spec %q: %w", part, err)
 			}
-			in.faults[site] = fault{kind: faultDelay, delay: d}
+			f.kind, f.delay = faultDelay, d
 		case action == "enospc":
-			in.faults[site] = fault{kind: faultENOSPC}
+			f.kind = faultENOSPC
 		case action == "shortwrite":
-			in.faults[site] = fault{kind: faultShortWrite}
+			f.kind = faultShortWrite
 		case action == "corrupt":
-			in.faults[site] = fault{kind: faultCorrupt}
+			f.kind = faultCorrupt
 		default:
 			return nil, fmt.Errorf("govern: fault spec %q: unknown action %q", part, action)
 		}
+		in.faults[site] = f
 	}
 	if len(in.faults) == 0 {
 		return nil, nil
@@ -158,6 +191,17 @@ func (in *Injector) Fire(site string, g *Governor) error {
 		return nil
 	}
 	switch f.kind {
+	case faultENOSPC, faultShortWrite, faultCorrupt:
+		// Disk faults are byte-level: the spill store asks for them via
+		// Disk and enacts them against its own file I/O. Inert here so a
+		// disk action at a non-disk site does nothing — and the rate
+		// counter is left to Disk.
+		return nil
+	}
+	if !f.due() {
+		return nil
+	}
+	switch f.kind {
 	case faultPanic:
 		obs.MetricAdd("faults.injected", 1)
 		panic(fmt.Sprintf("govern: injected panic at %s", site))
@@ -171,11 +215,6 @@ func (in *Injector) Fire(site string, g *Governor) error {
 		case <-g.Context().Done():
 			return g.Check()
 		}
-	case faultENOSPC, faultShortWrite, faultCorrupt:
-		// Disk faults are byte-level: the spill store asks for them via
-		// Disk and enacts them against its own file I/O. Inert here so a
-		// disk action at a non-disk site does nothing.
-		return nil
 	default:
 		obs.MetricAdd("faults.injected", 1)
 		return fmt.Errorf("%w at %s", ErrInjected, site)
@@ -190,16 +229,21 @@ func (in *Injector) Disk(site string) DiskFault {
 	if in == nil {
 		return DiskNone
 	}
-	switch in.faults[site].kind {
+	f := in.faults[site]
+	var kind DiskFault
+	switch f.kind {
 	case faultENOSPC:
-		obs.MetricAdd("faults.injected", 1)
-		return DiskENOSPC
+		kind = DiskENOSPC
 	case faultShortWrite:
-		obs.MetricAdd("faults.injected", 1)
-		return DiskShortWrite
+		kind = DiskShortWrite
 	case faultCorrupt:
-		obs.MetricAdd("faults.injected", 1)
-		return DiskCorrupt
+		kind = DiskCorrupt
+	default:
+		return DiskNone
 	}
-	return DiskNone
+	if !f.due() {
+		return DiskNone
+	}
+	obs.MetricAdd("faults.injected", 1)
+	return kind
 }

@@ -167,3 +167,38 @@ func TestDelayedFaultRespectsCancel(t *testing.T) {
 		t.Fatal("delayed fault ignored cancellation")
 	}
 }
+
+func TestFaultRateSuffix(t *testing.T) {
+	// action@N faults every Nth arrival at the site, deterministically.
+	in, err := ParseFaults("a=error@3,b=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected int
+	for i := 1; i <= 9; i++ {
+		err := in.Fire("a", nil)
+		if errors.Is(err, ErrInjected) {
+			injected++
+			if i%3 != 0 {
+				t.Fatalf("fired on arrival %d, want every 3rd", i)
+			}
+		} else if err != nil {
+			t.Fatalf("arrival %d: %v", i, err)
+		}
+	}
+	if injected != 3 {
+		t.Fatalf("injected %d of 9, want 3", injected)
+	}
+	// No suffix means every arrival.
+	if err := in.Fire("b", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("unsuffixed site: %v", err)
+	}
+}
+
+func TestFaultRateSuffixRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{"a=error@0", "a=error@-2", "a=error@x", "a=error@"} {
+		if _, err := ParseFaults(spec); err == nil {
+			t.Fatalf("spec %q parsed", spec)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package loadflow
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scenario is one declarative load/chaos run: a named sequence of
+// steps executed in order against one olapd endpoint.
+type Scenario struct {
+	// Name labels the run (and the BENCH figure).
+	Name string
+	// Description is free documentation.
+	Description string
+	// Target is the olapd base URL; a runner flag may override it.
+	Target string
+	// Tenant is the default tenant for steps that don't set their own.
+	Tenant string
+	// Seed feeds the deterministic per-worker PRNGs (default 1).
+	Seed int64
+	// Steps run sequentially.
+	Steps []Step
+}
+
+// Step is one load phase: a worker pool issuing a weighted query mix.
+type Step struct {
+	// Name labels the step in results and BENCH cells.
+	Name string
+	// Concurrency is the worker-pool size (default 1).
+	Concurrency int
+	// Ramp staggers worker starts evenly across this duration (0 =
+	// all at once — a spike).
+	Ramp time.Duration
+	// Duration bounds the step's wall clock; workers stop issuing new
+	// requests once it elapses. 0 = bounded by Requests only.
+	Duration time.Duration
+	// Requests caps the total requests issued across all workers.
+	// 0 = bounded by Duration only. At least one bound must be set.
+	Requests int64
+	// Timeout is the per-request timeout_ms sent to the server
+	// (0 = server default).
+	Timeout time.Duration
+	// Think pauses each worker between requests (0 = none).
+	Think time.Duration
+	// AbortRate is the fraction of requests (0..1) the client abandons
+	// — canceling the HTTP request after AbortAfter — to model
+	// disconnecting clients.
+	AbortRate float64
+	// AbortAfter is how long an aborting client waits before hanging
+	// up (default 1ms).
+	AbortAfter time.Duration
+	// Tenant overrides the scenario tenant for this step.
+	Tenant string
+	// Queries is the weighted template mix (required, non-empty).
+	Queries []QueryTemplate
+}
+
+// QueryTemplate is one weighted query in a step's mix. SQL may embed
+// $RANDINT(lo,hi) and $PICK(a|b|c) placeholders, expanded per request
+// from the worker's deterministic PRNG.
+type QueryTemplate struct {
+	SQL      string
+	Weight   int // relative selection weight (default 1)
+	Strategy string
+	// TimeoutMS overrides the step timeout for this template (0 = step's).
+	TimeoutMS int64
+}
+
+// ParseScenario decodes a scenario document from the YAML subset.
+func ParseScenario(src string) (*Scenario, error) {
+	root, err := ParseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	doc, ok := root.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("loadflow: scenario root must be a mapping, got %T", root)
+	}
+	d := decoder{}
+	sc := &Scenario{
+		Name:        d.str(doc, "name"),
+		Description: d.str(doc, "description"),
+		Target:      d.str(doc, "target"),
+		Tenant:      d.str(doc, "tenant"),
+		Seed:        d.i64(doc, "seed"),
+	}
+	steps, _ := doc["steps"].([]any)
+	for i, raw := range steps {
+		m, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("loadflow: steps[%d] must be a mapping", i)
+		}
+		st := Step{
+			Name:        d.str(m, "name"),
+			Concurrency: int(d.i64(m, "concurrency")),
+			Ramp:        d.dur(m, "ramp"),
+			Duration:    d.dur(m, "duration"),
+			Requests:    d.i64(m, "requests"),
+			Timeout:     d.dur(m, "timeout"),
+			Think:       d.dur(m, "think"),
+			AbortRate:   d.f64(m, "abort_rate"),
+			AbortAfter:  d.dur(m, "abort_after"),
+			Tenant:      d.str(m, "tenant"),
+		}
+		qs, _ := m["queries"].([]any)
+		for j, qraw := range qs {
+			qm, ok := qraw.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("loadflow: steps[%d].queries[%d] must be a mapping", i, j)
+			}
+			st.Queries = append(st.Queries, QueryTemplate{
+				SQL:       d.str(qm, "sql"),
+				Weight:    int(d.i64(qm, "weight")),
+				Strategy:  d.str(qm, "strategy"),
+				TimeoutMS: d.i64(qm, "timeout_ms"),
+			})
+		}
+		d.checkKeys(fmt.Sprintf("steps[%d]", i), m,
+			"name", "concurrency", "ramp", "duration", "requests",
+			"timeout", "think", "abort_rate", "abort_after", "tenant", "queries")
+		sc.Steps = append(sc.Steps, st)
+	}
+	d.checkKeys("scenario", doc, "name", "description", "target", "tenant", "seed", "steps")
+	if d.err != nil {
+		return nil, d.err
+	}
+	return sc, sc.validate()
+}
+
+func (sc *Scenario) validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("loadflow: scenario has no name")
+	}
+	if len(sc.Steps) == 0 {
+		return fmt.Errorf("loadflow: scenario %q has no steps", sc.Name)
+	}
+	for i := range sc.Steps {
+		st := &sc.Steps[i]
+		if st.Name == "" {
+			st.Name = fmt.Sprintf("step%d", i+1)
+		}
+		if st.Concurrency <= 0 {
+			st.Concurrency = 1
+		}
+		if st.Duration <= 0 && st.Requests <= 0 {
+			return fmt.Errorf("loadflow: step %q has neither duration nor requests", st.Name)
+		}
+		if st.AbortRate < 0 || st.AbortRate > 1 {
+			return fmt.Errorf("loadflow: step %q abort_rate %v outside [0,1]", st.Name, st.AbortRate)
+		}
+		if st.AbortRate > 0 && st.AbortAfter <= 0 {
+			st.AbortAfter = time.Millisecond
+		}
+		if len(st.Queries) == 0 {
+			return fmt.Errorf("loadflow: step %q has no queries", st.Name)
+		}
+		for j := range st.Queries {
+			q := &st.Queries[j]
+			if q.SQL == "" {
+				return fmt.Errorf("loadflow: step %q queries[%d] has no sql", st.Name, j)
+			}
+			if q.Weight <= 0 {
+				q.Weight = 1
+			}
+		}
+	}
+	return nil
+}
+
+// decoder accumulates the first type/key error across lookups so the
+// schema walk above stays linear.
+type decoder struct{ err error }
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("loadflow: "+format, args...)
+	}
+}
+
+func (d *decoder) str(m map[string]any, key string) string {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return ""
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.fail("%s: want string, got %T (%v)", key, v, v)
+		return ""
+	}
+	return s
+}
+
+func (d *decoder) i64(m map[string]any, key string) int64 {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return 0
+	}
+	n, ok := v.(int64)
+	if !ok {
+		d.fail("%s: want integer, got %T (%v)", key, v, v)
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) f64(m map[string]any, key string) float64 {
+	switch v := m[key].(type) {
+	case nil:
+		return 0
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	default:
+		d.fail("%s: want number, got %T (%v)", key, v, v)
+		return 0
+	}
+}
+
+func (d *decoder) dur(m map[string]any, key string) time.Duration {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return 0
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.fail("%s: want duration string like \"500ms\", got %T (%v)", key, v, v)
+		return 0
+	}
+	dur, err := time.ParseDuration(s)
+	if err != nil {
+		d.fail("%s: %v", key, err)
+		return 0
+	}
+	return dur
+}
+
+// checkKeys rejects unknown keys — a typo in a scenario must fail the
+// run, not silently no-op.
+func (d *decoder) checkKeys(where string, m map[string]any, allowed ...string) {
+	ok := map[string]bool{}
+	for _, k := range allowed {
+		ok[k] = true
+	}
+	for k := range m {
+		if !ok[k] {
+			d.fail("%s: unknown key %q", where, k)
+		}
+	}
+}

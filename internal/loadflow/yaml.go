@@ -1,0 +1,255 @@
+// Package loadflow is a declarative load/chaos scenario driver for the
+// serving layer: scenarios are YAML documents describing weighted query
+// mixes, concurrency ramps, client-abort storms, and per-step deadlines;
+// the runner executes them against an olapd endpoint and reports typed
+// outcome counts plus latency percentiles.
+//
+// The module carries no dependencies, so this file implements the YAML
+// subset the scenario schema needs (block mappings, block sequences,
+// scalars, comments) rather than a full YAML 1.2 parser. Flow
+// collections, anchors, multi-line scalars, and multi-document streams
+// are out of scope and rejected or misparsed loudly, never silently.
+package loadflow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseYAML parses the supported YAML subset into nested
+// map[string]any / []any / scalar (string, int64, float64, bool, nil)
+// values.
+func ParseYAML(src string) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		text, err := stripComment(raw)
+		if err != nil {
+			return nil, fmt.Errorf("yaml line %d: %w", i+1, err)
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(text) && text[indent] == ' ' {
+			indent++
+		}
+		if strings.HasPrefix(text[indent:], "\t") {
+			return nil, fmt.Errorf("yaml line %d: tab indentation not supported", i+1)
+		}
+		lines = append(lines, yamlLine{no: i + 1, indent: indent, text: text[indent:]})
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	v, next, err := parseBlock(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected dedent/content %q", lines[next].no, lines[next].text)
+	}
+	return v, nil
+}
+
+type yamlLine struct {
+	no     int
+	indent int
+	text   string
+}
+
+// stripComment removes a trailing comment: a '#' at start of content or
+// preceded by whitespace, outside quotes.
+func stripComment(s string) (string, error) {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case c == '#' && !inS && !inD:
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return s[:i], nil
+			}
+		}
+	}
+	if inS || inD {
+		return "", fmt.Errorf("unterminated quote")
+	}
+	return s, nil
+}
+
+// parseBlock parses one block (mapping or sequence) whose lines sit at
+// exactly `indent`; it returns the value and the index of the first
+// unconsumed line.
+func parseBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseSeq(lines, i, indent)
+	}
+	return parseMap(lines, i, indent)
+}
+
+func parseSeq(lines []yamlLine, i, indent int) (any, int, error) {
+	var out []any
+	for i < len(lines) && lines[i].indent == indent &&
+		(strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-") {
+		ln := lines[i]
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		if rest == "" {
+			// "-" alone: the item is the nested block below.
+			i++
+			if i >= len(lines) || lines[i].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, next, err := parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, v)
+			i = next
+			continue
+		}
+		if isMapKey(rest) {
+			// "- key: ..." starts an inline mapping: reinterpret the
+			// dash as two spaces of indentation so the item's remaining
+			// keys (indent+2) align with the rewritten first key.
+			sub := []yamlLine{{no: ln.no, indent: indent + 2, text: rest}}
+			j := i + 1
+			for j < len(lines) && lines[j].indent > indent {
+				sub = append(sub, lines[j])
+				j++
+			}
+			v, next, err := parseBlock(sub, 0, indent+2)
+			if err != nil {
+				return nil, 0, err
+			}
+			if next != len(sub) {
+				return nil, 0, fmt.Errorf("yaml line %d: unexpected content in sequence item", sub[next].no)
+			}
+			out = append(out, v)
+			i = j
+			continue
+		}
+		out = append(out, scalar(rest))
+		i++
+	}
+	return out, i, nil
+}
+
+func parseMap(lines []yamlLine, i, indent int) (any, int, error) {
+	out := map[string]any{}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, 0, fmt.Errorf("yaml line %d: %q is not a key: value", ln.no, ln.text)
+		}
+		if _, dup := out[key]; dup {
+			return nil, 0, fmt.Errorf("yaml line %d: duplicate key %q", ln.no, key)
+		}
+		if rest == ">" || rest == ">-" {
+			// Folded block scalar: deeper-indented lines joined with
+			// single spaces (enough for multi-line SQL; the trailing-
+			// newline distinction between > and >- is irrelevant here).
+			i++
+			var parts []string
+			for i < len(lines) && lines[i].indent > indent {
+				parts = append(parts, lines[i].text)
+				i++
+			}
+			out[key] = strings.Join(parts, " ")
+			continue
+		}
+		if rest != "" {
+			out[key] = scalar(rest)
+			i++
+			continue
+		}
+		// "key:" introduces a nested block (deeper indent) or null.
+		i++
+		if i >= len(lines) || lines[i].indent <= indent {
+			out[key] = nil
+			continue
+		}
+		v, next, err := parseBlock(lines, i, lines[i].indent)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[key] = v
+		i = next
+	}
+	return out, i, nil
+}
+
+// isMapKey reports whether s begins a "key: value" pair (colon outside
+// quotes followed by space or end).
+func isMapKey(s string) bool {
+	_, _, ok := splitKey(s)
+	return ok
+}
+
+// splitKey cuts "key: value" at the first unquoted ": " (or trailing
+// ":"), returning the unquoted key and the raw remainder.
+func splitKey(s string) (key, rest string, ok bool) {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case c == ':' && !inS && !inD:
+			if i+1 == len(s) {
+				return unquote(strings.TrimSpace(s[:i])), "", true
+			}
+			if s[i+1] == ' ' {
+				return unquote(strings.TrimSpace(s[:i])), strings.TrimSpace(s[i+1:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// scalar interprets one scalar token: quoted string, bool, null,
+// int64, float64, or bare string.
+func scalar(s string) any {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return unquote(s)
+		}
+	}
+	switch s {
+	case "null", "~", "":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'")
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		if u, err := strconv.Unquote(s); err == nil {
+			return u
+		}
+		return s[1 : len(s)-1]
+	}
+	return s
+}

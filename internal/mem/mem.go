@@ -50,6 +50,12 @@ var ErrAdmissionTimeout = errors.New("admission queue timed out")
 // govern.ErrMemBudget.
 var ErrExhausted = errors.New("memory reservation exhausted")
 
+// ErrPoolClosed reports that the pool was closed while the query
+// waited in the admission queue: the engine is shutting down (or its
+// disk state was released with DB.Close), so the wait can never be
+// satisfied and the query is shed instead of deadlocking.
+var ErrPoolClosed = errors.New("memory pool closed")
+
 // DefaultAdmissionTimeout bounds how long a query waits for pool
 // capacity before being shed, when the engine does not configure one.
 const DefaultAdmissionTimeout = 10 * time.Second
@@ -68,6 +74,7 @@ type Pool struct {
 	waiters   []*waiter // FIFO admission queue
 	reclaim   func(int64) int64
 	admission time.Duration
+	closed    bool
 
 	admitted  int64
 	queued    int64
@@ -78,7 +85,8 @@ type Pool struct {
 type waiter struct {
 	need    int64
 	granted chan struct{}
-	done    bool // set under Pool.mu when granted or abandoned
+	done    bool  // set under Pool.mu when granted or abandoned
+	err     error // set under Pool.mu before close(granted) when shed by Close
 }
 
 // NewPool creates a pool of capacity bytes. admission bounds the
@@ -133,6 +141,13 @@ func (p *Pool) Acquire(ctx context.Context, want int64) (*Reservation, error) {
 		want = p.capacity
 	}
 	p.mu.Lock()
+	if p.closed {
+		// Closed pool: no admission control, no accounting (the engine
+		// released its disk state; see Close). Unlimited grant, as if the
+		// DB had never configured a limit.
+		p.mu.Unlock()
+		return nil, nil
+	}
 	if p.used+want <= p.capacity && len(p.waiters) == 0 {
 		p.used += want
 		p.admitted++
@@ -150,16 +165,15 @@ func (p *Pool) Acquire(ctx context.Context, want int64) (*Reservation, error) {
 	defer deadline.Stop()
 	select {
 	case <-w.granted:
-		obs.MetricAdd("mem.admitted", 1)
-		return &Reservation{pool: p, granted: want}, nil
+		return p.granted(w, want)
 	case <-ctx.Done():
 		if p.abandon(w, false) {
 			return nil, ctx.Err()
 		}
-		// Granted concurrently with cancellation: keep the grant usable
-		// so the caller releases it uniformly.
+		// Granted (or shed by Close) concurrently with cancellation: keep
+		// the outcome uniform with the undisturbed path.
 		<-w.granted
-		return &Reservation{pool: p, granted: want}, nil
+		return p.granted(w, want)
 	case <-deadline.C:
 		if p.abandon(w, true) {
 			obs.MetricAdd("mem.admission_timeouts", 1)
@@ -167,7 +181,50 @@ func (p *Pool) Acquire(ctx context.Context, want int64) (*Reservation, error) {
 				ErrAdmissionTimeout, p.admission, p.inUse(), p.capacity)
 		}
 		<-w.granted
-		return &Reservation{pool: p, granted: want}, nil
+		return p.granted(w, want)
+	}
+}
+
+// granted resolves a waiter whose channel closed: either a real FIFO
+// grant or a typed shed from Close. w.err is written under Pool.mu
+// before close(w.granted), so reading it after the receive is safe.
+func (p *Pool) granted(w *waiter, want int64) (*Reservation, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	obs.MetricAdd("mem.admitted", 1)
+	return &Reservation{pool: p, granted: want}, nil
+}
+
+// Close sheds every queued waiter with an error wrapping ErrPoolClosed
+// and marks the pool closed: subsequent Acquire calls return an
+// unlimited (nil) reservation, so an engine that released its disk
+// state keeps answering purely in-memory queries without admission
+// control. In-flight reservations release normally. Idempotent and
+// safe to call concurrently with Acquire — closing while waiters are
+// queued wakes all of them promptly instead of deadlocking.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	ws := p.waiters
+	p.waiters = nil
+	for _, w := range ws {
+		w.done = true
+		w.err = fmt.Errorf("%w: query shed from admission queue", ErrPoolClosed)
+	}
+	p.mu.Unlock()
+	for _, w := range ws {
+		close(w.granted)
+	}
+	if n := len(ws); n > 0 {
+		obs.MetricAdd("mem.closed_sheds", int64(n))
 	}
 }
 

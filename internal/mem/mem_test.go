@@ -330,3 +330,70 @@ func TestParseEnv(t *testing.T) {
 		t.Fatal("bad limit accepted")
 	}
 }
+
+func TestCloseShedsQueuedWaiters(t *testing.T) {
+	p := NewPool(100, time.Minute)
+	held, err := p.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := p.Acquire(context.Background(), 100)
+			errs <- err
+		}()
+	}
+	waitQueued(t, p, n)
+	p.Close()
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrPoolClosed) {
+				t.Fatalf("queued waiter got %v, want ErrPoolClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued waiter deadlocked across Close")
+		}
+	}
+	// Post-close admission is the unlimited, unaccounted regime — the
+	// DB stays usable after Close.
+	res, err := p.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatalf("Acquire on closed pool: %v", err)
+	}
+	if res != nil {
+		t.Fatalf("Acquire on closed pool granted a tracked reservation")
+	}
+	held.Release()
+	p.Close() // idempotent
+}
+
+func TestCloseConcurrentWithAcquire(t *testing.T) {
+	// Close racing a stream of Acquire/Release pairs: every call must
+	// resolve (grant, typed shed, or nil post-close grant) — no
+	// deadlock, no panic, clean under -race.
+	p := NewPool(200, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := p.Acquire(context.Background(), 100)
+				if err != nil {
+					if !errors.Is(err, ErrPoolClosed) && !errors.Is(err, ErrAdmissionTimeout) {
+						t.Errorf("Acquire: %v", err)
+						return
+					}
+					continue
+				}
+				res.Release()
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	p.Close()
+	wg.Wait()
+}

@@ -1,0 +1,668 @@
+// Package serve is the engine's network front door: a concurrent
+// HTTP/JSON query server layered on gmdj.DB with per-tenant admission
+// quotas, per-request deadlines propagated into the governance layer,
+// structured error responses carrying the engine's typed-error and
+// exit-code taxonomy, retry/backoff hints on overload, and a graceful
+// drain state machine for clean shutdown under load.
+//
+// Overload behavior is honest by construction: a tenant past its
+// in-flight quota queues FIFO and is shed with HTTP 429 + Retry-After
+// when its admission deadline expires (the same discipline, and the
+// same typed error, as the memory pool's admission queue); a draining
+// server answers 503 + Retry-After rather than hanging connections;
+// and every failure — including faults injected at the serve.accept,
+// serve.write, and serve.cancel sites via GMDJ_FAULTS — degrades to a
+// typed JSON error, never a panic or a leaked goroutine.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	gmdj "github.com/olaplab/gmdj"
+	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/mem"
+	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/spill"
+)
+
+// Fault-injection sites fired by the server (see govern.EnvFaults).
+// All three accept the error/panic/delay actions and the @N rate
+// suffix; every outcome degrades to a typed error response.
+const (
+	// SiteAccept fires at request admission, before the tenant gate —
+	// a failing accept path (listener pressure, TLS handshake debris).
+	SiteAccept = "serve.accept"
+	// SiteWrite fires before response serialization — a failing or
+	// wedged client connection.
+	SiteWrite = "serve.write"
+	// SiteCancel fires on each hard-cancel during drain and on client
+	// disconnect handling.
+	SiteCancel = "serve.cancel"
+)
+
+// ErrDraining reports that the server is draining (or stopped) and not
+// accepting new queries. Clients should retry against another replica
+// or after Retry-After.
+var ErrDraining = errors.New("server draining")
+
+// TenantHeader names the request header carrying the tenant identity.
+// Absent, the request is billed to DefaultTenant.
+const TenantHeader = "X-OLAP-Tenant"
+
+// DefaultTenant is the tenant name used when no header is sent.
+const DefaultTenant = "default"
+
+// Exit codes 0-9 follow cmd/olapql's contract; the serving layer
+// extends the taxonomy with conditions that only exist once there is a
+// server in front of the engine.
+const (
+	ExitErr       = 1
+	ExitUsage     = 2
+	ExitTimeout   = 3
+	ExitCanceled  = 4
+	ExitRowCap    = 5
+	ExitMemCap    = 6
+	ExitInternal  = 7
+	ExitSpillIO   = 8
+	ExitAdmission = 9
+	// ExitClosed: the DB closed while the query waited for memory
+	// admission (gmdj.ErrClosed).
+	ExitClosed = 10
+	// ExitUnavailable: the server was draining, or an injected/transient
+	// serving-layer fault rejected the request before evaluation.
+	ExitUnavailable = 11
+)
+
+// Class is the wire classification of one error: the taxonomy kind,
+// the exit code a CLI maps it to, the HTTP status it travels under,
+// and whether a client retry can plausibly succeed.
+type Class struct {
+	Kind       string `json:"kind"`
+	ExitCode   int    `json:"exit_code"`
+	HTTPStatus int    `json:"http_status"`
+	Retryable  bool   `json:"retryable"`
+}
+
+// KnownKinds enumerates every kind the server emits. A load driver
+// treats any response outside this set as a non-typed error — the
+// failure mode the chaos scenarios exist to catch.
+func KnownKinds() []string {
+	return []string{
+		"ok", "usage", "query", "canceled", "timeout", "row_budget",
+		"mem_budget", "admission_timeout", "spill_io", "internal",
+		"closed", "unavailable",
+	}
+}
+
+// StatusClientClosedRequest is nginx's non-standard 499: the client
+// went away before the response; no standard status fits better.
+const StatusClientClosedRequest = 499
+
+// Classify maps a query error onto the wire taxonomy. It extends the
+// engine's errKind mapping with the serving-layer conditions and is
+// the single source of truth for error -> HTTP status.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return Class{Kind: "ok", HTTPStatus: http.StatusOK}
+	case errors.Is(err, govern.ErrTimeout):
+		return Class{Kind: "timeout", ExitCode: ExitTimeout, HTTPStatus: http.StatusGatewayTimeout}
+	case errors.Is(err, govern.ErrCanceled):
+		return Class{Kind: "canceled", ExitCode: ExitCanceled, HTTPStatus: StatusClientClosedRequest}
+	case errors.Is(err, govern.ErrRowBudget):
+		return Class{Kind: "row_budget", ExitCode: ExitRowCap, HTTPStatus: http.StatusUnprocessableEntity}
+	case errors.Is(err, govern.ErrMemBudget):
+		// The kill regime: memory pressure killed the query. Load-
+		// dependent, so a retry after backoff can succeed.
+		return Class{Kind: "mem_budget", ExitCode: ExitMemCap, HTTPStatus: http.StatusServiceUnavailable, Retryable: true}
+	case errors.Is(err, mem.ErrPoolClosed):
+		return Class{Kind: "closed", ExitCode: ExitClosed, HTTPStatus: http.StatusServiceUnavailable}
+	case errors.Is(err, mem.ErrAdmissionTimeout):
+		return Class{Kind: "admission_timeout", ExitCode: ExitAdmission, HTTPStatus: http.StatusTooManyRequests, Retryable: true}
+	case errors.Is(err, spill.ErrSpillIO):
+		return Class{Kind: "spill_io", ExitCode: ExitSpillIO, HTTPStatus: http.StatusInternalServerError, Retryable: true}
+	case errors.Is(err, ErrDraining):
+		return Class{Kind: "unavailable", ExitCode: ExitUnavailable, HTTPStatus: http.StatusServiceUnavailable, Retryable: true}
+	case errors.Is(err, govern.ErrInjected):
+		// An injected serving-layer fault models a transient
+		// infrastructure failure: typed, retryable, 503.
+		return Class{Kind: "unavailable", ExitCode: ExitUnavailable, HTTPStatus: http.StatusServiceUnavailable, Retryable: true}
+	case errors.Is(err, govern.ErrInternal):
+		return Class{Kind: "internal", ExitCode: ExitInternal, HTTPStatus: http.StatusInternalServerError}
+	default:
+		// Parse errors, unknown tables, bad parameters: the query (not
+		// the server) is at fault.
+		return Class{Kind: "query", ExitCode: ExitErr, HTTPStatus: http.StatusBadRequest}
+	}
+}
+
+// Config tunes a Server.
+type Config struct {
+	// DefaultQuota applies to every tenant without an explicit entry in
+	// Tenants (including DefaultTenant).
+	DefaultQuota Quota
+	// Tenants maps tenant names to explicit quotas.
+	Tenants map[string]Quota
+	// DefaultTimeout bounds a request that does not carry its own
+	// timeout_ms (0 = no server-imposed deadline).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts (0 = unclamped).
+	MaxTimeout time.Duration
+	// DrainGrace is the Retry-After hint handed to clients rejected
+	// during drain (default 1s).
+	DrainGrace time.Duration
+	// MaxBodyBytes bounds the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// Admin mounts the observability dashboard (/debug/olap/*) and the
+	// tenant/admission stats (/debug/serve) on the server's mux.
+	Admin bool
+	// Faults injects failures at the serve.* sites (nil = none).
+	Faults *govern.Injector
+}
+
+// Server serves SQL queries over HTTP/JSON on top of one gmdj.DB.
+// Handlers are safe for arbitrary concurrency; lifecycle (Drain) may
+// be driven from any goroutine.
+type Server struct {
+	db     *gmdj.DB
+	cfg    Config
+	faults *govern.Injector
+	mux    *http.ServeMux
+	hist   *obs.HistSet
+
+	mu       sync.Mutex
+	draining bool
+	gates    map[string]*gate
+	inflight map[int64]*inflightQuery
+	nextID   int64
+
+	accepted     atomic.Int64
+	completed    atomic.Int64
+	rejected     atomic.Int64 // drain-time 503s
+	hardCanceled atomic.Int64
+	faultsFired  atomic.Int64
+}
+
+// inflightQuery is one admitted query's drain handle.
+type inflightQuery struct {
+	tenant string
+	cancel context.CancelFunc
+}
+
+// NewServer builds a server over db. The DB should have observability
+// enabled if the /debug/olap endpoints are wanted (Config.Admin).
+func NewServer(db *gmdj.DB, cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = time.Second
+	}
+	s := &Server{
+		db:       db,
+		cfg:      cfg,
+		faults:   cfg.Faults,
+		mux:      http.NewServeMux(),
+		hist:     obs.NewHistSet(),
+		gates:    map[string]*gate{},
+		inflight: map[int64]*inflightQuery{},
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	if cfg.Admin {
+		s.mux.Handle("/debug/olap/", db.ObsHTTPHandler())
+		s.mux.HandleFunc("/debug/serve", s.handleStats)
+	}
+	return s
+}
+
+// Handler returns the server's mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// gate returns (creating on demand) the tenant's admission gate.
+func (s *Server) gate(tenant string) *gate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.gates[tenant]
+	if g == nil {
+		q, ok := s.cfg.Tenants[tenant]
+		if !ok {
+			q = s.cfg.DefaultQuota
+		}
+		g = newGate(tenant, q)
+		if s.draining {
+			g.close()
+		}
+		s.gates[tenant] = g
+	}
+	return g
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL       string `json:"sql"`
+	Strategy  string `json:"strategy,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Args      []any  `json:"args,omitempty"`
+}
+
+// queryResponse is the success body.
+type queryResponse struct {
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int      `json:"row_count"`
+	ElapsedNs int64    `json:"elapsed_ns"`
+	Strategy  string   `json:"strategy"`
+	Tenant    string   `json:"tenant"`
+}
+
+// errorResponse is the structured error body: the message, the typed
+// classification, and a backoff hint when a retry can help.
+type errorResponse struct {
+	Error string `json:"error"`
+	Class
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func parseStrategy(name string) (gmdj.Strategy, error) {
+	switch name {
+	case "", "gmdj-opt":
+		return gmdj.GMDJOpt, nil
+	case "gmdj":
+		return gmdj.GMDJ, nil
+	case "native":
+		return gmdj.Native, nil
+	case "unnest":
+		return gmdj.Unnest, nil
+	case "auto":
+		return gmdj.Auto, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+// writeError emits the structured error body. retryAfter <= 0 omits
+// the hint and header.
+func writeError(w http.ResponseWriter, err error, retryAfter time.Duration) {
+	cl := Classify(err)
+	resp := errorResponse{Error: err.Error(), Class: cl}
+	if cl.Retryable && retryAfter > 0 {
+		resp.RetryAfterMS = retryAfter.Milliseconds()
+		secs := int64(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(cl.HTTPStatus)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// usageError is a malformed request (not a query failure): kind
+// "usage", HTTP 400, exit 2.
+func writeUsage(w http.ResponseWriter, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(errorResponse{
+		Error: msg,
+		Class: Class{Kind: "usage", ExitCode: ExitUsage, HTTPStatus: http.StatusBadRequest},
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Panic isolation at the serving boundary: a handler panic (e.g. an
+	// injected panic at a serve.* site) becomes a typed internal error,
+	// never a crashed connection without a body.
+	defer func() {
+		if p := recover(); p != nil {
+			obs.MetricAdd("serve.panics_recovered", 1)
+			writeError(w, fmt.Errorf("%w: serving panic: %v", govern.ErrInternal, p), 0)
+		}
+	}()
+	if r.Method != http.MethodPost {
+		writeUsage(w, "POST only")
+		return
+	}
+	if s.isDraining() {
+		s.rejected.Add(1)
+		writeError(w, fmt.Errorf("%w: not accepting queries", ErrDraining), s.cfg.DrainGrace)
+		return
+	}
+	if err := s.faults.Fire(SiteAccept, nil); err != nil {
+		s.faultsFired.Add(1)
+		writeError(w, fmt.Errorf("accepting request: %w", err), s.cfg.DrainGrace)
+		return
+	}
+
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeUsage(w, "bad request body: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeUsage(w, "empty sql")
+		return
+	}
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		writeUsage(w, err.Error())
+		return
+	}
+
+	// Tenant admission: queue FIFO for an in-flight slot, shedding with
+	// 429 + Retry-After at the tenant's admission deadline. The request
+	// context bounds the wait too, so a disconnected client releases
+	// its queue position immediately.
+	g := s.gate(tenant)
+	release, err := g.Enter(r.Context())
+	if err != nil {
+		writeError(w, err, retryHint(g))
+		return
+	}
+	defer release()
+
+	// Per-request deadline, propagated into the governance layer: the
+	// engine's governor sees it as its context deadline, so operator
+	// loops abort with ErrTimeout exactly as an engine-level budget.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(r.Context(), timeout)
+	}
+	defer cancel()
+	id := s.track(tenant, cancel)
+	defer s.untrack(id)
+	s.accepted.Add(1)
+
+	start := time.Now()
+	res, err := s.run(ctx, req, strategy)
+	elapsed := time.Since(start)
+	s.completed.Add(1)
+	s.hist.Record("http_ns.all", int64(elapsed))
+	s.hist.Record("http_ns."+tenant, int64(elapsed))
+	if err != nil {
+		s.hist.Record("http_err_ns."+Classify(err).Kind, int64(elapsed))
+		writeError(w, err, retryHint(g))
+		return
+	}
+
+	if err := s.faults.Fire(SiteWrite, nil); err != nil {
+		s.faultsFired.Add(1)
+		writeError(w, fmt.Errorf("writing response: %w", err), s.cfg.DrainGrace)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(queryResponse{
+		Columns:   res.Columns,
+		Rows:      res.Rows,
+		RowCount:  res.Len(),
+		ElapsedNs: int64(elapsed),
+		Strategy:  strategy.String(),
+		Tenant:    tenant,
+	})
+}
+
+// run evaluates one request: direct for plain SQL, through a prepared
+// statement when arguments are supplied.
+func (s *Server) run(ctx context.Context, req queryRequest, strategy gmdj.Strategy) (*gmdj.Result, error) {
+	if len(req.Args) > 0 {
+		st, err := s.db.PrepareStrategy(req.SQL, strategy)
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		return st.QueryContext(ctx, normalizeArgs(req.Args)...)
+	}
+	return s.db.QueryStrategyContext(ctx, req.SQL, strategy)
+}
+
+// normalizeArgs maps JSON-decoded argument values onto the engine's
+// accepted Go types (JSON numbers arrive as float64; whole ones almost
+// always mean integer columns).
+func normalizeArgs(args []any) []any {
+	out := make([]any, len(args))
+	for i, a := range args {
+		if f, ok := a.(float64); ok && f == float64(int64(f)) {
+			out[i] = int64(f)
+			continue
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// retryHint suggests a client backoff from the tenant's queue depth:
+// an empty queue means capacity frees within one admission window; a
+// deep queue scales the hint up (clamped to 30s).
+func retryHint(g *gate) time.Duration {
+	st := g.stats()
+	hint := g.admission / 2
+	if hint < 100*time.Millisecond {
+		hint = 100 * time.Millisecond
+	}
+	if st.Queued > 0 && st.MaxInFlight > 0 {
+		hint = time.Duration(1+st.Queued/st.MaxInFlight) * g.admission
+	}
+	if hint > 30*time.Second {
+		hint = 30 * time.Second
+	}
+	return hint
+}
+
+// track registers an admitted query's cancel for the drain hard phase.
+func (s *Server) track(tenant string, cancel context.CancelFunc) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.inflight[s.nextID] = &inflightQuery{tenant: tenant, cancel: cancel}
+	return s.nextID
+}
+
+func (s *Server) untrack(id int64) {
+	s.mu.Lock()
+	delete(s.inflight, id)
+	s.mu.Unlock()
+}
+
+// InFlight reports the number of admitted, still-running queries.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// StartDrain flips the server into draining mode: new queries are
+// rejected with 503 + Retry-After, and every tenant's admission queue
+// is shed with a typed ErrDraining. In-flight queries keep running.
+// Idempotent.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	gates := make([]*gate, 0, len(s.gates))
+	for _, g := range s.gates {
+		gates = append(gates, g)
+	}
+	s.mu.Unlock()
+	for _, g := range gates {
+		g.close()
+	}
+	obs.MetricAdd("serve.drains", 1)
+}
+
+// Drain runs the drain state machine: StartDrain, then wait for
+// in-flight queries to finish within ctx's deadline (the drain
+// budget), then hard-cancel stragglers through their governor contexts
+// and wait once more (canceled queries unwind cooperatively within a
+// few hundred rows of any operator loop). It returns nil when the
+// server is fully quiesced; the returned error reports queries that
+// survived even the hard cancel.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	if s.awaitIdle(ctx) {
+		return nil
+	}
+	n := s.hardCancel()
+	obs.MetricAdd("serve.hard_cancels", int64(n))
+	// Post-cancel grace: cooperative abort latency is bounded by the
+	// operator tick interval, not the drain budget that just expired.
+	grace, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if s.awaitIdle(grace) {
+		return nil
+	}
+	return fmt.Errorf("serve: %d queries still running after hard cancel", s.InFlight())
+}
+
+// awaitIdle waits until no queries are in flight or ctx expires.
+func (s *Server) awaitIdle(ctx context.Context) bool {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.InFlight() == 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return s.InFlight() == 0
+		case <-tick.C:
+		}
+	}
+}
+
+// hardCancel cancels every in-flight query's context, firing the
+// serve.cancel fault site per query. Injected cancel faults (error or
+// panic) are contained: the cancel itself always runs.
+func (s *Server) hardCancel() int {
+	s.mu.Lock()
+	pending := make([]*inflightQuery, 0, len(s.inflight))
+	for _, q := range s.inflight {
+		pending = append(pending, q)
+	}
+	s.mu.Unlock()
+	for _, q := range pending {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					obs.MetricAdd("serve.panics_recovered", 1)
+				}
+			}()
+			if err := s.faults.Fire(SiteCancel, nil); err != nil {
+				s.faultsFired.Add(1)
+			}
+		}()
+		q.cancel()
+		s.hardCanceled.Add(1)
+	}
+	return len(pending)
+}
+
+// healthResponse is GET /healthz.
+type healthResponse struct {
+	State     string `json:"state"`
+	InFlight  int    `json:"in_flight"`
+	Accepted  int64  `json:"accepted"`
+	Completed int64  `json:"completed"`
+	Rejected  int64  `json:"rejected"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "accepting"
+	if s.isDraining() {
+		state = "draining"
+	}
+	resp := healthResponse{
+		State:     state,
+		InFlight:  s.InFlight(),
+		Accepted:  s.accepted.Load(),
+		Completed: s.completed.Load(),
+		Rejected:  s.rejected.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if state != "accepting" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// Stats is the server-level snapshot served at /debug/serve.
+type Stats struct {
+	State        string                      `json:"state"`
+	InFlight     int                         `json:"in_flight"`
+	Accepted     int64                       `json:"accepted"`
+	Completed    int64                       `json:"completed"`
+	Rejected     int64                       `json:"rejected"`
+	HardCanceled int64                       `json:"hard_canceled"`
+	FaultsFired  int64                       `json:"faults_fired"`
+	Tenants      []TenantStats               `json:"tenants"`
+	Latency      map[string]obs.HistSnapshot `json:"latency"`
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	state := "accepting"
+	if s.draining {
+		state = "draining"
+	}
+	gates := make([]*gate, 0, len(s.gates))
+	for _, g := range s.gates {
+		gates = append(gates, g)
+	}
+	inFlight := len(s.inflight)
+	s.mu.Unlock()
+	st := Stats{
+		State:        state,
+		InFlight:     inFlight,
+		Accepted:     s.accepted.Load(),
+		Completed:    s.completed.Load(),
+		Rejected:     s.rejected.Load(),
+		HardCanceled: s.hardCanceled.Load(),
+		FaultsFired:  s.faultsFired.Load(),
+		Latency:      s.hist.Snapshot(),
+	}
+	for _, g := range gates {
+		st.Tenants = append(st.Tenants, g.stats())
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Tenant < st.Tenants[j].Tenant })
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}

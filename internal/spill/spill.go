@@ -98,7 +98,12 @@ func NewStore(dir string, faults *govern.Injector) (*Store, error) {
 // NewScratch sweeps stale scratch directories under root (crashed
 // runs: gmdj-scratch-<pid>-* where pid is no longer alive), then
 // creates a fresh per-process scratch directory there and opens a
-// store on it.
+// store on it. The sweep and the create happen under one exclusive
+// root lock (see lockRoot): without it, a second store opening
+// concurrently under the same root can create its directory between a
+// sweeping janitor's stale decision and its RemoveAll — under pid
+// reuse the names collide and the janitor deletes the newcomer's live
+// scratch directory out from under it.
 func NewScratch(root string, faults *govern.Injector) (*Store, error) {
 	if root == "" {
 		root = filepath.Join(os.TempDir(), "gmdj-spill")
@@ -106,15 +111,60 @@ func NewScratch(root string, faults *govern.Injector) (*Store, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("%w: creating scratch root: %v", ErrSpillIO, err)
 	}
-	CleanStale(root)
+	lock, err := lockRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	defer lock.unlock()
+	cleanStaleLocked(root)
 	dir := filepath.Join(root, fmt.Sprintf("%s-%d-%d", scratchStem, os.Getpid(), scratchSeq.Add(1)))
 	return NewStore(dir, faults)
 }
 
+// janitorLockName is the advisory lock file serializing every janitor
+// sweep and scratch-directory creation under one root, across
+// processes (flock) and across stores within a process (flock contends
+// between file descriptions).
+const janitorLockName = ".janitor.lock"
+
+// rootLock is a held janitor lock.
+type rootLock struct{ f *os.File }
+
+func (l rootLock) unlock() {
+	// Closing the descriptor releases the flock.
+	_ = l.f.Close()
+}
+
+// lockRoot takes the exclusive janitor lock for root, blocking until
+// any concurrent sweep or scratch creation finishes.
+func lockRoot(root string) (rootLock, error) {
+	f, err := os.OpenFile(filepath.Join(root, janitorLockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return rootLock{}, fmt.Errorf("%w: opening janitor lock: %v", ErrSpillIO, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return rootLock{}, fmt.Errorf("%w: locking janitor lock: %v", ErrSpillIO, err)
+	}
+	return rootLock{f: f}, nil
+}
+
 // CleanStale removes scratch directories under root left behind by
 // dead processes, returning how many it removed. Directories belonging
-// to live pids (including this process) are kept.
+// to live pids (including this process) are kept. The sweep holds the
+// root's janitor lock so it cannot race a concurrently opening store.
 func CleanStale(root string) int {
+	lock, err := lockRoot(root)
+	if err != nil {
+		return 0
+	}
+	defer lock.unlock()
+	return cleanStaleLocked(root)
+}
+
+// cleanStaleLocked is CleanStale's body; the caller holds the root
+// janitor lock.
+func cleanStaleLocked(root string) int {
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		return 0

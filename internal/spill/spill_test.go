@@ -7,7 +7,9 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/olaplab/gmdj/internal/govern"
 )
@@ -279,4 +281,95 @@ func TestRemoveAll(t *testing.T) {
 	if _, err := os.Stat(s.Dir()); !os.IsNotExist(err) {
 		t.Fatal("scratch dir survived RemoveAll")
 	}
+}
+
+// The janitor race regression: a store opening under a root must not
+// lose its directory to a janitor sweep deciding staleness from a
+// snapshot taken before the create. The fix serializes every sweep and
+// create under the root's flock; these tests pin both the lock
+// semantics and the survival property.
+
+func TestJanitorLockSerializes(t *testing.T) {
+	root := t.TempDir()
+	lock, err := lockRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the lock held, NewScratch must block (flock contends between
+	// descriptors even within one process).
+	done := make(chan *Store, 1)
+	go func() {
+		s, err := NewScratch(root, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- s
+	}()
+	select {
+	case <-done:
+		t.Fatal("NewScratch completed while the janitor lock was held")
+	case <-time.After(100 * time.Millisecond):
+	}
+	lock.unlock()
+	select {
+	case s := <-done:
+		if s != nil {
+			s.RemoveAll()
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NewScratch never acquired the released lock")
+	}
+}
+
+func TestConcurrentScratchOpensAndSweeps(t *testing.T) {
+	// Concurrent second-DB opens under one scratch root while janitor
+	// sweeps run: every store must keep its directory and its files.
+	// Each round also plants a fresh stale dir so the sweeps have real
+	// work (and really RemoveAll) while the opens are in flight.
+	root := t.TempDir()
+	const openers, sweeps = 8, 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < sweeps; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			stale := filepath.Join(root, "gmdj-scratch-4000123-"+strconv.Itoa(i))
+			_ = os.MkdirAll(stale, 0o755)
+			CleanStale(root)
+		}
+	}()
+	for w := 0; w < openers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				s, err := NewScratch(root, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f, err := s.Write("q", []byte("payload"))
+				if err != nil {
+					t.Errorf("write in fresh scratch: %v", err)
+					s.RemoveAll()
+					return
+				}
+				if got, err := f.Read(); err != nil || string(got) != "payload" {
+					t.Errorf("read back: %q, %v — scratch dir swept out from under a live store?", got, err)
+				}
+				if _, err := os.Stat(s.Dir()); err != nil {
+					t.Errorf("live scratch dir gone: %v", err)
+				}
+				s.RemoveAll()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
 }

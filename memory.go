@@ -96,11 +96,14 @@ func (db *DB) MemStats() MemStats {
 	}
 }
 
-// Close releases the DB's disk state (its scratch spill directory).
-// The DB must be idle; it remains usable afterwards — purely in-memory
-// until a query spills again, which recreates nothing (spilling is
-// disabled once closed). Safe to call more than once, and a no-op for
-// databases that never enabled a memory limit.
+// Close releases the DB's disk state (its scratch spill directory)
+// and shuts the memory-admission queue: queries still queued for pool
+// capacity are shed promptly with an error matching ErrClosed rather
+// than deadlocking or waiting out their admission deadlines. The DB
+// remains usable afterwards — purely in-memory and unaccounted
+// (spilling and admission control are disabled once closed). Safe to
+// call more than once, concurrently with queued queries, and a no-op
+// for databases that never enabled a memory limit.
 func (db *DB) Close() error {
 	return db.eng.Close()
 }

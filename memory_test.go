@@ -253,3 +253,67 @@ func TestMemNetflowSpillParity(t *testing.T) {
 		t.Errorf("netflow workload never spilled: %+v", ms)
 	}
 }
+
+// TestMemCloseShedsQueuedQueries: DB.Close while queries sit in the
+// admission queue must shed them promptly with the typed ErrClosed —
+// not deadlock, and not strand them until their admission deadlines.
+func TestMemCloseShedsQueuedQueries(t *testing.T) {
+	memdb := memGovernDB(t, 20, 500,
+		WithMemoryLimit(64<<10),
+		WithSpillDir(t.TempDir()),
+		WithAdmissionTimeout(30*time.Second))
+	// Pin the first query mid-flight so it holds the whole pool while
+	// the others queue behind it.
+	memdb.eng.SetFaultInjector(govern.NewInjector(map[string]string{"exec.scan": "delay:500ms"}))
+	holder := make(chan error, 1)
+	go func() {
+		_, err := memdb.Query(governQuery)
+		holder <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for memdb.MemStats().InUse == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder query never acquired the pool")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	const queued = 4
+	errs := make(chan error, queued)
+	for i := 0; i < queued; i++ {
+		go func() {
+			_, err := memdb.Query(governQuery)
+			errs <- err
+		}()
+	}
+	for memdb.MemStats().Queued < queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d queries queued", memdb.MemStats().Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if err := memdb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i := 0; i < queued; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("queued query got %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued query deadlocked across Close")
+		}
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("shed took %v; waiters sat out their admission deadline", waited)
+	}
+	// The holder finishes normally, and the closed DB still answers
+	// queries (unaccounted).
+	if err := <-holder; err != nil {
+		t.Fatalf("holder query failed: %v", err)
+	}
+	if _, err := memdb.Query(governQuery); err != nil {
+		t.Fatalf("query after Close: %v", err)
+	}
+}

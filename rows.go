@@ -68,7 +68,14 @@ func (db *DB) QueryRowsStrategyContext(ctx context.Context, query string, s Stra
 	cctx, cancel := context.WithCancel(ctx)
 	r := &Rows{cancel: cancel, done: make(chan struct{})}
 	go func() {
+		// Release the derived context as soon as evaluation stops, even
+		// when the caller abandons the cursor without Next or Close: the
+		// runner goroutine must not depend on the caller for its cleanup,
+		// and an uncancelled child context stays registered on the
+		// caller's context tree (pinning a propagation goroutine for
+		// non-stdlib parents) for that context's whole lifetime.
 		defer close(r.done)
+		defer cancel()
 		r.rel, r.err = db.eng.RunPlannedContext(cctx, query, phys, s)
 	}()
 	return r, nil

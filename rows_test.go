@@ -1,10 +1,15 @@
 package gmdj
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/govern"
 )
 
 func TestQueryRowsIterate(t *testing.T) {
@@ -161,4 +166,54 @@ func TestSentinelErrors(t *testing.T) {
 	if err := fmt.Errorf("wrap: %w", ErrUnknownTable); !errors.Is(err, ErrUnknownTable) {
 		t.Fatal("sentinel does not survive wrapping")
 	}
+}
+
+// Abandoning a cursor — no Next, no Close, just dropping it — must not
+// leak the runner goroutine or its governor: the runner's own deferred
+// cancel releases the query context without the caller's help.
+func TestQueryRowsAbandonedNoLeak(t *testing.T) {
+	db := usersDB(t)
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := db.QueryRows(`SELECT name FROM users`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGoroutines(t, baseline+2)
+}
+
+// opaqueCtx hides its parent's identity from the context package, the
+// way any third-party context implementation does: context.WithCancel
+// on it must spawn a propagation goroutine that lives until the parent
+// finishes or the CHILD is canceled. That makes the runner's deferred
+// cancel goroutine-observable.
+type opaqueCtx struct{ inner context.Context }
+
+func (c opaqueCtx) Deadline() (time.Time, bool) { return c.inner.Deadline() }
+func (c opaqueCtx) Done() <-chan struct{}       { return c.inner.Done() }
+func (c opaqueCtx) Err() error                  { return c.inner.Err() }
+func (c opaqueCtx) Value(any) any               { return nil }
+
+// The same with the queries still running at abandon time, issued
+// under a long-lived caller context the caller never cancels: the
+// runner's own deferred cancel must release each query's derived
+// context (and its propagation goroutine) the moment evaluation stops
+// — cleanup must not depend on the caller calling Next or Close, nor
+// on the caller's context ever ending.
+func TestQueryRowsAbandonedMidQueryNoLeak(t *testing.T) {
+	db := usersDB(t)
+	// No deferred injector reset: the DB is test-local, and resetting
+	// while a straggler runner is still mid-delay would race.
+	db.eng.SetFaultInjector(govern.NewInjector(map[string]string{"exec.scan": "delay:100ms"}))
+	parent, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		if _, err := db.QueryRowsContext(opaqueCtx{parent}, `SELECT name FROM users`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All 8 runners are mid-delay now; none gets a Next or Close, and
+	// parent stays alive past the check.
+	waitGoroutines(t, baseline+2)
 }
