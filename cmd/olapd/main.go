@@ -8,19 +8,36 @@
 //	      [-timeout d] [-max-timeout d]
 //	      [-mem-limit bytes] [-spill-dir dir] [-admission-timeout d]
 //	      [-plancache bytes] [-resultcache bytes]
-//	      [-quota spec] [-tenants spec] [-drain-timeout d]
+//	      [-quota spec] [-tenants spec] [-slo spec] [-drain-timeout d]
 //	      [-admin] [-slow-ms n] [-slowlog out.json] [-leak-check]
+//	      [-trace-cap n] [-log-level debug|info|warn|error|off]
 //
 // The API is one endpoint:
 //
 //	POST /query
 //	  {"sql": "...", "strategy": "gmdj-opt", "timeout_ms": 500, "args": [...]}
-//	  200 → {"columns": [...], "rows": [...], "row_count": n, ...}
+//	  200 → {"columns": [...], "rows": [...], "row_count": n,
+//	         "request_id": "...", ...}
 //	  else → {"error": "...", "kind": "...", "exit_code": n,
-//	          "http_status": n, "retryable": bool, "retry_after_ms": n}
+//	          "http_status": n, "request_id": "...",
+//	          "retryable": bool, "retry_after_ms": n}
 //
-// plus GET /healthz (accepting/draining + counters). The tenant is
-// named by the X-OLAP-Tenant header (default "default").
+// plus GET /healthz (accepting/draining + counters) and GET /metrics
+// (Prometheus text exposition: per-tenant request/response counters
+// and latency histograms, admission-gate state, SLO burn gauges, and
+// the engine-level gmdj_* families). The tenant is named by the
+// X-OLAP-Tenant header (default "default").
+//
+// Request telemetry: every request carries an ID — the client's
+// X-Request-Id header (sanitized) or a freshly minted one — echoed as
+// a response header, in every JSON body, on each structured log line,
+// in the live query registry and slow-query log, and on the request's
+// trace spans. -slo declares per-tenant objectives published on
+// /metrics ("paying:avail=0.999,p99=250ms;batch:avail=0.99").
+// -trace-cap sizes the in-memory trace ring (0 disables tracing);
+// with -admin the recorded trace downloads from /debug/olap/trace,
+// ready for Perfetto. -log-level selects the threshold for the JSON
+// request log on stderr ("off" silences it).
 //
 // Quotas: -quota is the default tenant envelope, -tenants grants
 // per-tenant overrides, e.g.
@@ -58,6 +75,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -95,11 +113,14 @@ func run() int {
 	resultCacheBytes := flag.Int64("resultcache", -1, "cross-query result memo byte budget (negative = off)")
 	quota := flag.String("quota", "", "default tenant quota spec, e.g. inflight=64,mem=64MiB,admission=2s")
 	tenants := flag.String("tenants", "", "per-tenant quota specs, e.g. 'a:inflight=8;b:inflight=2'")
+	sloSpec := flag.String("slo", "", "per-tenant SLOs published on /metrics, e.g. 'a:avail=0.999,p99=250ms;b:avail=0.99'")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight queries may finish after SIGTERM before being hard-canceled")
 	admin := flag.Bool("admin", false, "mount /debug/olap/*, /debug/serve, and /debug/vars")
 	slowMS := flag.Int64("slow-ms", 100, "slow-query threshold in milliseconds (0 logs every query)")
 	slowlogOut := flag.String("slowlog", "", "write the slow-query log as JSON to this file on exit")
 	leakCheck := flag.Bool("leak-check", false, "verify the goroutine count returns to baseline at exit (exit 12 on leak)")
+	traceCap := flag.Int("trace-cap", 65536, "in-memory trace ring capacity in events (0 disables tracing)")
+	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error, or off")
 	flag.Parse()
 
 	defaultQuota, err := serve.ParseQuota(*quota)
@@ -108,6 +129,16 @@ func run() int {
 		return exitUsage
 	}
 	tenantQuotas, err := serve.ParseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "olapd:", err)
+		return exitUsage
+	}
+	slos, err := serve.ParseSLOs(*sloSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "olapd:", err)
+		return exitUsage
+	}
+	logger, err := newLogger(*logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "olapd:", err)
 		return exitUsage
@@ -142,6 +173,9 @@ func run() int {
 	db.EnableObservability(gmdj.ObsConfig{
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
 	})
+	if *traceCap > 0 {
+		db.EnableTracing(*traceCap)
+	}
 
 	srv := serve.NewServer(db, serve.Config{
 		DefaultQuota:   defaultQuota,
@@ -150,6 +184,8 @@ func run() int {
 		MaxTimeout:     *maxTimeout,
 		Admin:          *admin,
 		Faults:         govern.FromEnv(),
+		Logger:         logger,
+		SLOs:           slos,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -164,7 +200,8 @@ func run() int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "olapd: serving on %s (data=%s scale=%g, drain=%v)\n", *addr, *data, *scale, *drainTimeout)
+	logEvent(logger, slog.LevelInfo, "serving",
+		"addr", *addr, "data", *data, "scale", *scale, "drain_budget", drainTimeout.String())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -174,7 +211,8 @@ func run() int {
 		db.Close()
 		return exitErr
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "olapd: %v — draining (budget %v, %d in flight)\n", s, *drainTimeout, srv.InFlight())
+		logEvent(logger, slog.LevelInfo, "signal received",
+			"signal", s.String(), "drain_budget", drainTimeout.String(), "in_flight", srv.InFlight())
 	}
 	signal.Stop(sig)
 
@@ -193,8 +231,9 @@ func run() int {
 	db.Close()
 
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "olapd: drained (accepted=%d completed=%d rejected=%d hard_canceled=%d faults=%d)\n",
-		st.Accepted, st.Completed, st.Rejected, st.HardCanceled, st.FaultsFired)
+	logEvent(logger, slog.LevelInfo, "drained",
+		"accepted", st.Accepted, "completed", st.Completed, "rejected", st.Rejected,
+		"hard_canceled", st.HardCanceled, "faults_fired", st.FaultsFired)
 	if drainErr != nil {
 		fmt.Fprintln(os.Stderr, "olapd:", drainErr)
 		return exitErr
@@ -210,9 +249,38 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "olapd: goroutine leak: %d live, baseline %d\n%s\n", n, baseline, buf)
 			return exitLeak
 		}
-		fmt.Fprintln(os.Stderr, "olapd: leak check passed")
+		logEvent(logger, slog.LevelInfo, "leak check passed", "goroutines", runtime.NumGoroutine())
 	}
 	return exitClean
+}
+
+// newLogger builds the stderr JSON logger, or nil for "off".
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "off":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error, or off)", level)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// logEvent emits one structured line, tolerating a nil (-log-level
+// off) logger.
+func logEvent(l *slog.Logger, level slog.Level, msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Log(context.Background(), level, msg, args...)
 }
 
 // awaitGoroutineBaseline polls until the goroutine count returns to

@@ -28,10 +28,11 @@
 // drift flags, bytes, and counters — alongside the result; -trace
 // records spans for every query and writes Chrome trace_event JSON on
 // exit (load in https://ui.perfetto.dev); -metrics-addr serves the
-// engine's expvar counters at /debug/vars plus the live workload
-// dashboard at /debug/olap/queries (in-flight queries with advancing
-// row counters), /debug/olap/hist (latency/row histograms), and
-// /debug/olap/slowlog (append ?format=text for plain text); -slowlog
+// engine's expvar counters at /debug/vars, the Prometheus text
+// exposition of the gmdj_* families at /metrics, plus the live
+// workload dashboard at /debug/olap/queries (in-flight queries with
+// advancing row counters), /debug/olap/hist (latency/row histograms),
+// and /debug/olap/slowlog (append ?format=text for plain text); -slowlog
 // writes the slow-query log — SQL, strategy, outcome, full stats tree
 // per query at least -slow-ms slow — as JSON on exit.
 //
@@ -234,8 +235,15 @@ func main() {
 	if *metricsAddr != "" {
 		// The expvar handler registers itself on the default mux (the
 		// engine's "gmdj" map appears at /debug/vars); the live workload
-		// dashboard mounts next to it under /debug/olap/.
+		// dashboard mounts next to it under /debug/olap/, and the
+		// Prometheus text exposition of the engine families at /metrics.
 		http.Handle("/debug/olap/", db.ObsHTTPHandler())
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", gmdj.PromContentType)
+			if err := db.WritePromMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "olapql: metrics server:", err)

@@ -1,0 +1,155 @@
+// Command promcheck validates a Prometheus text exposition (format
+// 0.0.4) captured from olapd's /metrics — the chaos harness's guard
+// that the endpoint stays parseable and honest under storm load.
+//
+// Usage:
+//
+//	promcheck [-reconcile] [-quiesced] [-max-tenant-labels n]
+//	          [-require fam1,fam2] [file]
+//
+// With no file the exposition is read from stdin. Checks, in order:
+//
+//   - The document parses: TYPE declarations precede samples, counter
+//     names end in _total, histogram buckets are cumulative with the
+//     +Inf bucket equal to _count, label syntax and sample values are
+//     well-formed (obs.ValidateExposition).
+//   - -require: every named family has a TYPE declaration.
+//   - -reconcile: per tenant, the response-funnel counters reconcile —
+//     sum over kinds of olap_responses_total never exceeds
+//     olap_requests_total (requests increment at handler entry,
+//     responses at exit, so the difference is the in-flight count).
+//     With -quiesced the two must be exactly equal (no traffic in
+//     flight — scrape after the storm drains).
+//   - -max-tenant-labels: the tenant label carries at most n distinct
+//     values across the olap_* families (the server's cardinality cap
+//     held, counting the "_other" fold-over series).
+//
+// Exit codes: 0 all checks pass, 1 a check failed, 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	reconcile := flag.Bool("reconcile", false, "check per-tenant requests >= sum of responses")
+	quiesced := flag.Bool("quiesced", false, "with -reconcile: require exact equality (no in-flight requests)")
+	maxTenantLabels := flag.Int("max-tenant-labels", 0, "fail when the tenant label has more distinct values (0 = unchecked)")
+	require := flag.String("require", "", "comma-separated metric families that must be declared")
+	flag.Parse()
+
+	var raw []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		raw, err = io.ReadAll(os.Stdin)
+	case 1:
+		raw, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "promcheck: at most one input file")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		return 2
+	}
+
+	if err := obs.ValidateExposition(raw); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck: invalid exposition:", err)
+		return 1
+	}
+
+	declared := map[string]bool{}
+	requests := map[string]float64{}  // tenant -> olap_requests_total
+	responses := map[string]float64{} // tenant -> sum over kinds
+	tenants := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				declared[fields[2]] = true
+			}
+			continue
+		}
+		name, labels, v, err := obs.ParsePromSample(line)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck: bad sample:", err)
+			return 1
+		}
+		if t, ok := labels["tenant"]; ok && strings.HasPrefix(name, "olap_") {
+			tenants[t] = true
+		}
+		switch name {
+		case "olap_requests_total":
+			requests[labels["tenant"]] += v
+		case "olap_responses_total":
+			responses[labels["tenant"]] += v
+		}
+	}
+
+	status := 0
+	for _, fam := range strings.Split(*require, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam != "" && !declared[fam] {
+			fmt.Fprintf(os.Stderr, "promcheck: required family %q not declared\n", fam)
+			status = 1
+		}
+	}
+
+	if *reconcile {
+		names := make([]string, 0, len(requests))
+		for t := range requests {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			req, resp := requests[t], responses[t]
+			switch {
+			case resp > req:
+				fmt.Fprintf(os.Stderr, "promcheck: tenant %q: responses %.0f exceed requests %.0f\n", t, resp, req)
+				status = 1
+			case *quiesced && resp != req:
+				fmt.Fprintf(os.Stderr, "promcheck: tenant %q: quiesced but %0.f requests unaccounted (requests %.0f, responses %.0f)\n",
+					t, req-resp, req, resp)
+				status = 1
+			}
+		}
+		for t := range responses {
+			if _, ok := requests[t]; !ok {
+				fmt.Fprintf(os.Stderr, "promcheck: tenant %q: responses with no requests series\n", t)
+				status = 1
+			}
+		}
+	}
+
+	if *maxTenantLabels > 0 && len(tenants) > *maxTenantLabels {
+		names := make([]string, 0, len(tenants))
+		for t := range tenants {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "promcheck: %d tenant label values exceed cap %d: %s\n",
+			len(tenants), *maxTenantLabels, strings.Join(names, ", "))
+		status = 1
+	}
+
+	if status == 0 {
+		fmt.Printf("promcheck: ok (%d families, %d tenant labels)\n", len(declared), len(tenants))
+	}
+	return status
+}

@@ -360,7 +360,27 @@ func (db *DB) QueryStrategy(query string, s Strategy) (*Result, error) {
 // the literals back into the cached physical plan and skip parsing,
 // resolution, and strategy rewriting entirely.
 func (db *DB) QueryStrategyContext(ctx context.Context, query string, s Strategy) (*Result, error) {
+	// With tracing on, the compile step gets its own span annotated
+	// with the plan-cache outcome (the Peek races a concurrent Put at
+	// worst into a false "miss" label — telemetry only, never behavior).
+	t := db.eng.Tracer()
+	var planStart time.Time
+	var hit bool
+	if t != nil {
+		planStart = time.Now()
+		hit = db.planCached(query, s)
+	}
 	phys, err := db.physicalPlan(query, s)
+	if t != nil {
+		arg := "cache=miss"
+		if hit {
+			arg = "cache=hit"
+		}
+		if rid := obs.ContextRequestID(ctx); rid != "" {
+			arg = "rid=" + rid + " " + arg
+		}
+		t.SpanArgs("plan", "plan "+s.String(), 1, planStart, time.Since(planStart), arg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -526,6 +546,14 @@ func (db *DB) WriteTrace(w io.Writer) error {
 	}
 	return t.WriteJSON(w)
 }
+
+// Tracer returns the engine's span recorder (nil until EnableTracing).
+// The serving layer records its request-scoped spans — tenant gate,
+// execute, serialize — through it, so server and operator events land
+// in one timeline. The returned value's concrete type is internal;
+// embedders outside this module should treat it as opaque and use
+// WriteTrace.
+func (db *DB) Tracer() *obs.Tracer { return db.eng.Tracer() }
 
 // Metrics returns a snapshot of the process-wide engine counters
 // (queries per strategy, rows scanned, governance trips, GMDJ work).

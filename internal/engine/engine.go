@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 	"time"
@@ -129,12 +130,16 @@ type Budget struct {
 type Option func(*Engine)
 
 // WithGovernorFastPath toggles the governor-free hot path: when on
-// (the default) a query with no budget and a never-canceled context
-// (Background/TODO) runs without a governor, skipping even the
-// per-row atomic tick — what benchmark hot loops want. Turning it off
-// forces a governor onto every query, which is useful when an
+// (the default) a query with no budget, no memory pool, and an
+// uncancelable context (see govern.Uncancelable for the exact
+// predicate and its contract) runs without a governor, skipping even
+// the per-row atomic tick — what benchmark hot loops want. Turning it
+// off forces a governor onto every query, which is useful when an
 // operator's cooperative-cancellation path itself is under test, or
 // when a deployment wants uniform accounting regardless of budgets.
+// The fast path changes only governance, never observability: the
+// collector, tracer spans, and live-registry counters flow
+// identically on both paths (engine tests assert this equivalence).
 func WithGovernorFastPath(on bool) Option {
 	return func(e *Engine) { e.fastPath = on }
 }
@@ -341,6 +346,10 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 	// memory posture on demand; the closure reads whatever pool and
 	// store are current at request time.
 	o.SetMemSource(func() any { return e.MemStatus() })
+	// Likewise /debug/olap/trace streams whatever tracer is current —
+	// a nil tracer exports a valid empty trace rather than 404ing, so
+	// the endpoint's presence tracks observability, not tracing.
+	o.SetTraceSource(func(w io.Writer) error { return e.tracer.WriteJSON(w) })
 }
 
 // Observer returns the attached observer (nil when workload
@@ -428,12 +437,15 @@ func (e *Engine) runQuery(ctx context.Context, text string, p algebra.Node, s St
 	if forceCollect || e.tracer != nil || e.observer != nil {
 		col = obs.NewCollector(e.tracer)
 	}
-	live := e.observer.QueryStart(text, s.String())
+	live := e.observer.QueryStart(ctx, text, s.String())
 	start := time.Now()
 	rel, err := e.execute(ctx, p, col, live)
 	elapsed := time.Since(start)
 	e.finishQuery(s, err)
 	root := col.Root()
+	if root != nil {
+		root.RequestID = obs.ContextRequestID(ctx)
+	}
 	e.annotateEstimates(p, root)
 	var rows int64
 	if rel != nil {
@@ -455,11 +467,12 @@ func (e *Engine) runQuery(ctx context.Context, text string, p algebra.Node, s St
 // live-registry entry.
 func (e *Engine) execute(ctx context.Context, p algebra.Node, col *obs.Collector, live *obs.LiveQuery) (*relation.Relation, error) {
 	// Governor-free hot path (WithGovernorFastPath, on by default): no
-	// budget and a context that can never be canceled (Background/TODO)
-	// need no governor, so benchmark hot loops skip even the per-row
-	// atomic tick. Observability is independent of governance — the
-	// collector and live counters flow on both paths.
-	if e.fastPath && e.budget == (Budget{}) && ctx.Done() == nil && e.pool == nil {
+	// budget, no pool, and an uncancelable context need no governor, so
+	// benchmark hot loops skip even the per-row atomic tick.
+	// govern.Uncancelable names the predicate and carries the contract.
+	// Observability is independent of governance — the collector and
+	// live counters flow on both paths.
+	if e.fastPath && e.budget == (Budget{}) && govern.Uncancelable(ctx) && e.pool == nil {
 		return e.exec.RunLive(p, nil, col, live)
 	}
 	if e.budget.Timeout > 0 {

@@ -132,6 +132,24 @@ func (g *Governor) Bytes() int64 {
 	return g.bytes.Load()
 }
 
+// Uncancelable reports whether ctx can never be canceled — Done()
+// returns nil, which context guarantees only for contexts with no
+// cancellation, deadline, or timeout anywhere in their chain
+// (context.Background, context.TODO, and value-only derivations such
+// as obs.WithRequestID). This is the engine's governor-free fast-path
+// predicate: an uncancelable context has nothing for a governor to
+// watch, so skipping governance for it is unobservable by
+// construction.
+//
+// Contract: callers may use Uncancelable only to elide work whose sole
+// purpose is reacting to cancellation (ticks, deadline checks). It
+// must never gate accounting, observability, or results — a query must
+// produce identical output, stats trees, and trace spans whether or
+// not its context is cancelable.
+func Uncancelable(ctx context.Context) bool {
+	return ctx.Done() == nil
+}
+
 // MapContextErr converts context errors into the governance taxonomy,
 // passing every other error (including nil) through unchanged.
 func MapContextErr(err error) error {

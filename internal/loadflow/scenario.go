@@ -20,6 +20,9 @@ type Scenario struct {
 	Seed int64
 	// Steps run sequentially.
 	Steps []Step
+	// SLOs are per-tenant objectives asserted after the run (exit 4 in
+	// the driver on violation).
+	SLOs []SLOSpec
 }
 
 // Step is one load phase: a worker pool issuing a weighted query mix.
@@ -120,7 +123,21 @@ func ParseScenario(src string) (*Scenario, error) {
 			"timeout", "think", "abort_rate", "abort_after", "tenant", "queries")
 		sc.Steps = append(sc.Steps, st)
 	}
-	d.checkKeys("scenario", doc, "name", "description", "target", "tenant", "seed", "steps")
+	slos, _ := doc["slo"].([]any)
+	for i, raw := range slos {
+		m, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("loadflow: slo[%d] must be a mapping", i)
+		}
+		sc.SLOs = append(sc.SLOs, SLOSpec{
+			Tenant:       d.str(m, "tenant"),
+			Availability: d.f64(m, "availability"),
+			P99:          d.dur(m, "p99"),
+			MaxBurn:      d.f64(m, "max_burn"),
+		})
+		d.checkKeys(fmt.Sprintf("slo[%d]", i), m, "tenant", "availability", "p99", "max_burn")
+	}
+	d.checkKeys("scenario", doc, "name", "description", "target", "tenant", "seed", "steps", "slo")
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -162,6 +179,23 @@ func (sc *Scenario) validate() error {
 			if q.Weight <= 0 {
 				q.Weight = 1
 			}
+		}
+	}
+	seen := map[string]bool{}
+	for i := range sc.SLOs {
+		spec := &sc.SLOs[i]
+		if spec.Tenant == "" {
+			return fmt.Errorf("loadflow: slo[%d] has no tenant", i)
+		}
+		if seen[spec.Tenant] {
+			return fmt.Errorf("loadflow: slo: tenant %q declared twice", spec.Tenant)
+		}
+		seen[spec.Tenant] = true
+		if spec.Availability <= 0 || spec.Availability >= 1 {
+			return fmt.Errorf("loadflow: slo for %q: availability %v outside (0,1)", spec.Tenant, spec.Availability)
+		}
+		if spec.MaxBurn < 0 {
+			return fmt.Errorf("loadflow: slo for %q: negative max_burn", spec.Tenant)
 		}
 	}
 	return nil

@@ -34,8 +34,12 @@ type Counter struct {
 // the operator's output; Elapsed is inclusive wall time (children
 // included), as in EXPLAIN ANALYZE conventions.
 type Op struct {
-	Label    string        `json:"label"`
-	Extras   []string      `json:"extras,omitempty"`
+	Label string `json:"label"`
+	// RequestID is set on the root only, when the query arrived through
+	// a serving edge: the same ID the response body, logs, and trace
+	// carry, so a stats tree can be tied back to its request.
+	RequestID string   `json:"request_id,omitempty"`
+	Extras    []string `json:"extras,omitempty"`
 	Rows     int64         `json:"rows"`
 	Bytes    int64         `json:"bytes,omitempty"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
@@ -268,6 +272,9 @@ func formatOp(b *strings.Builder, o *Op, depth int) {
 		return
 	}
 	indent := strings.Repeat("  ", depth)
+	if o.RequestID != "" {
+		fmt.Fprintf(b, "%srequest: %s\n", indent, o.RequestID)
+	}
 	fmt.Fprintf(b, "%s%s (time=%s", indent, o.Label, fmtDuration(o.Elapsed))
 	if o.EstRows != nil {
 		fmt.Fprintf(b, " act=%d est=%d", o.Rows, *o.EstRows)

@@ -25,6 +25,11 @@ const DefaultQueryLogCapacity = 256
 type QueryRecord struct {
 	// Time is when the query finished.
 	Time time.Time `json:"time"`
+	// RequestID correlates this record with the serving-layer telemetry
+	// for the same request ("" for embedded callers).
+	RequestID string `json:"request_id,omitempty"`
+	// Tenant names the requesting tenant ("" for embedded callers).
+	Tenant string `json:"tenant,omitempty"`
 	// SQL is the statement text ("" for programmatic plans).
 	SQL string `json:"sql,omitempty"`
 	// Strategy names the evaluation strategy that ran.
@@ -162,6 +167,13 @@ func (l *QueryLog) Format() string {
 		}
 		fmt.Fprintf(&b, "  [%s] %-9s %-10s rows=%-8d %s  %s\n",
 			e.Time.Format("15:04:05.000"), fmtDuration(e.Elapsed), e.Strategy, e.Rows, e.Outcome, sql)
+		if e.RequestID != "" {
+			fmt.Fprintf(&b, "      rid: %s", e.RequestID)
+			if e.Tenant != "" {
+				fmt.Fprintf(&b, " tenant: %s", e.Tenant)
+			}
+			b.WriteString("\n")
+		}
 		if e.Err != "" {
 			fmt.Fprintf(&b, "      err: %s\n", e.Err)
 		}

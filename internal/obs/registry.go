@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -30,7 +32,11 @@ type LiveQuery struct {
 	id       int64
 	sql      string
 	strategy string
-	start    time.Time
+	// requestID and tenant come off the query's context (see reqid.go);
+	// both are "" for embedded/library callers with no serving edge.
+	requestID string
+	tenant    string
+	start     time.Time
 
 	rows    atomic.Int64 // materialized output rows across operators
 	bytes   atomic.Int64 // approximate materialized bytes
@@ -68,6 +74,8 @@ func (q *LiveQuery) AddDetail(n int64) {
 // served by /debug/olap/queries.
 type LiveSnapshot struct {
 	ID         int64     `json:"id"`
+	RequestID  string    `json:"request_id,omitempty"`
+	Tenant     string    `json:"tenant,omitempty"`
 	SQL        string    `json:"sql,omitempty"`
 	Strategy   string    `json:"strategy"`
 	Start      time.Time `json:"start"`
@@ -81,6 +89,8 @@ type LiveSnapshot struct {
 func (q *LiveQuery) snapshot(now time.Time) LiveSnapshot {
 	return LiveSnapshot{
 		ID:         q.id,
+		RequestID:  q.requestID,
+		Tenant:     q.tenant,
 		SQL:        q.sql,
 		Strategy:   q.strategy,
 		Start:      q.start,
@@ -124,6 +134,9 @@ type Observer struct {
 	// spill-store snapshot for /debug/olap/mem (obs cannot import the
 	// engine, so the value crosses as an opaque JSON-marshalable any).
 	memSource func() any
+	// traceSource, when set, streams the engine's Chrome-trace ring for
+	// /debug/olap/trace (same opacity argument as memSource).
+	traceSource func(io.Writer) error
 }
 
 // NewObserver creates an observer with the given slow-query policy.
@@ -137,12 +150,22 @@ func NewObserver(cfg ObserverConfig) *Observer {
 }
 
 // QueryStart registers an in-flight query and returns its live entry
-// (nil on a nil observer — every LiveQuery method tolerates that).
-func (o *Observer) QueryStart(sql, strategy string) *LiveQuery {
+// (nil on a nil observer — every LiveQuery method tolerates that). The
+// context supplies the request ID and tenant when the query arrived
+// through a serving edge (see WithRequestID/WithTenant); a nil or bare
+// context is fine and leaves both empty.
+func (o *Observer) QueryStart(ctx context.Context, sql, strategy string) *LiveQuery {
 	if o == nil {
 		return nil
 	}
-	q := &LiveQuery{id: o.nextID.Add(1), sql: sql, strategy: strategy, start: time.Now()}
+	q := &LiveQuery{
+		id:        o.nextID.Add(1),
+		sql:       sql,
+		strategy:  strategy,
+		requestID: ContextRequestID(ctx),
+		tenant:    ContextTenant(ctx),
+		start:     time.Now(),
+	}
 	o.mu.Lock()
 	o.inflight[q.id] = q
 	o.mu.Unlock()
@@ -159,9 +182,10 @@ func (o *Observer) QueryEnd(q *LiveQuery, elapsed time.Duration, rows int64, roo
 		return
 	}
 	strategy := "unknown"
-	sql := ""
+	sql, requestID, tenant := "", "", ""
 	if q != nil {
 		strategy, sql = q.strategy, q.sql
+		requestID, tenant = q.requestID, q.tenant
 		o.mu.Lock()
 		delete(o.inflight, q.id)
 		o.mu.Unlock()
@@ -170,14 +194,16 @@ func (o *Observer) QueryEnd(q *LiveQuery, elapsed time.Duration, rows int64, roo
 	o.rows.Record("query_rows."+strategy, rows)
 	o.sampleOps(root)
 	o.slowlog.Observe(QueryRecord{
-		Time:     time.Now(),
-		SQL:      sql,
-		Strategy: strategy,
-		Elapsed:  elapsed,
-		Rows:     rows,
-		Outcome:  outcome,
-		Err:      errText,
-		Stats:    root,
+		Time:      time.Now(),
+		RequestID: requestID,
+		Tenant:    tenant,
+		SQL:       sql,
+		Strategy:  strategy,
+		Elapsed:   elapsed,
+		Rows:      rows,
+		Outcome:   outcome,
+		Err:       errText,
+		Stats:     root,
 	})
 }
 
@@ -278,8 +304,12 @@ func (o *Observer) FormatInFlight() string {
 		if sql == "" {
 			sql = "(plan)"
 		}
-		fmt.Fprintf(&b, "#%-4d %-10s %-9s rows=%-8d bytes=%-10d scanned=%-8d detail=%-8d %s\n",
-			q.ID, q.Strategy, fmtDuration(time.Duration(q.ElapsedNs)), q.Rows, q.Bytes, q.Scanned, q.DetailRows, sql)
+		rid := q.RequestID
+		if rid == "" {
+			rid = "-"
+		}
+		fmt.Fprintf(&b, "#%-4d %-16s %-10s %-9s rows=%-8d bytes=%-10d scanned=%-8d detail=%-8d %s\n",
+			q.ID, rid, q.Strategy, fmtDuration(time.Duration(q.ElapsedNs)), q.Rows, q.Bytes, q.Scanned, q.DetailRows, sql)
 	}
 	return b.String()
 }
@@ -296,12 +326,25 @@ func (o *Observer) SetMemSource(fn func() any) {
 	o.mu.Unlock()
 }
 
+// SetTraceSource registers the provider behind /debug/olap/trace (the
+// engine wires its tracer's WriteJSON here). Nil-safe; nil fn removes
+// the endpoint (404).
+func (o *Observer) SetTraceSource(fn func(io.Writer) error) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.traceSource = fn
+	o.mu.Unlock()
+}
+
 // Handler serves the observability dashboard:
 //
 //	/debug/olap/queries  in-flight queries with live counters
 //	/debug/olap/hist     latency/row-count histograms with p50/p90/p99
 //	/debug/olap/slowlog  retained slow-query records
 //	/debug/olap/mem      memory pool and spill store (when registered)
+//	/debug/olap/trace    Chrome trace_event download (when registered)
 //
 // Each endpoint returns JSON by default and plain text with
 // ?format=text. Mount at /debug/olap/ (trailing slash). Nil-safe: a
@@ -356,6 +399,21 @@ func (o *Observer) Handler() http.Handler {
 				return
 			}
 			writeJSON(src())
+		case "trace":
+			o.mu.Lock()
+			src := o.traceSource
+			o.mu.Unlock()
+			if src == nil {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="olap-trace.json"`)
+			if err := src(w); err != nil {
+				// Headers are gone; the truncated body is Perfetto's
+				// problem to reject. Nothing useful to do here.
+				return
+			}
 		default:
 			http.NotFound(w, r)
 		}

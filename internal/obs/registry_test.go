@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"io"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -19,7 +21,7 @@ func TestNilObserverHooks(t *testing.T) {
 	var o *Observer
 	hooks := map[string]func(){
 		"QueryStart": func() {
-			if q := o.QueryStart("SELECT 1", "native"); q != nil {
+			if q := o.QueryStart(context.Background(), "SELECT 1", "native"); q != nil {
 				t.Error("nil QueryStart returned a live entry")
 			}
 		},
@@ -47,6 +49,7 @@ func TestNilObserverHooks(t *testing.T) {
 		},
 		"FormatInFlight": func() { _ = o.FormatInFlight() },
 		"SetMemSource":   func() { o.SetMemSource(func() any { return nil }) },
+		"SetTraceSource": func() { o.SetTraceSource(func(io.Writer) error { return nil }) },
 		"Handler": func() {
 			rec := httptest.NewRecorder()
 			o.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/olap/queries", nil))
@@ -74,7 +77,7 @@ func TestNilObserverHooks(t *testing.T) {
 
 func TestObserverLifecycle(t *testing.T) {
 	o := NewObserver(ObserverConfig{SlowQueryThreshold: 0, SlowLogCapacity: 4})
-	q := o.QueryStart("SELECT * FROM flows", "gmdj-opt")
+	q := o.QueryStart(WithTenant(WithRequestID(context.Background(), "rid-lifecycle"), "acme"), "SELECT * FROM flows", "gmdj-opt")
 	if q == nil {
 		t.Fatal("QueryStart returned nil")
 	}
@@ -88,6 +91,9 @@ func TestObserverLifecycle(t *testing.T) {
 	}
 	if live[0].Rows != 7 || live[0].Bytes != 700 || live[0].Scanned != 300 || live[0].DetailRows != 33 {
 		t.Errorf("live counters = %+v", live[0])
+	}
+	if live[0].RequestID != "rid-lifecycle" || live[0].Tenant != "acme" {
+		t.Errorf("live identity = rid %q tenant %q, want rid-lifecycle/acme", live[0].RequestID, live[0].Tenant)
 	}
 
 	root := &Op{Label: "Project [x]", Elapsed: time.Millisecond, Rows: 7,
@@ -107,6 +113,10 @@ func TestObserverLifecycle(t *testing.T) {
 	if o.SlowLog().Len() != 1 {
 		t.Errorf("slowlog len = %d, want 1", o.SlowLog().Len())
 	}
+	recs := o.SlowLog().Entries()
+	if recs[0].RequestID != "rid-lifecycle" || recs[0].Tenant != "acme" {
+		t.Errorf("slowlog identity = rid %q tenant %q, want rid-lifecycle/acme", recs[0].RequestID, recs[0].Tenant)
+	}
 }
 
 func TestOpKind(t *testing.T) {
@@ -125,7 +135,7 @@ func TestOpKind(t *testing.T) {
 
 func TestHandlerEndpoints(t *testing.T) {
 	o := NewObserver(ObserverConfig{})
-	q := o.QueryStart("SELECT 1", "native")
+	q := o.QueryStart(context.Background(), "SELECT 1", "native")
 	q.AddOut(2, 20)
 	h := o.Handler()
 
@@ -166,6 +176,22 @@ func TestHandlerEndpoints(t *testing.T) {
 
 	if rec := get("/debug/olap/slowlog"); rec.Code != 200 {
 		t.Errorf("slowlog status %d", rec.Code)
+	}
+	if rec := get("/debug/olap/trace"); rec.Code != 404 {
+		t.Errorf("unregistered trace status %d, want 404", rec.Code)
+	}
+	tr := NewTracer(16)
+	tr.SpanArgs("serve", "request", 7, time.Now(), time.Millisecond, "rid=abc tenant=t1")
+	o.SetTraceSource(tr.WriteJSON)
+	rec = get("/debug/olap/trace")
+	if rec.Code != 200 {
+		t.Fatalf("trace status %d", rec.Code)
+	}
+	if cd := rec.Header().Get("Content-Disposition"); !strings.Contains(cd, "olap-trace.json") {
+		t.Errorf("trace Content-Disposition = %q", cd)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "rid=abc") || !strings.Contains(body, `"cat":"serve"`) {
+		t.Errorf("trace body missing span args:\n%s", body)
 	}
 	if rec := get("/debug/olap/nope"); rec.Code != 404 {
 		t.Errorf("unknown path status %d, want 404", rec.Code)

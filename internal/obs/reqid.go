@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Request identity: one ID per client request, minted at the HTTP edge
+// (or accepted from the caller's X-Request-Id header) and carried down
+// the stack on the context. Every layer that records something about a
+// query — the live registry, the slow-query log, the trace ring, the
+// stats tree, the structured log stream — stamps the same ID, so one
+// grep (or one Perfetto search) correlates a request across all of
+// them. The ID is metadata only: no execution decision may depend on
+// it.
+
+// RequestIDHeader is the HTTP header olapd reads (and echoes) for the
+// request ID. A client that sends its own ID gets it back verbatim
+// after sanitization; otherwise the server mints one.
+const RequestIDHeader = "X-Request-Id"
+
+// MaxRequestIDLen bounds accepted request IDs; longer client-supplied
+// values are truncated rather than rejected, so an over-eager proxy
+// cannot turn telemetry into a request failure.
+const MaxRequestIDLen = 64
+
+// NewRequestID mints a fresh 16-hex-character request ID from
+// crypto/rand. IDs are opaque: uniqueness within a trace window is all
+// that is promised.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; here a
+		// constant beats propagating an error through telemetry paths.
+		return "rid-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID normalizes a client-supplied ID: characters outside
+// [A-Za-z0-9._-] are replaced with '_' (they would corrupt log lines
+// and trace args), the length is capped at MaxRequestIDLen, and an
+// empty result returns "" so the caller mints instead.
+func SanitizeRequestID(id string) string {
+	if len(id) > MaxRequestIDLen {
+		id = id[:MaxRequestIDLen]
+	}
+	out := []byte(id)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// Context carriage. Unexported key types keep collisions impossible;
+// the accessors are the only way in or out.
+type ridKey struct{}
+type tenantKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// ContextRequestID extracts the request ID ("" when absent).
+func ContextRequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// WithTenant returns a context carrying the tenant name.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// ContextTenant extracts the tenant name ("" when absent).
+func ContextTenant(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}

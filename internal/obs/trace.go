@@ -74,6 +74,17 @@ func (t *Tracer) Span(cat, name string, tid int64, start time.Time, d time.Durat
 	t.record(event{name: name, cat: cat, ph: 'X', ts: t.micros(start), dur: d.Microseconds(), tid: tid})
 }
 
+// SpanArgs records a complete ('X') event with an args.detail payload
+// — the server path uses it to stamp request spans with
+// "rid=<id> tenant=<name>" so a Perfetto search on the request ID
+// lands on the serving timeline. Nil-safe.
+func (t *Tracer) SpanArgs(cat, name string, tid int64, start time.Time, d time.Duration, arg string) {
+	if t == nil {
+		return
+	}
+	t.record(event{name: name, cat: cat, ph: 'X', ts: t.micros(start), dur: d.Microseconds(), tid: tid, arg: arg})
+}
+
 // Instant records an instant ('i') event: a governance trip, a fault
 // injection firing. Nil-safe.
 func (t *Tracer) Instant(cat, name, arg string) {

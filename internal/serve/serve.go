@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -163,22 +164,37 @@ type Config struct {
 	DrainGrace time.Duration
 	// MaxBodyBytes bounds the request body (default 1 MiB).
 	MaxBodyBytes int64
-	// Admin mounts the observability dashboard (/debug/olap/*) and the
-	// tenant/admission stats (/debug/serve) on the server's mux.
+	// Admin mounts the observability dashboard (/debug/olap/*, which
+	// includes the /debug/olap/trace download) and the tenant/admission
+	// stats (/debug/serve) on the server's mux. The Prometheus /metrics
+	// endpoint is always mounted.
 	Admin bool
 	// Faults injects failures at the serve.* sites (nil = none).
 	Faults *govern.Injector
+	// Logger receives one structured line per finished request plus
+	// lifecycle events (drain, fault fires). Nil disables logging.
+	Logger *slog.Logger
+	// SLOs declares per-tenant objectives published on /metrics (targets,
+	// observed values, error-budget burn). The server never enforces
+	// them; asserting on burn is the load driver's job.
+	SLOs map[string]SLO
+	// MaxTenantLabels caps distinct tenant label values on /metrics
+	// (default DefaultMaxTenantLabels); tenants beyond the cap fold into
+	// the "_other" series.
+	MaxTenantLabels int
 }
 
 // Server serves SQL queries over HTTP/JSON on top of one gmdj.DB.
 // Handlers are safe for arbitrary concurrency; lifecycle (Drain) may
 // be driven from any goroutine.
 type Server struct {
-	db     *gmdj.DB
-	cfg    Config
-	faults *govern.Injector
-	mux    *http.ServeMux
-	hist   *obs.HistSet
+	db      *gmdj.DB
+	cfg     Config
+	faults  *govern.Injector
+	mux     *http.ServeMux
+	hist    *obs.HistSet
+	metrics *metricsRegistry
+	logger  *slog.Logger
 
 	mu       sync.Mutex
 	draining bool
@@ -191,6 +207,8 @@ type Server struct {
 	rejected     atomic.Int64 // drain-time 503s
 	hardCanceled atomic.Int64
 	faultsFired  atomic.Int64
+	panics       atomic.Int64
+	tidSeq       atomic.Int64 // trace-timeline row allocator
 }
 
 // inflightQuery is one admitted query's drain handle.
@@ -214,16 +232,37 @@ func NewServer(db *gmdj.DB, cfg Config) *Server {
 		faults:   cfg.Faults,
 		mux:      http.NewServeMux(),
 		hist:     obs.NewHistSet(),
+		metrics:  newMetricsRegistry(cfg.MaxTenantLabels),
+		logger:   cfg.Logger,
 		gates:    map[string]*gate{},
 		inflight: map[int64]*inflightQuery{},
 	}
+	// SLO tenants hold label slots from the start so their series exist
+	// (at zero) before any traffic arrives.
+	sloTenants := make([]string, 0, len(cfg.SLOs))
+	for t := range cfg.SLOs {
+		sloTenants = append(sloTenants, t)
+	}
+	sort.Strings(sloTenants)
+	for _, t := range sloTenants {
+		s.metrics.tenant(t)
+	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if cfg.Admin {
 		s.mux.Handle("/debug/olap/", db.ObsHTTPHandler())
 		s.mux.HandleFunc("/debug/serve", s.handleStats)
 	}
 	return s
+}
+
+// logw emits one structured log line when a logger is configured.
+func (s *Server) logw(level slog.Level, msg string, args ...any) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.Log(context.Background(), level, msg, args...)
 }
 
 // Handler returns the server's mux.
@@ -256,7 +295,9 @@ type queryRequest struct {
 	Args      []any  `json:"args,omitempty"`
 }
 
-// queryResponse is the success body.
+// queryResponse is the success body. RequestID echoes the request's
+// trace ID (minted or client-supplied) so a client can join its
+// response to server-side logs, the slow-query log, and the trace.
 type queryResponse struct {
 	Columns   []string `json:"columns"`
 	Rows      [][]any  `json:"rows"`
@@ -264,14 +305,17 @@ type queryResponse struct {
 	ElapsedNs int64    `json:"elapsed_ns"`
 	Strategy  string   `json:"strategy"`
 	Tenant    string   `json:"tenant"`
+	RequestID string   `json:"request_id"`
 }
 
 // errorResponse is the structured error body: the message, the typed
-// classification, and a backoff hint when a retry can help.
+// classification, the request ID, and a backoff hint when a retry can
+// help.
 type errorResponse struct {
 	Error string `json:"error"`
 	Class
-	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	RequestID    string `json:"request_id"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 func parseStrategy(name string) (gmdj.Strategy, error) {
@@ -291,89 +335,241 @@ func parseStrategy(name string) (gmdj.Strategy, error) {
 	}
 }
 
-// writeError emits the structured error body. retryAfter <= 0 omits
-// the hint and header.
-func writeError(w http.ResponseWriter, err error, retryAfter time.Duration) {
+// serveTidBase offsets the serving layer's trace-timeline rows away
+// from the engine's operator rows (the plan span uses tid 1); rows are
+// reused modulo serveTidSlots so concurrent requests land on distinct
+// timelines without unbounded row growth.
+const (
+	serveTidBase  = 100
+	serveTidSlots = 256
+)
+
+// requestWriter is the single exit funnel for one request. Every
+// response — success, typed error, usage error, recovered panic —
+// flows through exactly one finish() call, which bills the outcome to
+// the tenant's /metrics counters, closes the request span, and emits
+// the structured log line. That construction is what makes the
+// per-tenant reconciliation invariant (requests == sum of responses
+// by kind) hold unconditionally.
+type requestWriter struct {
+	s        *Server
+	w        http.ResponseWriter
+	tenant   string // real tenant name (gate, context, response body)
+	rid      string
+	tm       *tenantMetrics // capped label series the outcome bills to
+	tid      int64
+	start    time.Time
+	sql      string
+	strategy string
+	rows     int
+	done     bool
+}
+
+// beginRequest resolves identity before anything can fail: the tenant
+// (header or default), the request ID (client-supplied X-Request-Id,
+// sanitized, or freshly minted), the capped metrics series. The ID is
+// set as a response header immediately so even a panic that corrupts
+// the body still echoes it.
+func (s *Server) beginRequest(w http.ResponseWriter, r *http.Request) *requestWriter {
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	rid := obs.SanitizeRequestID(r.Header.Get(obs.RequestIDHeader))
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	_, tm := s.metrics.tenant(tenant)
+	tm.requests.Add(1)
+	w.Header().Set(obs.RequestIDHeader, rid)
+	return &requestWriter{
+		s:      s,
+		w:      w,
+		tenant: tenant,
+		rid:    rid,
+		tm:     tm,
+		tid:    serveTidBase + s.tidSeq.Add(1)%serveTidSlots,
+		start:  time.Now(),
+		rows:   -1,
+	}
+}
+
+// span records one serving-phase span onto the engine's trace ring,
+// tagged with the request identity so server phases and operator
+// events join on one Perfetto timeline. No-op without a tracer.
+func (rw *requestWriter) span(name string, start time.Time, extra string) {
+	t := rw.s.db.Tracer()
+	if t == nil {
+		return
+	}
+	arg := "rid=" + rw.rid + " tenant=" + rw.tenant
+	if extra != "" {
+		arg += " " + extra
+	}
+	t.SpanArgs("serve", name, rw.tid, start, time.Since(start), arg)
+}
+
+// finish closes the funnel exactly once: outcome counter, latency
+// sample, request span, log line.
+func (rw *requestWriter) finish(kind string, status int, errText string) {
+	if rw.done {
+		return
+	}
+	rw.done = true
+	elapsed := time.Since(rw.start)
+	rw.tm.countResponse(kind, elapsed)
+	rw.span("request", rw.start, "kind="+kind)
+	level := slog.LevelInfo
+	args := []any{
+		"request_id", rw.rid,
+		"tenant", rw.tenant,
+		"kind", kind,
+		"status", status,
+		"elapsed_ms", float64(elapsed.Microseconds()) / 1e3,
+	}
+	if rw.strategy != "" {
+		args = append(args, "strategy", rw.strategy)
+	}
+	if rw.sql != "" {
+		args = append(args, "sql", truncateSQL(rw.sql))
+	}
+	if rw.rows >= 0 {
+		args = append(args, "rows", rw.rows)
+	}
+	if errText != "" {
+		level = slog.LevelWarn
+		args = append(args, "error", errText)
+	}
+	rw.s.logw(level, "query", args...)
+}
+
+// fail emits the structured error body and closes the funnel.
+// retryAfter <= 0 omits the hint and header. A request that already
+// finished (panic after a written response) is counted once only.
+func (rw *requestWriter) fail(err error, retryAfter time.Duration) {
+	if rw.done {
+		return
+	}
 	cl := Classify(err)
-	resp := errorResponse{Error: err.Error(), Class: cl}
+	resp := errorResponse{Error: err.Error(), Class: cl, RequestID: rw.rid}
 	if cl.Retryable && retryAfter > 0 {
 		resp.RetryAfterMS = retryAfter.Milliseconds()
 		secs := int64(retryAfter / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		rw.w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(cl.HTTPStatus)
-	_ = json.NewEncoder(w).Encode(resp)
+	rw.w.Header().Set("Content-Type", "application/json")
+	rw.w.WriteHeader(cl.HTTPStatus)
+	_ = json.NewEncoder(rw.w).Encode(resp)
+	rw.finish(cl.Kind, cl.HTTPStatus, err.Error())
 }
 
-// usageError is a malformed request (not a query failure): kind
-// "usage", HTTP 400, exit 2.
-func writeUsage(w http.ResponseWriter, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusBadRequest)
-	_ = json.NewEncoder(w).Encode(errorResponse{
-		Error: msg,
-		Class: Class{Kind: "usage", ExitCode: ExitUsage, HTTPStatus: http.StatusBadRequest},
+// usage is a malformed request (not a query failure): kind "usage",
+// HTTP 400, exit 2.
+func (rw *requestWriter) usage(msg string) {
+	if rw.done {
+		return
+	}
+	rw.w.Header().Set("Content-Type", "application/json")
+	rw.w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(rw.w).Encode(errorResponse{
+		Error:     msg,
+		Class:     Class{Kind: "usage", ExitCode: ExitUsage, HTTPStatus: http.StatusBadRequest},
+		RequestID: rw.rid,
 	})
+	rw.finish("usage", http.StatusBadRequest, msg)
+}
+
+// ok serializes the success body (under its own span — serialization
+// of a wide result is real work) and closes the funnel.
+func (rw *requestWriter) ok(resp *queryResponse) {
+	if rw.done {
+		return
+	}
+	serStart := time.Now()
+	rw.w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw.w).Encode(resp)
+	rw.span("serialize", serStart, "")
+	rw.rows = resp.RowCount
+	rw.finish("ok", http.StatusOK, "")
+}
+
+// fireFault fires an injected fault site, counting and logging a hit.
+func (rw *requestWriter) fireFault(site string) error {
+	err := rw.s.faults.Fire(site, nil)
+	if err != nil {
+		rw.s.faultsFired.Add(1)
+		rw.s.logw(slog.LevelWarn, "fault fired",
+			"request_id", rw.rid, "tenant", rw.tenant, "site", site, "error", err.Error())
+	}
+	return err
+}
+
+func truncateSQL(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 120 {
+		return s[:117] + "..."
+	}
+	return s
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rw := s.beginRequest(w, r)
 	// Panic isolation at the serving boundary: a handler panic (e.g. an
 	// injected panic at a serve.* site) becomes a typed internal error,
 	// never a crashed connection without a body.
 	defer func() {
 		if p := recover(); p != nil {
 			obs.MetricAdd("serve.panics_recovered", 1)
-			writeError(w, fmt.Errorf("%w: serving panic: %v", govern.ErrInternal, p), 0)
+			s.panics.Add(1)
+			rw.fail(fmt.Errorf("%w: serving panic: %v", govern.ErrInternal, p), 0)
 		}
 	}()
 	if r.Method != http.MethodPost {
-		writeUsage(w, "POST only")
+		rw.usage("POST only")
 		return
 	}
 	if s.isDraining() {
 		s.rejected.Add(1)
-		writeError(w, fmt.Errorf("%w: not accepting queries", ErrDraining), s.cfg.DrainGrace)
+		rw.fail(fmt.Errorf("%w: not accepting queries", ErrDraining), s.cfg.DrainGrace)
 		return
 	}
-	if err := s.faults.Fire(SiteAccept, nil); err != nil {
-		s.faultsFired.Add(1)
-		writeError(w, fmt.Errorf("accepting request: %w", err), s.cfg.DrainGrace)
+	if err := rw.fireFault(SiteAccept); err != nil {
+		rw.fail(fmt.Errorf("accepting request: %w", err), s.cfg.DrainGrace)
 		return
-	}
-
-	tenant := r.Header.Get(TenantHeader)
-	if tenant == "" {
-		tenant = DefaultTenant
 	}
 
 	var req queryRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeUsage(w, "bad request body: "+err.Error())
+		rw.usage("bad request body: " + err.Error())
 		return
 	}
 	if strings.TrimSpace(req.SQL) == "" {
-		writeUsage(w, "empty sql")
+		rw.usage("empty sql")
 		return
 	}
 	strategy, err := parseStrategy(req.Strategy)
 	if err != nil {
-		writeUsage(w, err.Error())
+		rw.usage(err.Error())
 		return
 	}
+	rw.sql, rw.strategy = req.SQL, strategy.String()
 
 	// Tenant admission: queue FIFO for an in-flight slot, shedding with
 	// 429 + Retry-After at the tenant's admission deadline. The request
 	// context bounds the wait too, so a disconnected client releases
-	// its queue position immediately.
-	g := s.gate(tenant)
+	// its queue position immediately. The span is the admission wait
+	// made visible: on an uncontended server it is microseconds; under
+	// a noisy neighbor it is the queue time the tenant actually paid.
+	g := s.gate(rw.tenant)
+	gateStart := time.Now()
 	release, err := g.Enter(r.Context())
+	rw.span("tenant-gate", gateStart, "")
 	if err != nil {
-		writeError(w, err, retryHint(g))
+		rw.fail(err, retryHint(g))
 		return
 	}
 	defer release()
@@ -381,6 +577,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Per-request deadline, propagated into the governance layer: the
 	// engine's governor sees it as its context deadline, so operator
 	// loops abort with ErrTimeout exactly as an engine-level budget.
+	// The request identity rides the same context into the engine —
+	// registry rows, slow-query log entries, and EXPLAIN ANALYZE trees
+	// all pick it up from there.
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -388,40 +587,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
 		timeout = s.cfg.MaxTimeout
 	}
-	ctx, cancel := context.WithCancel(r.Context())
+	base := obs.WithTenant(obs.WithRequestID(r.Context(), rw.rid), rw.tenant)
+	ctx, cancel := context.WithCancel(base)
 	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(r.Context(), timeout)
+		ctx, cancel = context.WithTimeout(base, timeout)
 	}
 	defer cancel()
-	id := s.track(tenant, cancel)
+	id := s.track(rw.tenant, cancel)
 	defer s.untrack(id)
 	s.accepted.Add(1)
 
-	start := time.Now()
+	execStart := time.Now()
 	res, err := s.run(ctx, req, strategy)
-	elapsed := time.Since(start)
+	elapsed := time.Since(execStart)
 	s.completed.Add(1)
 	s.hist.Record("http_ns.all", int64(elapsed))
-	s.hist.Record("http_ns."+tenant, int64(elapsed))
+	s.hist.Record("http_ns."+rw.tenant, int64(elapsed))
+	rw.span("execute", execStart, "")
 	if err != nil {
 		s.hist.Record("http_err_ns."+Classify(err).Kind, int64(elapsed))
-		writeError(w, err, retryHint(g))
+		rw.fail(err, retryHint(g))
 		return
 	}
 
-	if err := s.faults.Fire(SiteWrite, nil); err != nil {
-		s.faultsFired.Add(1)
-		writeError(w, fmt.Errorf("writing response: %w", err), s.cfg.DrainGrace)
+	if err := rw.fireFault(SiteWrite); err != nil {
+		rw.fail(fmt.Errorf("writing response: %w", err), s.cfg.DrainGrace)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(queryResponse{
+	rw.ok(&queryResponse{
 		Columns:   res.Columns,
 		Rows:      res.Rows,
 		RowCount:  res.Len(),
 		ElapsedNs: int64(elapsed),
 		Strategy:  strategy.String(),
-		Tenant:    tenant,
+		Tenant:    rw.tenant,
+		RequestID: rw.rid,
 	})
 }
 
@@ -520,6 +720,7 @@ func (s *Server) StartDrain() {
 		g.close()
 	}
 	obs.MetricAdd("serve.drains", 1)
+	s.logw(slog.LevelInfo, "drain started", "in_flight", s.InFlight())
 }
 
 // Drain runs the drain state machine: StartDrain, then wait for
@@ -536,6 +737,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	n := s.hardCancel()
 	obs.MetricAdd("serve.hard_cancels", int64(n))
+	s.logw(slog.LevelWarn, "drain budget expired", "hard_canceled", n)
 	// Post-cancel grace: cooperative abort latency is bounded by the
 	// operator tick interval, not the drain budget that just expired.
 	grace, cancel := context.WithTimeout(context.Background(), 10*time.Second)

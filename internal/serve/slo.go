@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/obs"
+)
+
+// Per-tenant service-level objectives. An SLO states what the server
+// owes a tenant: an availability target over requests the *server* is
+// responsible for, and optionally a p99 latency bound. The serving
+// layer does not enforce SLOs — it publishes targets, observed values,
+// and error-budget burn on /metrics so the load driver (and any real
+// alerting stack) can assert on them.
+type SLO struct {
+	// Availability is the target fraction of requests free of
+	// server-attributed failure, in (0, 1), e.g. 0.99.
+	Availability float64
+	// P99 is the target 99th-percentile request latency. Zero means no
+	// latency objective.
+	P99 time.Duration
+}
+
+// serverFailureKinds lists the taxonomy kinds billed against the
+// availability error budget. Client-attributed outcomes — usage
+// errors, query errors, client cancelation, client-chosen timeouts,
+// row budgets — do not burn the server's budget.
+var serverFailureKinds = []string{
+	"admission_timeout", "closed", "internal", "mem_budget", "spill_io", "unavailable",
+}
+
+// ServerFailureKinds returns the taxonomy kinds that count against a
+// tenant's availability SLO (sorted copy).
+func ServerFailureKinds() []string {
+	return append([]string(nil), serverFailureKinds...)
+}
+
+// ParseSLOs parses a -slo flag value of the form
+//
+//	tenant:avail=0.99,p99=250ms;other:avail=0.995
+//
+// Tenants are separated by ';', objectives within a tenant by ','.
+// At least one objective is required per tenant; avail must be in
+// (0, 1) and p99 positive.
+func ParseSLOs(spec string) (map[string]SLO, error) {
+	out := map[string]SLO{}
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tenant, objs, ok := strings.Cut(part, ":")
+		tenant = strings.TrimSpace(tenant)
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("slo %q: want tenant:objectives", part)
+		}
+		if _, dup := out[tenant]; dup {
+			return nil, fmt.Errorf("slo: tenant %q declared twice", tenant)
+		}
+		var slo SLO
+		for _, obj := range strings.Split(objs, ",") {
+			obj = strings.TrimSpace(obj)
+			if obj == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(obj, "=")
+			if !ok {
+				return nil, fmt.Errorf("slo %q: objective %q: want key=value", tenant, obj)
+			}
+			switch strings.TrimSpace(key) {
+			case "avail":
+				f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+				if err != nil || f <= 0 || f >= 1 {
+					return nil, fmt.Errorf("slo %q: avail %q: want a fraction in (0,1)", tenant, val)
+				}
+				slo.Availability = f
+			case "p99":
+				d, err := time.ParseDuration(strings.TrimSpace(val))
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("slo %q: p99 %q: want a positive duration", tenant, val)
+				}
+				slo.P99 = d
+			default:
+				return nil, fmt.Errorf("slo %q: unknown objective %q (want avail or p99)", tenant, key)
+			}
+		}
+		if slo.Availability == 0 && slo.P99 == 0 {
+			return nil, fmt.Errorf("slo %q: no objectives", tenant)
+		}
+		out[tenant] = slo
+	}
+	return out, nil
+}
+
+// sloReport is one tenant's objective evaluated against its funnel
+// counters at a point in time.
+type sloReport struct {
+	tenant       string
+	slo          SLO
+	requests     int64
+	failures     int64   // server-attributed
+	availability float64 // observed; 1 when no traffic yet
+	burn         float64 // error-budget burn rate; see below
+	p99          time.Duration
+}
+
+// evalSLO computes one tenant's report from its metrics. Error-budget
+// burn is the classic ratio: observed error rate over allowed error
+// rate, so burn 1.0 means spending the budget exactly as fast as the
+// objective tolerates and burn > 1 means the SLO is being violated.
+func evalSLO(tenant string, slo SLO, tm *tenantMetrics) sloReport {
+	rep := sloReport{tenant: tenant, slo: slo, availability: 1}
+	for _, k := range serverFailureKinds {
+		rep.failures += tm.responses[k].Load()
+	}
+	// Evaluate over finished requests, not funnel entries, so an
+	// in-flight request never counts as a failure.
+	for _, c := range tm.responses {
+		rep.requests += c.Load()
+	}
+	if rep.requests > 0 {
+		rep.availability = 1 - float64(rep.failures)/float64(rep.requests)
+	}
+	if slo.Availability > 0 {
+		rep.burn = (1 - rep.availability) / (1 - slo.Availability)
+	}
+	snap := tm.duration.Snapshot()
+	rep.p99 = time.Duration(snap.P99)
+	return rep
+}
+
+// sloReports evaluates every configured SLO against the current
+// funnel counters, sorted by tenant for deterministic exposition.
+// SLO tenants are pre-registered at server construction so they hold
+// label slots from the start; a tenant folded into the _other label
+// (SLOs declared past the cap) is evaluated against that shared
+// series, which is almost never what an operator wants — keep the cap
+// at least as large as the SLO list.
+func (s *Server) sloReports() []sloReport {
+	tenants := make([]string, 0, len(s.cfg.SLOs))
+	for t := range s.cfg.SLOs {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	reps := make([]sloReport, 0, len(tenants))
+	for _, t := range tenants {
+		tm := s.metrics.get(s.metrics.labelFor(t))
+		reps = append(reps, evalSLO(t, s.cfg.SLOs[t], tm))
+	}
+	return reps
+}
+
+// promCollectSLO appends the SLO families: targets, observed values,
+// and burn rate, one series per tenant with a declared objective.
+func (s *Server) promCollectSLO(p *obs.PromWriter) {
+	for _, rep := range s.sloReports() {
+		lb := map[string]string{"tenant": rep.tenant}
+		if rep.slo.Availability > 0 {
+			p.Gauge("olap_slo_availability_target", "Configured availability objective, by tenant.", lb, rep.slo.Availability)
+			p.Gauge("olap_slo_availability", "Observed availability over server-attributed failures, by tenant.", lb, rep.availability)
+			p.Gauge("olap_slo_error_budget_burn", "Observed error rate over allowed error rate; >1 means the SLO is violated.", lb, rep.burn)
+		}
+		if rep.slo.P99 > 0 {
+			p.Gauge("olap_slo_p99_target_seconds", "Configured p99 latency objective, by tenant.", lb, rep.slo.P99.Seconds())
+			p.Gauge("olap_slo_p99_seconds", "Observed p99 request latency, by tenant.", lb, rep.p99.Seconds())
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package gmdj
+
+import (
+	"io"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/obs"
+)
+
+// Prometheus exposition of the engine-level telemetry. The serving
+// layer (internal/serve) composes these families with its own
+// per-tenant request metrics on olapd's /metrics endpoint; olapql's
+// -metrics-addr serves them alone via WritePromMetrics. Everything is
+// rendered with the repo's dependency-free writer (internal/obs/prom).
+
+// PromContentType is the Content-Type header value for the Prometheus
+// text exposition format served by WritePromMetrics.
+const PromContentType = obs.PromContentType
+
+// PromCollect appends the engine-level metric families to an
+// exposition document under construction:
+//
+//	gmdj_engine_events_total{event=...}   every process counter from the
+//	                                      "gmdj" expvar map (queries per
+//	                                      strategy, governance trips,
+//	                                      spill traffic, cache churn)
+//	gmdj_plan_cache_*_total               plan-cache hits/misses/evictions
+//	gmdj_result_cache_*_total             result-memo hits/misses/evictions
+//	gmdj_mem_pool_*                       memory-pool gauges (when enabled)
+//	gmdj_spill_bytes_{written,read}_total scratch-store traffic
+//	gmdj_query_duration_seconds{strategy} latency histograms (observer)
+//	gmdj_op_duration_seconds{kind}        per-operator-kind histograms
+//
+// The concrete writer type is internal; callers outside this module
+// use WritePromMetrics instead.
+func (db *DB) PromCollect(p *obs.PromWriter) {
+	for name, v := range obs.MetricsSnapshot() {
+		p.Counter("gmdj_engine_events_total", "Process-wide engine event counters from the gmdj expvar map.",
+			map[string]string{"event": name}, v)
+	}
+
+	pc := db.PlanCacheStats()
+	p.Counter("gmdj_plan_cache_hits_total", "Parameterized plan cache hits.", nil, pc.Hits)
+	p.Counter("gmdj_plan_cache_misses_total", "Parameterized plan cache misses.", nil, pc.Misses)
+	p.Counter("gmdj_plan_cache_evictions_total", "Parameterized plan cache evictions.", nil, pc.Evictions)
+	p.Counter("gmdj_plan_cache_invalidations_total", "Parameterized plan cache schema invalidations.", nil, pc.Invalidations)
+	rc := db.ResultCacheStats()
+	p.Counter("gmdj_result_cache_hits_total", "Cross-query result memo hits.", nil, rc.Hits)
+	p.Counter("gmdj_result_cache_misses_total", "Cross-query result memo misses.", nil, rc.Misses)
+	p.Counter("gmdj_result_cache_evictions_total", "Cross-query result memo evictions.", nil, rc.Evictions)
+	p.Counter("gmdj_result_cache_invalidations_total", "Cross-query result memo invalidations.", nil, rc.Invalidations)
+
+	ms := db.MemStats()
+	if ms.Enabled {
+		p.Gauge("gmdj_mem_pool_capacity_bytes", "Tracked-state memory pool capacity.", nil, float64(ms.Capacity))
+		p.Gauge("gmdj_mem_pool_in_use_bytes", "Tracked-state memory pool bytes in use.", nil, float64(ms.InUse))
+		p.Gauge("gmdj_mem_pool_queued", "Queries queued for pool admission.", nil, float64(ms.Queued))
+		p.Counter("gmdj_mem_pool_admitted_total", "Queries admitted to the memory pool.", nil, ms.Admitted)
+		p.Counter("gmdj_mem_pool_timed_out_total", "Queries shed at the admission deadline.", nil, ms.TimedOut)
+		p.Counter("gmdj_mem_reclaimed_bytes_total", "Bytes freed by demoting result-cache entries under pressure.", nil, ms.ReclaimedBytes)
+	}
+	p.Counter("gmdj_spill_bytes_written_total", "Bytes written to the scratch spill store.", nil, ms.SpillBytesWritten)
+	p.Counter("gmdj_spill_bytes_read_total", "Bytes read back from the scratch spill store.", nil, ms.SpillBytesRead)
+	p.Gauge("gmdj_spill_live_files", "Live files in the scratch spill store.", nil, float64(ms.SpillLiveFiles))
+
+	for key, snap := range db.eng.Observer().Histograms() {
+		switch {
+		case strings.HasPrefix(key, "query_ns."):
+			p.Histogram("gmdj_query_duration_seconds", "Query wall time by strategy.",
+				map[string]string{"strategy": strings.TrimPrefix(key, "query_ns.")}, snap, 1e-9)
+		case strings.HasPrefix(key, "op_ns."):
+			p.Histogram("gmdj_op_duration_seconds", "Inclusive operator wall time by operator kind.",
+				map[string]string{"kind": strings.TrimPrefix(key, "op_ns.")}, snap, 1e-9)
+		}
+	}
+}
+
+// WritePromMetrics writes the engine-level metric families as one
+// Prometheus text-format (0.0.4) exposition document — what olapql's
+// -metrics-addr serves at /metrics. olapd embedders get these plus the
+// serving-layer families from the server's own /metrics endpoint.
+func (db *DB) WritePromMetrics(w io.Writer) error {
+	p := obs.NewPromWriter()
+	db.PromCollect(p)
+	if err := p.Err(); err != nil {
+		return err
+	}
+	_, err := p.WriteTo(w)
+	return err
+}

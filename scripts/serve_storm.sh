@@ -6,33 +6,43 @@
 # repeats the storm with a SIGTERM landing mid-flight to exercise the
 # drain state machine. Fails if:
 #
-#   - loadgen observes any non-typed outcome (phase 1),
+#   - loadgen observes any non-typed outcome or an SLO burn violation
+#     (phase 1),
+#   - the /metrics exposition scraped mid-storm or after quiescing is
+#     invalid, fails per-tenant reconciliation, or exceeds the tenant
+#     label cap (scripts/check_metrics.sh),
 #   - olapd exits non-zero after drain (either phase), including exit
 #     12 from the leak check,
 #   - drain overruns its budget.
 #
-# Artifacts: BENCH_serve.json (per-step latency percentiles) and
-# serve_slowlog.json (the server's slow-query log).
+# Artifacts land under out/ (gitignored): BENCH_serve_storm.json
+# (per-step latency percentiles), serve_storm_result.json,
+# serve_slowlog.json, metrics_midstorm.prom, metrics_quiesced.prom,
+# and olap-trace.json (server spans + operator events; load in
+# https://ui.perfetto.dev).
 #
 # Env knobs: PORT (default 18080), SCALE (dataset scale, default 0.2),
-# BENCH_OUT, FAULTS (GMDJ_FAULTS spec for olapd).
+# OUT_DIR, BENCH_OUT, FAULTS (GMDJ_FAULTS spec for olapd).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PORT="${PORT:-18080}"
 SCALE="${SCALE:-0.2}"
-BENCH_OUT="${BENCH_OUT:-BENCH_serve.json}"
+OUT_DIR="${OUT_DIR:-out}"
+BENCH_OUT="${BENCH_OUT:-${OUT_DIR}/BENCH_serve_storm.json}"
 FAULTS="${FAULTS:-serve.accept=error@25,serve.write=error@50,serve.cancel=error@3}"
 TARGET="http://127.0.0.1:${PORT}"
 OLAPD_ARGS=(-addr ":${PORT}" -data netflow -scale "${SCALE}" -workers 2
   -timeout 5s -max-timeout 30s -drain-timeout 8s -admin -leak-check
-  -slow-ms 250 -slowlog serve_slowlog.json
+  -slow-ms 250 -slowlog "${OUT_DIR}/serve_slowlog.json"
+  -slo "default:avail=0.75"
   -quota "inflight=128,admission=2s"
   -tenants "starved:inflight=2,admission=100ms")
 
-mkdir -p bin
+mkdir -p bin "${OUT_DIR}"
 go build -o bin/olapd ./cmd/olapd
 go build -o bin/loadgen ./cmd/loadgen
+go build -o bin/promcheck ./cmd/promcheck
 
 OLAPD_PID=""
 cleanup() {
@@ -85,8 +95,43 @@ echo "== phase 1: cancellation storm under fault injection =="
 start_olapd
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 bin/loadgen -scenario scenarios/cancel_storm.yaml -target "${TARGET}" \
-  -bench "${BENCH_OUT}" -commit "${COMMIT}" > serve_storm_result.json
-echo "serve_storm: phase 1 clean (results in serve_storm_result.json, bench in ${BENCH_OUT})"
+  -bench "${BENCH_OUT}" -commit "${COMMIT}" > "${OUT_DIR}/serve_storm_result.json" &
+LOADGEN_PID=$!
+
+# Scrape /metrics while the storm is at full boil: the exposition must
+# stay parseable and the funnel counters must reconcile (requests >=
+# responses; the gap is the in-flight count) even under concurrent
+# mutation.
+sleep 8
+curl -fsS "${TARGET}/metrics" > "${OUT_DIR}/metrics_midstorm.prom"
+bin/promcheck -reconcile -max-tenant-labels 33 \
+  -require "olap_requests_total,olap_responses_total,olap_request_duration_seconds,olap_slo_error_budget_burn,gmdj_engine_events_total" \
+  "${OUT_DIR}/metrics_midstorm.prom"
+echo "serve_storm: mid-storm /metrics scrape valid"
+
+LOADGEN_RC=0
+wait "${LOADGEN_PID}" || LOADGEN_RC=$?
+if [[ ${LOADGEN_RC} -ne 0 ]]; then
+  echo "serve_storm: loadgen exited ${LOADGEN_RC} (1 = non-typed outcomes, 4 = SLO burn violation)" >&2
+  exit 1
+fi
+echo "serve_storm: phase 1 clean (results in ${OUT_DIR}/serve_storm_result.json, bench in ${BENCH_OUT})"
+
+# Quiesced scrape: no traffic in flight, so every tenant's requests
+# counter must exactly equal its summed responses.
+sleep 1
+curl -fsS "${TARGET}/metrics" > "${OUT_DIR}/metrics_quiesced.prom"
+bin/promcheck -reconcile -quiesced -max-tenant-labels 33 "${OUT_DIR}/metrics_quiesced.prom"
+echo "serve_storm: quiesced /metrics reconciles exactly"
+
+# The trace ring holds the storm's tail: serving-phase spans (request,
+# tenant-gate, execute, serialize) tagged rid=.../tenant=... next to
+# the engine's plan/operator events, one Perfetto timeline.
+curl -fsS "${TARGET}/debug/olap/trace" > "${OUT_DIR}/olap-trace.json"
+python3 -c "import json,sys; json.load(open('${OUT_DIR}/olap-trace.json'))" 2>/dev/null \
+  || { echo "serve_storm: downloaded trace is not valid JSON" >&2; exit 1; }
+echo "serve_storm: trace downloaded ($(wc -c < "${OUT_DIR}/olap-trace.json") bytes)"
+
 stop_olapd "phase 1 shutdown"
 
 echo "== phase 2: SIGTERM mid-storm =="
