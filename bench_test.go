@@ -14,7 +14,9 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"testing"
+	"time"
 
 	iagg "github.com/olaplab/gmdj/internal/agg"
 	"github.com/olaplab/gmdj/internal/algebra"
@@ -25,6 +27,7 @@ import (
 	"github.com/olaplab/gmdj/internal/expr"
 	igmdj "github.com/olaplab/gmdj/internal/gmdj"
 	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/obs/profile"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/sql"
 	"github.com/olaplab/gmdj/internal/storage"
@@ -43,6 +46,12 @@ func benchFigure(b *testing.B, id string) {
 	// guard in scripts/obs_overhead.sh).
 	obsMode := os.Getenv("GMDJ_OBS")
 	observed := obsMode == "1" || obsMode == "2"
+	// GMDJ_PROF=1 runs the timed loop under the continuous-profiling
+	// posture: pprof query labels on every iteration (goroutine-local
+	// label push/pop, inherited by GMDJ workers) plus a live cadence
+	// profiler sampling CPU in the background — the profiler-on
+	// overhead guard in scripts/obs_overhead.sh.
+	profMode := os.Getenv("GMDJ_PROF") == "1"
 	r := &benchlab.Runner{Scale: benchScale, Repeat: 1, Verify: false}
 	exp, err := r.Experiment(id)
 	if err != nil {
@@ -70,14 +79,31 @@ func benchFigure(b *testing.B, id string) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
+				if profMode {
+					prof, err := profile.New(profile.Config{Dir: b.TempDir(), Interval: 2 * time.Second, CPUDuration: time.Second})
+					if err != nil {
+						b.Fatal(err)
+					}
+					prof.Start()
+					b.Cleanup(func() { prof.Close() })
+				}
+				runOne := func() {
 					if observed {
 						if _, _, err := eng.RunObserved(context.Background(), physical, engine.Native); err != nil {
 							b.Fatal(err)
 						}
 					} else if _, err := eng.Run(physical, engine.Native); err != nil {
 						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if profMode {
+						pprof.Do(context.Background(), profile.QueryLabels("bench", "", v.Name, "execute"), func(context.Context) {
+							runOne()
+						})
+					} else {
+						runOne()
 					}
 				}
 			})

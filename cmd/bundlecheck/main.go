@@ -1,0 +1,127 @@
+// Command bundlecheck validates an incident flight-recorder bundle or
+// a raw pprof profile — the chaos harness's guard that a forced
+// incident produced a complete, internally consistent bundle and that
+// CPU profiles captured under load actually carry the per-tenant pprof
+// labels.
+//
+// Usage:
+//
+//	bundlecheck [-require m1,m2] [-cpu-labels k1,k2] bundle-dir
+//	bundlecheck [-labels k1,k2] profile.pprof
+//
+// A directory argument is checked as a bundle:
+//
+//   - MANIFEST.json parses, its version is known, and every member it
+//     lists exists with the recorded size and FNV-32a checksum; no
+//     stray files sit next to the manifest.
+//   - Each member's content matches its extension: .prom is a valid
+//     Prometheus exposition, .json parses, .pprof parses as a profile,
+//     .txt is non-empty.
+//   - -require: the named members must be present and captured without
+//     error (a member whose source failed is recorded in the manifest
+//     and tolerated unless required).
+//   - -cpu-labels: the bundle's cpu.pprof must attribute at least one
+//     sample to each named label key (vacuously true when the capture
+//     holds no samples — an idle process profiles clean).
+//
+// A file argument is parsed as a pprof profile (gzipped or raw); with
+// -labels every named key must appear on at least one sample. This is
+// the mode the storm harness uses on a mid-storm /debug/pprof/profile
+// fetch, where samples are guaranteed and the label check is strict.
+//
+// Exit codes: 0 all checks pass, 1 a check failed, 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/obs/profile"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	require := flag.String("require", "", "comma-separated bundle members that must be present and error-free")
+	cpuLabels := flag.String("cpu-labels", "", "comma-separated label keys the bundle's cpu.pprof must carry (when it has samples)")
+	labels := flag.String("labels", "", "comma-separated label keys a profile file must carry on at least one sample")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "bundlecheck: exactly one bundle directory or profile file")
+		return 2
+	}
+	target := flag.Arg(0)
+	fi, err := os.Stat(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bundlecheck:", err)
+		return 2
+	}
+
+	if fi.IsDir() {
+		return checkBundle(target, splitList(*require), splitList(*cpuLabels))
+	}
+	return checkProfileFile(target, splitList(*labels))
+}
+
+func checkBundle(dir string, required, cpuKeys []string) int {
+	if err := profile.ValidateBundle(dir, required); err != nil {
+		fmt.Fprintln(os.Stderr, "bundlecheck:", err)
+		return 1
+	}
+	if len(cpuKeys) > 0 {
+		if err := profile.CheckCPULabels(dir, cpuKeys); err != nil {
+			fmt.Fprintln(os.Stderr, "bundlecheck:", err)
+			return 1
+		}
+	}
+	m, err := profile.ReadManifest(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bundlecheck:", err)
+		return 1
+	}
+	fmt.Printf("bundlecheck: ok (trigger %s, %d members)\n", m.Trigger, len(m.Files))
+	return 0
+}
+
+func checkProfileFile(path string, keys []string) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bundlecheck:", err)
+		return 2
+	}
+	p, err := profile.ParseProfile(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bundlecheck: %s: %v\n", path, err)
+		return 1
+	}
+	if len(keys) > 0 && len(p.Samples) == 0 {
+		fmt.Fprintf(os.Stderr, "bundlecheck: %s: no samples to carry labels\n", path)
+		return 1
+	}
+	status := 0
+	for _, k := range keys {
+		if !p.HasLabelKey(k) {
+			fmt.Fprintf(os.Stderr, "bundlecheck: %s: no sample carries label %q\n", path, k)
+			status = 1
+		}
+	}
+	if status == 0 {
+		fmt.Printf("bundlecheck: ok (%d samples)\n", len(p.Samples))
+	}
+	return status
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -11,6 +11,9 @@
 //	      [-quota spec] [-tenants spec] [-slo spec] [-drain-timeout d]
 //	      [-admin] [-slow-ms n] [-slowlog out.json] [-leak-check]
 //	      [-trace-cap n] [-log-level debug|info|warn|error|off]
+//	      [-profile-dir dir] [-profile-interval d] [-profile-cpu d]
+//	      [-profile-retain n] [-incident-slow-ms n] [-incident-burn f]
+//	      [-incident-queue n] [-incident-mem f] [-incident-min-interval d]
 //
 // The API is one endpoint:
 //
@@ -62,8 +65,25 @@
 // in 25). Injected serving faults degrade to typed 503 responses.
 //
 // -admin mounts the live dashboard (/debug/olap/queries, /hist,
-// /slowlog, /mem), the admission snapshot (/debug/serve), and expvar
-// (/debug/vars) on the same listener.
+// /slowlog, /mem), the admission snapshot (/debug/serve), expvar
+// (/debug/vars), and the net/http/pprof handlers (/debug/pprof/*) on
+// the same listener.
+//
+// Continuous profiling: -profile-dir enables a background profiler
+// that captures CPU, heap, goroutine, and mutex profiles every
+// -profile-interval into a bounded on-disk ring (-profile-retain per
+// kind), attributing CPU samples to tenants via pprof labels — the
+// per-tenant olap_tenant_cpu_seconds_total family on /metrics comes
+// from those captures. With -admin the ring is browsable at
+// /debug/olap/profiles. The same directory hosts the incident flight
+// recorder: when a query exceeds -incident-slow-ms, an SLO's error-
+// budget burn reaches -incident-burn, an admission queue reaches
+// -incident-queue waiters, or memory-pool utilization reaches
+// -incident-mem, it writes one self-contained bundle (profiles, trace
+// ring, slow-query log, /metrics scrape, goroutine dump, config
+// snapshot) under <profile-dir>/incidents, rate-limited to one per
+// -incident-min-interval. POST /debug/olap/incident forces a bundle.
+// cmd/bundlecheck validates bundles offline.
 //
 // Exit codes: 0 clean shutdown, 1 server error, 2 usage,
 // 12 goroutine leak detected (with -leak-check).
@@ -79,12 +99,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	gmdj "github.com/olaplab/gmdj"
 	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/obs/profile"
 	"github.com/olaplab/gmdj/internal/serve"
 )
 
@@ -121,6 +143,15 @@ func run() int {
 	leakCheck := flag.Bool("leak-check", false, "verify the goroutine count returns to baseline at exit (exit 12 on leak)")
 	traceCap := flag.Int("trace-cap", 65536, "in-memory trace ring capacity in events (0 disables tracing)")
 	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error, or off")
+	profileDir := flag.String("profile-dir", "", "continuous-profiling root: cadence CPU/heap/goroutine/mutex profiles land in a bounded ring here ('' disables)")
+	profileInterval := flag.Duration("profile-interval", 30*time.Second, "cadence between profile captures")
+	profileCPU := flag.Duration("profile-cpu", 2*time.Second, "CPU profiling window per capture cycle (clamped to half the interval)")
+	profileRetain := flag.Int("profile-retain", 8, "profiles retained per kind in the ring")
+	incidentSlowMS := flag.Int64("incident-slow-ms", 0, "flight-recorder trigger: query wall time in milliseconds (0 disables)")
+	incidentBurn := flag.Float64("incident-burn", 0, "flight-recorder trigger: SLO error-budget burn rate (0 disables; needs -slo)")
+	incidentQueue := flag.Int("incident-queue", 0, "flight-recorder trigger: admission-gate queue depth (0 disables)")
+	incidentMem := flag.Float64("incident-mem", 0, "flight-recorder trigger: memory-pool utilization in [0,1] (0 disables; needs -mem-limit)")
+	incidentMinInterval := flag.Duration("incident-min-interval", 5*time.Minute, "minimum spacing between incident bundles (rate limit)")
 	flag.Parse()
 
 	defaultQuota, err := serve.ParseQuota(*quota)
@@ -177,16 +208,54 @@ func run() int {
 		db.EnableTracing(*traceCap)
 	}
 
+	// Continuous profiler + flight recorder. Both are optional and each
+	// owns exactly one goroutine; they are closed before the leak check.
+	var profiler *profile.Profiler
+	var recorder *profile.Recorder
+	if *profileDir != "" {
+		profiler, err = profile.New(profile.Config{
+			Dir:         *profileDir,
+			Interval:    *profileInterval,
+			CPUDuration: *profileCPU,
+			Retain:      *profileRetain,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapd:", err)
+			db.Close()
+			return exitErr
+		}
+		profiler.Start()
+		recorder, err = profile.NewRecorder(profile.RecorderConfig{
+			Dir:         filepath.Join(*profileDir, profile.IncidentsDirName),
+			MinInterval: *incidentMinInterval,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapd:", err)
+			profiler.Close()
+			db.Close()
+			return exitErr
+		}
+	}
+
 	srv := serve.NewServer(db, serve.Config{
-		DefaultQuota:   defaultQuota,
-		Tenants:        tenantQuotas,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Admin:          *admin,
-		Faults:         govern.FromEnv(),
-		Logger:         logger,
-		SLOs:           slos,
+		DefaultQuota:        defaultQuota,
+		Tenants:             tenantQuotas,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		Admin:               *admin,
+		Faults:              govern.FromEnv(),
+		Logger:              logger,
+		SLOs:                slos,
+		Profiler:            profiler,
+		Recorder:            recorder,
+		IncidentSlowQuery:   time.Duration(*incidentSlowMS) * time.Millisecond,
+		IncidentBurn:        *incidentBurn,
+		IncidentQueueDepth:  *incidentQueue,
+		IncidentMemPressure: *incidentMem,
 	})
+	if recorder != nil {
+		recorder.Start()
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	if *admin {
@@ -229,6 +298,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "olapd:", err)
 	}
 	db.Close()
+	// The profiler and recorder goroutines are part of the serving
+	// footprint; stop them before the leak check so only a real leak
+	// fails it. The recorder itself stays usable for DumpGoroutines
+	// below (that path writes synchronously, no goroutine needed).
+	if recorder != nil {
+		recorder.Close()
+	}
+	if profiler != nil {
+		profiler.Close()
+	}
 
 	st := srv.Stats()
 	logEvent(logger, slog.LevelInfo, "drained",
@@ -247,6 +326,17 @@ func run() int {
 			buf := make([]byte, 1<<20)
 			buf = buf[:runtime.Stack(buf, true)]
 			fmt.Fprintf(os.Stderr, "olapd: goroutine leak: %d live, baseline %d\n%s\n", n, baseline, buf)
+			// Keep the evidence: a labeled goroutine profile in the
+			// flight-recorder directory outlives the process and carries
+			// pprof labels the plain stack dump above cannot show.
+			if recorder != nil {
+				reason := fmt.Sprintf("leak check failed: %d live, baseline %d", n, baseline)
+				if path, derr := recorder.DumpGoroutines(reason); derr != nil {
+					fmt.Fprintln(os.Stderr, "olapd: goroutine dump:", derr)
+				} else {
+					fmt.Fprintln(os.Stderr, "olapd: goroutine dump written to", path)
+				}
+			}
 			return exitLeak
 		}
 		logEvent(logger, slog.LevelInfo, "leak check passed", "goroutines", runtime.NumGoroutine())

@@ -7,7 +7,7 @@
 //	       [-mem-limit bytes] [-spill-dir dir] [-admission-timeout d]
 //	       [-plancache bytes] [-resultcache bytes]
 //	       [-explain] [-trace out.json] [-metrics-addr :8080]
-//	       [-slowlog out.json] [-slow-ms n]
+//	       [-slowlog out.json] [-slow-ms n] [-profile-dir dir]
 //
 // Caching: the parameterized plan cache is on by default (-plancache
 // sets its byte budget; negative disables it); -resultcache enables
@@ -51,6 +51,8 @@
 //	\hist                show workload latency/row histograms (p50/p90/p99)
 //	\slowlog             show the slow-query log, newest first
 //	\live                show in-flight queries with live progress counters
+//	\profile             capture CPU/heap/goroutine/mutex profiles now
+//	                     (needs -profile-dir; prints the ring paths)
 //	\quit                exit
 //
 // Any other input line is executed as SQL.
@@ -86,6 +88,7 @@ import (
 	"time"
 
 	gmdj "github.com/olaplab/gmdj"
+	"github.com/olaplab/gmdj/internal/obs/profile"
 )
 
 // Exit codes for governed failures; see the package comment.
@@ -145,6 +148,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve engine metrics over HTTP at this address (expvar at /debug/vars, live dashboard at /debug/olap/)")
 	slowlogOut := flag.String("slowlog", "", "write the slow-query log as JSON to this file on exit")
 	slowMS := flag.Int64("slow-ms", 0, "slow-query threshold in milliseconds (0 logs every query)")
+	profileDir := flag.String("profile-dir", "", "run the continuous profiler with its on-disk ring rooted here ('' disables); \\profile captures on demand")
 	flag.Parse()
 
 	opts := []gmdj.Option{
@@ -229,9 +233,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "olapql:", err)
 		}
 	}
+	var profiler *profile.Profiler
+	if *profileDir != "" {
+		var err error
+		profiler, err = profile.New(profile.Config{Dir: *profileDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapql:", err)
+			db.Close()
+			os.Exit(exitUsage)
+		}
+		profiler.Start()
+	}
 	// flush also closes the DB so the scratch spill directory (if any)
-	// is removed on every exit path.
-	flush := func() { writeTrace(); writeSlowLog(); db.Close() }
+	// is removed on every exit path, and stops the profiler so its last
+	// capture cycle finishes before the ring is read.
+	flush := func() {
+		writeTrace()
+		writeSlowLog()
+		if profiler != nil {
+			profiler.Close()
+		}
+		db.Close()
+	}
 	if *metricsAddr != "" {
 		// The expvar handler registers itself on the default mux (the
 		// engine's "gmdj" map appears at /debug/vars); the live workload
@@ -282,7 +305,7 @@ func main() {
 
 	fmt.Printf("olapql — GMDJ subquery engine (strategy: %v)\n", strat)
 	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
-	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \prepare <q>, \execute <args>, \caches, \mem, \stats, \hist, \slowlog, \live, \quit`)
+	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \prepare <q>, \execute <args>, \caches, \mem, \stats, \hist, \slowlog, \live, \profile, \quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -315,6 +338,19 @@ func main() {
 			fmt.Print(db.FormatSlowLog())
 		case line == `\live`:
 			fmt.Print(db.FormatLiveQueries())
+		case line == `\profile`:
+			if profiler == nil {
+				fmt.Println("  profiling off (run with -profile-dir)")
+				continue
+			}
+			paths, err := profiler.CaptureNow(time.Second)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, p := range paths {
+				fmt.Println(" ", p)
+			}
 		case strings.HasPrefix(line, `\strategy`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\strategy`))
 			if s, ok := parseStrategy(arg); ok {

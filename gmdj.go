@@ -624,6 +624,11 @@ func (db *DB) FormatHistograms() string {
 // their live progress counters.
 func (db *DB) FormatLiveQueries() string { return db.eng.Observer().FormatInFlight() }
 
+// LiveQueries snapshots the in-flight query registry (empty without
+// EnableObservability). The serving layer sums each query's tracked
+// bytes by tenant into the olap_tenant_heap_inuse_bytes gauge.
+func (db *DB) LiveQueries() []obs.LiveSnapshot { return db.eng.Observer().InFlight() }
+
 func toResult(rel *relation.Relation) *Result {
 	res := &Result{Columns: make([]string, rel.Schema.Len())}
 	for i, c := range rel.Schema.Columns {

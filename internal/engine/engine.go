@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/mem"
 	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/obs/profile"
 	"github.com/olaplab/gmdj/internal/plancache"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/rewrite"
@@ -439,7 +441,22 @@ func (e *Engine) runQuery(ctx context.Context, text string, p algebra.Node, s St
 	}
 	live := e.observer.QueryStart(ctx, text, s.String())
 	start := time.Now()
-	rel, err := e.execute(ctx, p, col, live)
+	var rel *relation.Relation
+	var err error
+	// pprof labels attribute CPU samples to the query's tenant, request
+	// ID, and strategy. Go propagates labels to child goroutines, so
+	// the GMDJ worker pool inherits them — profiles bill parallel scan
+	// work to the tenant that scheduled it. Unattributed queries (no
+	// request identity on the context) skip the label plumbing
+	// entirely, keeping the benchmark hot path label-free.
+	tenant, rid := obs.ContextTenant(ctx), obs.ContextRequestID(ctx)
+	if tenant != "" || rid != "" {
+		pprof.Do(ctx, profile.QueryLabels(tenant, rid, s.String(), "execute"), func(lctx context.Context) {
+			rel, err = e.execute(lctx, p, col, live)
+		})
+	} else {
+		rel, err = e.execute(ctx, p, col, live)
+	}
 	elapsed := time.Since(start)
 	e.finishQuery(s, err)
 	root := col.Root()

@@ -341,6 +341,20 @@ type PoolStats struct {
 	ReclaimedBytes int64 `json:"reclaimed_bytes"`
 }
 
+// Utilization is the pool's in-use fraction in [0, 1] (0 for an
+// unbounded or absent pool) — the flight recorder's memory-pressure
+// trigger compares it against a threshold.
+func (s PoolStats) Utilization() float64 {
+	if s.Capacity <= 0 {
+		return 0
+	}
+	u := float64(s.InUse) / float64(s.Capacity)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
 // Stats snapshots the pool (zero value for a nil pool).
 func (p *Pool) Stats() PoolStats {
 	if p == nil {

@@ -38,14 +38,14 @@ type Op struct {
 	// RequestID is set on the root only, when the query arrived through
 	// a serving edge: the same ID the response body, logs, and trace
 	// carry, so a stats tree can be tied back to its request.
-	RequestID string   `json:"request_id,omitempty"`
-	Extras    []string `json:"extras,omitempty"`
-	Rows     int64         `json:"rows"`
-	Bytes    int64         `json:"bytes,omitempty"`
-	Elapsed  time.Duration `json:"elapsed_ns"`
-	Err      string        `json:"err,omitempty"`
-	Counters []Counter     `json:"counters,omitempty"`
-	Children []*Op         `json:"children,omitempty"`
+	RequestID string        `json:"request_id,omitempty"`
+	Extras    []string      `json:"extras,omitempty"`
+	Rows      int64         `json:"rows"`
+	Bytes     int64         `json:"bytes,omitempty"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	Err       string        `json:"err,omitempty"`
+	Counters  []Counter     `json:"counters,omitempty"`
+	Children  []*Op         `json:"children,omitempty"`
 	// EstRows, when present, is the cost model's predicted output
 	// cardinality for this operator — the drift column of EXPLAIN
 	// ANALYZE (est=N act=M), the feedback loop that tells us when the

@@ -1,0 +1,203 @@
+package profile
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedRecorder builds a recorder with a deterministic clock and the
+// built-in goroutine dump replaced by a fixed member, so bundles are
+// reproducible byte for byte.
+func fixedRecorder(t *testing.T, minInterval time.Duration) (*Recorder, *time.Time) {
+	t.Helper()
+	r, err := NewRecorder(RecorderConfig{Dir: filepath.Join(t.TempDir(), "incidents"), MinInterval: minInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	r.now = func() time.Time { return clock }
+	return r, &clock
+}
+
+func staticSource(s string) func(io.Writer) error {
+	return func(w io.Writer) error { _, err := io.WriteString(w, s); return err }
+}
+
+func TestTriggerSyncRateLimit(t *testing.T) {
+	r, clock := fixedRecorder(t, time.Minute)
+	r.AddSource("goroutines.txt", staticSource("stacks\n"))
+
+	dir1, ok := r.TriggerSync(TriggerSlowQuery, "first")
+	if !ok || dir1 == "" {
+		t.Fatalf("first trigger: written=%v dir=%q", ok, dir1)
+	}
+	// Inside the window: suppressed, async and sync alike.
+	*clock = clock.Add(30 * time.Second)
+	if _, ok := r.TriggerSync(TriggerSLOBurn, "storm"); ok {
+		t.Fatal("second trigger inside MinInterval wrote a bundle")
+	}
+	r.Trigger(TriggerSLOBurn, "storm again")
+	// Past the window: admitted again.
+	*clock = clock.Add(31 * time.Second)
+	dir2, ok := r.TriggerSync(TriggerQueueDepth, "later")
+	if !ok {
+		t.Fatal("trigger past MinInterval suppressed")
+	}
+	if dir1 == dir2 {
+		t.Fatalf("bundles share directory %s", dir1)
+	}
+
+	st := r.Stats()
+	if st.Written != 2 {
+		t.Errorf("written = %d; want 2", st.Written)
+	}
+	if st.Suppressed != 2 {
+		t.Errorf("suppressed = %d; want 2", st.Suppressed)
+	}
+	if got := len(r.Bundles()); got != 2 {
+		t.Errorf("bundles on disk = %d; want 2", got)
+	}
+}
+
+func TestManifestGolden(t *testing.T) {
+	r, _ := fixedRecorder(t, time.Minute)
+	r.AddSource("goroutines.txt", staticSource("goroutine 1 [running]:\nmain.main()\n"))
+	r.AddSource("config.json", staticSource("{\"workers\":4}\n"))
+	r.AddSource("slowlog.json", staticSource("[]\n"))
+	r.AddSource("broken.txt", func(io.Writer) error { return fmt.Errorf("source unavailable") })
+
+	dir, ok := r.TriggerSync(TriggerManual, "golden")
+	if !ok {
+		t.Fatal("bundle not written")
+	}
+	got, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "manifest_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("manifest drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestValidateBundle(t *testing.T) {
+	r, _ := fixedRecorder(t, time.Minute)
+	r.AddSource("config.json", staticSource("{\"workers\":4}\n"))
+	r.AddSource("metrics.prom", staticSource("# TYPE olap_up gauge\nolap_up 1\n"))
+	r.AddSource("broken.txt", func(io.Writer) error { return fmt.Errorf("source unavailable") })
+
+	dir, ok := r.TriggerSync(TriggerManual, "validate")
+	if !ok {
+		t.Fatal("bundle not written")
+	}
+	if err := ValidateBundle(dir, []string{"config.json", "goroutines.txt", "metrics.prom"}); err != nil {
+		t.Fatalf("valid bundle rejected: %v", err)
+	}
+	// A member whose source failed is tolerated — unless required.
+	if err := ValidateBundle(dir, []string{"broken.txt"}); err == nil {
+		t.Error("required-but-failed member accepted")
+	}
+	// Corruption is caught by the checksum.
+	if err := os.WriteFile(filepath.Join(dir, "config.json"), []byte("{\"workers\":5}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBundle(dir, nil); err == nil {
+		t.Error("corrupted member accepted")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corruption surfaced as %v; want checksum mismatch", err)
+	}
+	// A stray file next to the manifest is caught.
+	if err := os.WriteFile(filepath.Join(dir, "config.json"), []byte("{\"workers\":4}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stray.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBundle(dir, nil); err == nil {
+		t.Error("unlisted file accepted")
+	}
+}
+
+func TestProbeFiresBundle(t *testing.T) {
+	r, err := NewRecorder(RecorderConfig{
+		Dir:           filepath.Join(t.TempDir(), "incidents"),
+		MinInterval:   time.Millisecond,
+		WatchInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	r.AddProbe(TriggerMemPressure, func() (bool, string) {
+		if fired {
+			return false, ""
+		}
+		fired = true
+		return true, "pool at 97%"
+	})
+	r.Start()
+	defer r.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(r.Bundles()) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	bundles := r.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("bundles = %v; want exactly one from the probe", bundles)
+	}
+	if !strings.Contains(bundles[0], "mem_pressure") {
+		t.Errorf("bundle %q does not carry the trigger kind", bundles[0])
+	}
+	if err := ValidateBundle(filepath.Join(r.Dir(), bundles[0]), []string{"goroutines.txt"}); err != nil {
+		t.Errorf("probe bundle invalid: %v", err)
+	}
+}
+
+func TestDumpGoroutinesBypassesRateLimit(t *testing.T) {
+	r, _ := fixedRecorder(t, time.Hour)
+	if _, ok := r.TriggerSync(TriggerManual, "take the slot"); !ok {
+		t.Fatal("setup bundle not written")
+	}
+	path, err := r.DumpGoroutines("leak check failed: 9 live, baseline 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "leak check failed") || !strings.Contains(string(raw), "goroutine") {
+		t.Errorf("dump lacks reason or stacks:\n%.200s", raw)
+	}
+	pb := strings.TrimSuffix(path, ".txt") + ".pprof"
+	rawPB, err := os.ReadFile(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseProfile(rawPB); err != nil {
+		t.Errorf("companion profile unparseable: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package profile
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// indexResponse is GET /debug/olap/profiles: where the ring and the
+// incident bundles live, what they hold, and the recorder's trigger
+// counters.
+type indexResponse struct {
+	Profiler  *Stats         `json:"profiler,omitempty"`
+	Ring      []FileInfo     `json:"ring,omitempty"`
+	Incidents *RecorderStats `json:"incidents,omitempty"`
+	Bundles   []string       `json:"bundles,omitempty"`
+}
+
+var ringFileRe = regexp.MustCompile(`^[a-z]+-[0-9]+\.pprof$`)
+
+// IndexHandler serves the profile index at its mount point and
+// individual ring files one path segment below it
+// (/debug/olap/profiles/cpu-000001.pprof). Either argument may be nil.
+func IndexHandler(p *Profiler, r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if name := ringFile(req.URL.Path); name != "" {
+			if p == nil || !ringFileRe.MatchString(name) {
+				http.NotFound(w, req)
+				return
+			}
+			path := filepath.Join(p.RingDir(), name)
+			if _, err := os.Stat(path); err != nil {
+				http.NotFound(w, req)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			http.ServeFile(w, req, path)
+			return
+		}
+		resp := indexResponse{}
+		if p != nil {
+			st := p.Stats()
+			resp.Profiler = &st
+			resp.Ring = p.Index()
+		}
+		if r != nil {
+			st := r.Stats()
+			resp.Incidents = &st
+			resp.Bundles = r.Bundles()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}
+
+// ringFile extracts the trailing path segment naming a ring file, or
+// "" for the index itself.
+func ringFile(path string) string {
+	path = strings.TrimSuffix(path, "/")
+	i := strings.LastIndexByte(path, '/')
+	if i < 0 {
+		return ""
+	}
+	name := path[i+1:]
+	if name == "profiles" {
+		return ""
+	}
+	return name
+}

@@ -1,0 +1,47 @@
+// Package profile is the engine's continuous-profiling layer: pprof
+// label plumbing that attributes CPU samples to tenants and queries, a
+// background profiler that captures CPU/heap/goroutine/mutex profiles
+// on a cadence into a bounded on-disk ring, and an incident flight
+// recorder that freezes the process's observable state into a
+// self-contained bundle when a trigger (slow query, SLO burn, queue
+// depth, memory pressure) fires.
+//
+// The package is deliberately dependency-free beyond the standard
+// library and internal/obs, matching the repo's hand-rolled Prometheus
+// writer: profiles are parsed with a minimal protobuf reader
+// (pprofparse.go) rather than an external pprof library.
+package profile
+
+import "runtime/pprof"
+
+// Label keys attached to query execution. Go propagates pprof labels
+// to every goroutine spawned under them, so labels set around the
+// engine's execute call appear on GMDJ worker goroutines too — CPU
+// profiles then attribute worker samples to the tenant and strategy
+// that scheduled the work.
+const (
+	LabelTenant   = "tenant"
+	LabelRID      = "rid"
+	LabelStrategy = "strategy"
+	LabelPhase    = "phase"
+)
+
+// QueryLabels builds the label set for one query execution. Empty
+// values are omitted so an unlabeled dimension costs nothing in the
+// profile's string table.
+func QueryLabels(tenant, rid, strategy, phase string) pprof.LabelSet {
+	kv := make([]string, 0, 8)
+	if tenant != "" {
+		kv = append(kv, LabelTenant, tenant)
+	}
+	if rid != "" {
+		kv = append(kv, LabelRID, rid)
+	}
+	if strategy != "" {
+		kv = append(kv, LabelStrategy, strategy)
+	}
+	if phase != "" {
+		kv = append(kv, LabelPhase, phase)
+	}
+	return pprof.Labels(kv...)
+}

@@ -1,0 +1,290 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Minimal reader for the pprof protobuf profile format
+// (profile.proto), covering exactly what this package needs: sample
+// types, sample values, and sample labels. Locations, mappings, and
+// functions are skipped — attribution here is by label, not by frame.
+// Hand-rolled because the repo takes no external dependencies; the
+// wire format is stable and small (varints and length-delimited
+// fields only).
+
+// ValueType is one dimension of a profile's sample values (e.g.
+// cpu/nanoseconds, inuse_space/bytes).
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one profile sample: a value per ValueType plus the pprof
+// labels that were set on the sampled goroutine.
+type Sample struct {
+	Values    []int64
+	Labels    map[string]string
+	NumLabels map[string]int64
+}
+
+// Profile is a parsed pprof profile, reduced to the parts needed for
+// label-based attribution and validation.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	Period        int64
+	PeriodType    ValueType
+}
+
+type rawValueType struct{ typ, unit int64 }
+
+type rawLabel struct{ key, str, num int64 }
+
+type rawSample struct {
+	values []int64
+	labels []rawLabel
+}
+
+// ParseProfile parses a pprof profile, gzip-compressed or raw.
+func ParseProfile(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profile: gunzip: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("profile: gunzip: %w", err)
+		}
+	}
+	var (
+		strings     []string
+		sampleTypes []rawValueType
+		samples     []rawSample
+		periodType  rawValueType
+		out         = &Profile{}
+	)
+	err := walkFields(data, func(field int, wire int, varint uint64, chunk []byte) error {
+		switch field {
+		case 1: // sample_type
+			vt, err := parseValueType(chunk)
+			if err != nil {
+				return err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			s, err := parseSample(chunk)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 6: // string_table
+			strings = append(strings, string(chunk))
+		case 9:
+			out.TimeNanos = int64(varint)
+		case 10:
+			out.DurationNanos = int64(varint)
+		case 11:
+			vt, err := parseValueType(chunk)
+			if err != nil {
+				return err
+			}
+			periodType = vt
+		case 12:
+			out.Period = int64(varint)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	str := func(i int64) string {
+		if i < 0 || i >= int64(len(strings)) {
+			return ""
+		}
+		return strings[i]
+	}
+	for _, vt := range sampleTypes {
+		out.SampleTypes = append(out.SampleTypes, ValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	out.PeriodType = ValueType{Type: str(periodType.typ), Unit: str(periodType.unit)}
+	for _, rs := range samples {
+		s := Sample{Values: rs.values}
+		for _, l := range rs.labels {
+			if l.str != 0 {
+				if s.Labels == nil {
+					s.Labels = map[string]string{}
+				}
+				s.Labels[str(l.key)] = str(l.str)
+			} else {
+				if s.NumLabels == nil {
+					s.NumLabels = map[string]int64{}
+				}
+				s.NumLabels[str(l.key)] = l.num
+			}
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	return out, nil
+}
+
+func parseValueType(data []byte) (rawValueType, error) {
+	var vt rawValueType
+	err := walkFields(data, func(field, wire int, v uint64, chunk []byte) error {
+		switch field {
+		case 1:
+			vt.typ = int64(v)
+		case 2:
+			vt.unit = int64(v)
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func parseSample(data []byte) (rawSample, error) {
+	var s rawSample
+	err := walkFields(data, func(field, wire int, v uint64, chunk []byte) error {
+		switch field {
+		case 2: // value: packed (wire 2) or singular (wire 0)
+			if wire == 0 {
+				s.values = append(s.values, int64(v))
+				return nil
+			}
+			for len(chunk) > 0 {
+				u, n := decodeVarint(chunk)
+				if n <= 0 {
+					return fmt.Errorf("profile: truncated packed value")
+				}
+				s.values = append(s.values, int64(u))
+				chunk = chunk[n:]
+			}
+		case 3: // label
+			var l rawLabel
+			err := walkFields(chunk, func(f, w int, lv uint64, _ []byte) error {
+				switch f {
+				case 1:
+					l.key = int64(lv)
+				case 2:
+					l.str = int64(lv)
+				case 3:
+					l.num = int64(lv)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			s.labels = append(s.labels, l)
+		}
+		return nil
+	})
+	return s, err
+}
+
+// walkFields iterates a protobuf message's fields, calling fn with the
+// field number, wire type, varint value (wire 0) or byte chunk (wire
+// 2). Fixed32/fixed64 fields are skipped.
+func walkFields(data []byte, fn func(field, wire int, varint uint64, chunk []byte) error) error {
+	for len(data) > 0 {
+		key, n := decodeVarint(data)
+		if n <= 0 {
+			return fmt.Errorf("profile: truncated field key")
+		}
+		data = data[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, n := decodeVarint(data)
+			if n <= 0 {
+				return fmt.Errorf("profile: truncated varint (field %d)", field)
+			}
+			data = data[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1:
+			if len(data) < 8 {
+				return fmt.Errorf("profile: truncated fixed64 (field %d)", field)
+			}
+			data = data[8:]
+		case 2:
+			l, n := decodeVarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("profile: truncated chunk (field %d)", field)
+			}
+			chunk := data[n : n+int(l)]
+			data = data[n+int(l):]
+			if err := fn(field, wire, 0, chunk); err != nil {
+				return err
+			}
+		case 5:
+			if len(data) < 4 {
+				return fmt.Errorf("profile: truncated fixed32 (field %d)", field)
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("profile: unsupported wire type %d (field %d)", wire, field)
+		}
+	}
+	return nil
+}
+
+func decodeVarint(data []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(data) && i < 10; i++ {
+		v |= uint64(data[i]&0x7f) << (7 * i)
+		if data[i]&0x80 == 0 {
+			return v, i + 1
+		}
+	}
+	return 0, -1
+}
+
+// cpuValueIndex locates the sample-value dimension measured in CPU
+// nanoseconds (type "cpu" in CPU profiles). Returns -1 when absent.
+func (p *Profile) cpuValueIndex() int {
+	for i, st := range p.SampleTypes {
+		if st.Type == "cpu" && st.Unit == "nanoseconds" {
+			return i
+		}
+	}
+	return -1
+}
+
+// CPUSecondsByLabel aggregates the profile's CPU time per value of one
+// label key. Samples without the key are billed to unlabeled. Returns
+// nil when the profile has no CPU dimension.
+func (p *Profile) CPUSecondsByLabel(key, unlabeled string) map[string]float64 {
+	idx := p.cpuValueIndex()
+	if idx < 0 {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, s := range p.Samples {
+		if idx >= len(s.Values) {
+			continue
+		}
+		v := s.Labels[key]
+		if v == "" {
+			v = unlabeled
+		}
+		out[v] += float64(s.Values[idx]) / 1e9
+	}
+	return out
+}
+
+// HasLabelKey reports whether any sample carries the label key.
+func (p *Profile) HasLabelKey(key string) bool {
+	for _, s := range p.Samples {
+		if _, ok := s.Labels[key]; ok {
+			return true
+		}
+	}
+	return false
+}

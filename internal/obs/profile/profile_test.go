@@ -1,0 +1,180 @@
+package profile
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueryLabelsOnContext(t *testing.T) {
+	pprof.Do(context.Background(), QueryLabels("acme", "req-1", "gmdj-opt", "execute"), func(ctx context.Context) {
+		for key, want := range map[string]string{
+			LabelTenant:   "acme",
+			LabelRID:      "req-1",
+			LabelStrategy: "gmdj-opt",
+			LabelPhase:    "execute",
+		} {
+			got, ok := pprof.Label(ctx, key)
+			if !ok || got != want {
+				t.Errorf("label %q = %q, %v; want %q", key, got, ok, want)
+			}
+		}
+	})
+	// Empty values are omitted, not set to "".
+	pprof.Do(context.Background(), QueryLabels("", "", "native", ""), func(ctx context.Context) {
+		if _, ok := pprof.Label(ctx, LabelTenant); ok {
+			t.Error("empty tenant should not be labeled")
+		}
+		if got, ok := pprof.Label(ctx, LabelStrategy); !ok || got != "native" {
+			t.Errorf("strategy = %q, %v", got, ok)
+		}
+	})
+}
+
+// TestCPUProfileCarriesLabels captures a real CPU profile while
+// labeled goroutines burn CPU, then checks the hand-rolled protobuf
+// parser sees the samples and attributes them to the tenant.
+func TestCPUProfileCarriesLabels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("CPU profiling unavailable: %v", err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pprof.Do(context.Background(), QueryLabels("acme", "req-1", "gmdj-opt", "execute"), func(context.Context) {
+				x := 0
+				for {
+					select {
+					case <-stop:
+						_ = x
+						return
+					default:
+						x += x*31 + 7
+					}
+				}
+			})
+		}()
+	}
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	pprof.StopCPUProfile()
+
+	prof, err := ParseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if len(prof.Samples) == 0 {
+		t.Skip("no CPU samples captured (starved environment)")
+	}
+	if !prof.HasLabelKey(LabelTenant) {
+		t.Fatalf("no sample carries the %q label across %d samples", LabelTenant, len(prof.Samples))
+	}
+	by := prof.CPUSecondsByLabel(LabelTenant, "")
+	if by["acme"] <= 0 {
+		t.Fatalf("tenant acme attributed %v CPU seconds; want > 0 (map %v)", by["acme"], by)
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	if _, err := ParseProfile([]byte("not a profile")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRingRetentionAndStats(t *testing.T) {
+	root := t.TempDir()
+	p, err := New(Config{Dir: root, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := p.CaptureNow(0); err != nil {
+			t.Fatalf("CaptureNow: %v", err)
+		}
+	}
+	counts := map[string]int{}
+	for _, fi := range p.Index() {
+		for _, kind := range ProfileKinds {
+			if len(fi.Name) > len(kind) && fi.Name[:len(kind)+1] == kind+"-" {
+				counts[kind]++
+			}
+		}
+	}
+	for _, kind := range []string{"heap", "goroutine", "mutex"} {
+		if counts[kind] != 2 {
+			t.Errorf("ring holds %d %s profiles; want 2 (retain)", counts[kind], kind)
+		}
+	}
+	st := p.Stats()
+	if st.Captures["heap"] != 4 {
+		t.Errorf("heap captures = %d; want 4", st.Captures["heap"])
+	}
+	if st.RingBytes <= 0 {
+		t.Errorf("ring bytes = %d; want > 0", st.RingBytes)
+	}
+}
+
+func TestSweepStaleRings(t *testing.T) {
+	root := t.TempDir()
+	// A ring owned by a pid that is certainly dead: spawn and reap a
+	// child, then stamp a ring directory with its pid.
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("cannot spawn child: %v", err)
+	}
+	deadPid := cmd.Process.Pid
+	stale := filepath.Join(root, fmt.Sprintf("%s-%d-%d", ringStem, deadPid, 1))
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Incident bundles must survive the sweep.
+	incidents := filepath.Join(root, IncidentsDirName)
+	if err := os.MkdirAll(incidents, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := New(Config{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale ring %s survived the sweep (err %v)", stale, err)
+	}
+	if _, err := os.Stat(incidents); err != nil {
+		t.Errorf("incidents dir swept: %v", err)
+	}
+	if _, err := os.Stat(p.RingDir()); err != nil {
+		t.Errorf("live ring missing: %v", err)
+	}
+}
+
+func TestSecondProfilerClaimsFreshRing(t *testing.T) {
+	root := t.TempDir()
+	p1, err := New(Config{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := New(Config{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p1.RingDir() == p2.RingDir() {
+		t.Fatalf("both profilers claimed %s", p1.RingDir())
+	}
+}

@@ -132,6 +132,14 @@ func (p *PromWriter) Counter(name, help string, labels map[string]string, v int6
 	fmt.Fprintf(&p.b, "%s%s %d\n", name, promLabels(labels), v)
 }
 
+// CounterF emits one float-valued counter sample — for counters that
+// accumulate fractional units (CPU seconds). Prometheus counters are
+// floats on the wire; the integer Counter is just the common case.
+func (p *PromWriter) CounterF(name, help string, labels map[string]string, v float64) {
+	p.declare(name, "counter", help)
+	fmt.Fprintf(&p.b, "%s%s %s\n", name, promLabels(labels), promFloat(v))
+}
+
 // Gauge emits one gauge sample; the family is declared on first use.
 func (p *PromWriter) Gauge(name, help string, labels map[string]string, v float64) {
 	p.declare(name, "gauge", help)

@@ -88,12 +88,12 @@ func TestPromWriterRedeclareType(t *testing.T) {
 
 func TestValidateExpositionRejects(t *testing.T) {
 	for name, doc := range map[string]string{
-		"no TYPE":              "foo_total 3\n",
-		"counter sans _total":  "# TYPE foo counter\nfoo 3\n",
-		"bad name":             "# TYPE foo-bar gauge\n",
-		"bad value":            "# TYPE foo gauge\nfoo zork\n",
-		"unterminated labels":  "# TYPE foo gauge\nfoo{a=\"b 3\n",
-		"unquoted label":       "# TYPE foo gauge\nfoo{a=b} 3\n",
+		"no TYPE":             "foo_total 3\n",
+		"counter sans _total": "# TYPE foo counter\nfoo 3\n",
+		"bad name":            "# TYPE foo-bar gauge\n",
+		"bad value":           "# TYPE foo gauge\nfoo zork\n",
+		"unterminated labels": "# TYPE foo gauge\nfoo{a=\"b 3\n",
+		"unquoted label":      "# TYPE foo gauge\nfoo{a=b} 3\n",
 		"non-cumulative hist": "# TYPE h histogram\n" +
 			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n",
 		"inf != count": "# TYPE h histogram\n" +

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -162,9 +163,9 @@ func (s *Server) promCollect(p *obs.PromWriter) {
 	// Gate (admission) state, folded through the same label cap. More
 	// than one gate can share a label; counters sum.
 	type gateAgg struct {
-		inFlight, queued          int
-		admitted, shed, drained   int64
-		maxInFlight               int
+		inFlight, queued        int
+		admitted, shed, drained int64
+		maxInFlight             int
 	}
 	agg := map[string]*gateAgg{}
 	for _, ts := range st.Tenants {
@@ -198,11 +199,91 @@ func (s *Server) promCollect(p *obs.PromWriter) {
 	}
 
 	s.promCollectSLO(p)
+	s.promCollectProfile(p)
 }
 
-// handleMetrics serves the Prometheus text exposition: the serving
-// families above plus the engine-level families (gmdj_*) and two
-// process gauges.
+// promCollectProfile appends the continuous-profiling families: CPU
+// seconds attributed per tenant out of the cadence CPU captures, heap
+// in use per tenant (each in-flight query's tracked bytes summed by
+// tenant), and the profiler/recorder bookkeeping. All tenant series
+// ride the same cardinality cap as the funnel. Absent without an
+// attached profiler — attribution needs the captures.
+func (s *Server) promCollectProfile(p *obs.PromWriter) {
+	if s.profiler != nil {
+		cpu := map[string]float64{}
+		for tenant, secs := range s.profiler.TenantCPU() {
+			cpu[s.metrics.labelFor(tenant)] += secs
+		}
+		cpuLabels := make([]string, 0, len(cpu))
+		for l := range cpu {
+			cpuLabels = append(cpuLabels, l)
+		}
+		sort.Strings(cpuLabels)
+		for _, label := range cpuLabels {
+			p.CounterF("olap_tenant_cpu_seconds_total",
+				"CPU seconds attributed to the tenant by pprof labels in the cadence CPU captures.",
+				map[string]string{"tenant": label}, cpu[label])
+		}
+
+		heap := map[string]float64{}
+		for _, q := range s.db.LiveQueries() {
+			tenant := q.Tenant
+			if tenant == "" {
+				tenant = DefaultTenant
+			}
+			heap[s.metrics.labelFor(tenant)] += float64(q.Bytes)
+		}
+		heapLabels := make([]string, 0, len(heap))
+		for l := range heap {
+			heapLabels = append(heapLabels, l)
+		}
+		sort.Strings(heapLabels)
+		for _, label := range heapLabels {
+			p.Gauge("olap_tenant_heap_inuse_bytes",
+				"Tracked bytes materialized by the tenant's in-flight queries.",
+				map[string]string{"tenant": label}, heap[label])
+		}
+
+		st := s.profiler.Stats()
+		kinds := make([]string, 0, len(st.Captures))
+		for k := range st.Captures {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			p.Counter("olap_profiles_captured_total", "Profiles written into the on-disk ring, by kind.",
+				map[string]string{"kind": kind}, st.Captures[kind])
+		}
+		p.Counter("olap_profile_errors_total", "Profile captures that failed.", nil, st.Errors)
+		p.Gauge("olap_profile_ring_bytes", "Bytes held by the on-disk profile ring.", nil, float64(st.RingBytes))
+	}
+	if s.recorder != nil {
+		rs := s.recorder.Stats()
+		p.Counter("olap_incident_bundles_total", "Incident bundles written by the flight recorder.", nil, rs.Written)
+		p.Counter("olap_incident_triggers_total", "Flight-recorder trigger firings (written + suppressed).", nil, rs.Triggered)
+		p.Counter("olap_incident_suppressed_total", "Trigger firings suppressed by the bundle rate limit.", nil, rs.Suppressed)
+	}
+}
+
+// writePromText renders the full exposition: the serving families,
+// the engine-level families (gmdj_*), and two process gauges. Shared
+// by /metrics and the flight recorder's metrics.prom bundle member.
+func (s *Server) writePromText(w io.Writer) error {
+	p := obs.NewPromWriter()
+	s.promCollect(p)
+	s.db.PromCollect(p)
+	p.Gauge("process_goroutines", "Live goroutines.", nil, float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.Gauge("process_heap_alloc_bytes", "Bytes of allocated heap objects.", nil, float64(ms.HeapAlloc))
+	if err := p.Err(); err != nil {
+		return err
+	}
+	_, err := p.WriteTo(w)
+	return err
+}
+
+// handleMetrics serves the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p := obs.NewPromWriter()
 	s.promCollect(p)

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	gmdj "github.com/olaplab/gmdj"
+	"github.com/olaplab/gmdj/internal/obs/profile"
+)
+
+// profiledServer wires a server to a live profiler and recorder the
+// way olapd does: ring under a temp root, incidents beneath it.
+func profiledServer(t *testing.T) (*Server, *profile.Profiler, *profile.Recorder) {
+	t.Helper()
+	root := t.TempDir()
+	p, err := profile.New(profile.Config{Dir: root, Retain: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	rec, err := profile.NewRecorder(profile.RecorderConfig{
+		Dir:         filepath.Join(root, profile.IncidentsDirName),
+		MinInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	db := usersDB(t)
+	db.EnableObservability(gmdj.ObsConfig{})
+	s := NewServer(db, Config{Admin: true, Profiler: p, Recorder: rec})
+	return s, p, rec
+}
+
+func TestProfilesIndexAndForcedIncident(t *testing.T) {
+	s, p, _ := profiledServer(t)
+	if _, err := p.CaptureNow(0); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// A query gives the slowlog and live registry something to hold.
+	if resp, raw := post(t, srv, "acme", map[string]any{
+		"sql": `SELECT name FROM users WHERE score > 15`,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, raw)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/olap/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profiles index status %d: %s", resp.StatusCode, raw)
+	}
+	var idx struct {
+		Ring    []profile.FileInfo `json:"ring"`
+		Bundles []string           `json:"bundles"`
+	}
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		t.Fatalf("index not JSON: %v\n%s", err, raw)
+	}
+	if len(idx.Ring) == 0 {
+		t.Fatalf("index lists no ring files: %s", raw)
+	}
+
+	// Ring files download through the index handler.
+	name := ""
+	for _, fi := range idx.Ring {
+		if strings.HasPrefix(fi.Name, "heap-") {
+			name = fi.Name
+		}
+	}
+	if name == "" {
+		t.Fatalf("no heap capture in ring: %v", idx.Ring)
+	}
+	resp, err = http.Get(srv.URL + "/debug/olap/profiles/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("ring download status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if _, err := profile.ParseProfile(body); err != nil {
+		t.Fatalf("downloaded ring profile unparseable: %v", err)
+	}
+
+	// Forcing an incident writes one validated, self-contained bundle.
+	resp, err = http.Post(srv.URL+"/debug/olap/incident?reason=test", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var forced struct {
+		Written bool   `json:"written"`
+		Bundle  string `json:"bundle"`
+	}
+	if err := json.Unmarshal(raw, &forced); err != nil || !forced.Written {
+		t.Fatalf("forced incident: %s (err %v)", raw, err)
+	}
+	required := []string{
+		"metrics.prom", "slowlog.json", "trace.json", "config.json",
+		"goroutines.txt", "heap.pprof", "goroutine.pprof", "mutex.pprof", "cpu.pprof",
+	}
+	if err := profile.ValidateBundle(forced.Bundle, required); err != nil {
+		t.Fatalf("forced bundle invalid: %v", err)
+	}
+	if err := profile.CheckCPULabels(forced.Bundle, []string{profile.LabelTenant}); err != nil {
+		t.Fatalf("CPU label check: %v", err)
+	}
+
+	// Second POST inside the rate-limit window is suppressed.
+	resp, err = http.Post(srv.URL+"/debug/olap/incident", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(raw, &forced); err != nil || forced.Written {
+		t.Fatalf("rate limit did not hold: %s (err %v)", raw, err)
+	}
+
+	// GET is rejected.
+	resp, err = http.Get(srv.URL + "/debug/olap/incident")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /debug/olap/incident status %d; want 405", resp.StatusCode)
+	}
+}
+
+// TestMetricsIncludeProfilingFamilies checks the new gated families
+// appear on /metrics when a profiler and recorder are attached (the
+// golden exposition test pins the families' absence without them).
+func TestMetricsIncludeProfilingFamilies(t *testing.T) {
+	s, p, rec := profiledServer(t)
+	if _, err := p.CaptureNow(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec.TriggerSync(profile.TriggerManual, "metrics test"); !ok {
+		t.Fatal("bundle not written")
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, fam := range []string{
+		"olap_profiles_captured_total",
+		"olap_profile_errors_total",
+		"olap_profile_ring_bytes",
+		"olap_incident_bundles_total",
+		"olap_incident_triggers_total",
+		"olap_incident_suppressed_total",
+	} {
+		if !strings.Contains(text, "# TYPE "+fam) {
+			t.Errorf("/metrics lacks family %s", fam)
+		}
+	}
+	if !strings.Contains(text, `olap_profiles_captured_total{kind="heap"}`) {
+		t.Errorf("heap capture not counted:\n%s", grepLines(text, "olap_profiles_captured_total"))
+	}
+	if !strings.Contains(text, "olap_incident_bundles_total 1") {
+		t.Errorf("bundle not counted:\n%s", grepLines(text, "olap_incident"))
+	}
+}
+
+func grepLines(text, needle string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, needle) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -20,8 +20,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	httppprof "net/http/pprof"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,6 +36,7 @@ import (
 	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/mem"
 	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/obs/profile"
 	"github.com/olaplab/gmdj/internal/spill"
 )
 
@@ -182,19 +186,42 @@ type Config struct {
 	// (default DefaultMaxTenantLabels); tenants beyond the cap fold into
 	// the "_other" series.
 	MaxTenantLabels int
+	// Profiler is the background cadence profiler (nil = none). With
+	// Admin it backs /debug/olap/profiles and the per-tenant CPU/heap
+	// attribution families on /metrics. The caller owns its lifecycle.
+	Profiler *profile.Profiler
+	// Recorder is the incident flight recorder (nil = none). The server
+	// registers its bundle sources (metrics scrape, trace, slowlog,
+	// config snapshot, active profiles) and the trigger probes below;
+	// the caller owns Start/Close.
+	Recorder *profile.Recorder
+	// IncidentSlowQuery triggers an incident bundle when a query's
+	// execute phase exceeds this wall time (0 = off).
+	IncidentSlowQuery time.Duration
+	// IncidentBurn triggers on SLO error-budget burn at or above this
+	// rate for any tenant with a declared objective (0 = off).
+	IncidentBurn float64
+	// IncidentQueueDepth triggers when any tenant's admission queue
+	// reaches this depth (0 = off).
+	IncidentQueueDepth int
+	// IncidentMemPressure triggers when the memory pool's in-use
+	// fraction reaches this threshold in (0, 1] (0 = off).
+	IncidentMemPressure float64
 }
 
 // Server serves SQL queries over HTTP/JSON on top of one gmdj.DB.
 // Handlers are safe for arbitrary concurrency; lifecycle (Drain) may
 // be driven from any goroutine.
 type Server struct {
-	db      *gmdj.DB
-	cfg     Config
-	faults  *govern.Injector
-	mux     *http.ServeMux
-	hist    *obs.HistSet
-	metrics *metricsRegistry
-	logger  *slog.Logger
+	db       *gmdj.DB
+	cfg      Config
+	faults   *govern.Injector
+	mux      *http.ServeMux
+	hist     *obs.HistSet
+	metrics  *metricsRegistry
+	logger   *slog.Logger
+	profiler *profile.Profiler
+	recorder *profile.Recorder
 
 	mu       sync.Mutex
 	draining bool
@@ -234,6 +261,8 @@ func NewServer(db *gmdj.DB, cfg Config) *Server {
 		hist:     obs.NewHistSet(),
 		metrics:  newMetricsRegistry(cfg.MaxTenantLabels),
 		logger:   cfg.Logger,
+		profiler: cfg.Profiler,
+		recorder: cfg.Recorder,
 		gates:    map[string]*gate{},
 		inflight: map[int64]*inflightQuery{},
 	}
@@ -253,8 +282,153 @@ func NewServer(db *gmdj.DB, cfg Config) *Server {
 	if cfg.Admin {
 		s.mux.Handle("/debug/olap/", db.ObsHTTPHandler())
 		s.mux.HandleFunc("/debug/serve", s.handleStats)
+		// Live pprof endpoints plus the on-disk profile/incident index.
+		// Go's label inheritance means a CPU profile fetched here during
+		// load carries tenant/rid/strategy labels on query samples.
+		s.mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		s.mux.Handle("/debug/olap/profiles", profile.IndexHandler(s.profiler, s.recorder))
+		s.mux.Handle("/debug/olap/profiles/", profile.IndexHandler(s.profiler, s.recorder))
+		if s.recorder != nil {
+			s.mux.HandleFunc("/debug/olap/incident", s.handleIncident)
+		}
 	}
+	s.wireRecorder()
 	return s
+}
+
+// wireRecorder registers the flight recorder's bundle sources and
+// trigger probes. Sources freeze the server's observable state at
+// incident time; probes are the standing trigger conditions the
+// recorder's watch loop polls. The slow-query trigger is inline in
+// handleQuery instead — it needs per-request elapsed time.
+func (s *Server) wireRecorder() {
+	rec := s.recorder
+	if rec == nil {
+		return
+	}
+	rec.AddSource("metrics.prom", s.writePromText)
+	rec.AddSource("slowlog.json", s.db.WriteSlowLog)
+	rec.AddSource("trace.json", func(w io.Writer) error {
+		if s.db.Tracer() == nil {
+			_, err := io.WriteString(w, "[]")
+			return err
+		}
+		return s.db.WriteTrace(w)
+	})
+	rec.AddSource("config.json", s.writeConfigSnapshot)
+	rec.AddSource("heap.pprof", func(w io.Writer) error { return profile.WriteSnapshotTo("heap", w, 0) })
+	rec.AddSource("goroutine.pprof", func(w io.Writer) error { return profile.WriteSnapshotTo("goroutine", w, 0) })
+	rec.AddSource("mutex.pprof", func(w io.Writer) error { return profile.WriteSnapshotTo("mutex", w, 0) })
+	if s.profiler != nil {
+		// The newest ring CPU capture; when the cadence has not produced
+		// one yet, sample a short window right now so the bundle still
+		// shows where cycles were going at incident time.
+		rec.AddSource("cpu.pprof", func(w io.Writer) error {
+			if err := s.profiler.CopyLatestTo("cpu", w); err == nil {
+				return nil
+			}
+			if _, err := s.profiler.CaptureNow(500 * time.Millisecond); err != nil {
+				return err
+			}
+			return s.profiler.CopyLatestTo("cpu", w)
+		})
+	}
+	if s.cfg.IncidentBurn > 0 && len(s.cfg.SLOs) > 0 {
+		rec.AddProbe(profile.TriggerSLOBurn, func() (bool, string) {
+			worst, burn := "", 0.0
+			for _, rep := range s.sloReports() {
+				if rep.burn > burn {
+					worst, burn = rep.tenant, rep.burn
+				}
+			}
+			if burn >= s.cfg.IncidentBurn {
+				return true, fmt.Sprintf("tenant %q error-budget burn %.3f >= %.3f", worst, burn, s.cfg.IncidentBurn)
+			}
+			return false, ""
+		})
+	}
+	if s.cfg.IncidentQueueDepth > 0 {
+		rec.AddProbe(profile.TriggerQueueDepth, func() (bool, string) {
+			for _, ts := range s.Stats().Tenants {
+				if ts.Queued >= s.cfg.IncidentQueueDepth {
+					return true, fmt.Sprintf("tenant %q admission queue depth %d >= %d", ts.Tenant, ts.Queued, s.cfg.IncidentQueueDepth)
+				}
+			}
+			return false, ""
+		})
+	}
+	if s.cfg.IncidentMemPressure > 0 {
+		rec.AddProbe(profile.TriggerMemPressure, func() (bool, string) {
+			if u := s.db.MemPressure(); u >= s.cfg.IncidentMemPressure {
+				return true, fmt.Sprintf("memory pool %.0f%% in use >= %.0f%%", u*100, s.cfg.IncidentMemPressure*100)
+			}
+			return false, ""
+		})
+	}
+}
+
+// configSnapshot is the bundle's config.json: the serving envelope in
+// effect when the incident fired, next to the server's own counters.
+type configSnapshot struct {
+	DefaultQuota        Quota            `json:"default_quota"`
+	Tenants             map[string]Quota `json:"tenants,omitempty"`
+	DefaultTimeout      string           `json:"default_timeout"`
+	MaxTimeout          string           `json:"max_timeout"`
+	SLOs                map[string]SLO   `json:"slos,omitempty"`
+	MaxTenantLabels     int              `json:"max_tenant_labels"`
+	IncidentSlowQuery   string           `json:"incident_slow_query"`
+	IncidentBurn        float64          `json:"incident_burn"`
+	IncidentQueueDepth  int              `json:"incident_queue_depth"`
+	IncidentMemPressure float64          `json:"incident_mem_pressure"`
+	Stats               Stats            `json:"stats"`
+	Profiler            *profile.Stats   `json:"profiler,omitempty"`
+	MemStats            gmdj.MemStats    `json:"mem_stats"`
+}
+
+func (s *Server) writeConfigSnapshot(w io.Writer) error {
+	snap := configSnapshot{
+		DefaultQuota:        s.cfg.DefaultQuota,
+		Tenants:             s.cfg.Tenants,
+		DefaultTimeout:      s.cfg.DefaultTimeout.String(),
+		MaxTimeout:          s.cfg.MaxTimeout.String(),
+		SLOs:                s.cfg.SLOs,
+		MaxTenantLabels:     s.cfg.MaxTenantLabels,
+		IncidentSlowQuery:   s.cfg.IncidentSlowQuery.String(),
+		IncidentBurn:        s.cfg.IncidentBurn,
+		IncidentQueueDepth:  s.cfg.IncidentQueueDepth,
+		IncidentMemPressure: s.cfg.IncidentMemPressure,
+		Stats:               s.Stats(),
+		MemStats:            s.db.MemStats(),
+	}
+	if s.profiler != nil {
+		st := s.profiler.Stats()
+		snap.Profiler = &st
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// handleIncident forces a flight-recorder bundle (POST, admin-only
+// mount): the chaos harness's deterministic mid-storm trigger. The
+// rate limit still applies; the response reports whether a bundle was
+// written and where.
+func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	reason := r.URL.Query().Get("reason")
+	if reason == "" {
+		reason = "manual trigger via /debug/olap/incident"
+	}
+	dir, written := s.recorder.TriggerSync(profile.TriggerManual, reason)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"written": written, "bundle": dir})
 }
 
 // logw emits one structured log line when a logger is configured.
@@ -598,12 +772,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.accepted.Add(1)
 
 	execStart := time.Now()
-	res, err := s.run(ctx, req, strategy)
+	var res *gmdj.Result
+	// Serving-phase pprof labels: the engine re-labels with the
+	// strategy and phase=execute inside, so a CPU profile separates
+	// handler overhead from engine work per tenant and request.
+	pprof.Do(ctx, profile.QueryLabels(rw.tenant, rw.rid, strategy.String(), "serve"), func(lctx context.Context) {
+		res, err = s.run(lctx, req, strategy)
+	})
 	elapsed := time.Since(execStart)
 	s.completed.Add(1)
 	s.hist.Record("http_ns.all", int64(elapsed))
 	s.hist.Record("http_ns."+rw.tenant, int64(elapsed))
 	rw.span("execute", execStart, "")
+	if s.recorder != nil && s.cfg.IncidentSlowQuery > 0 && elapsed >= s.cfg.IncidentSlowQuery {
+		s.recorder.Trigger(profile.TriggerSlowQuery,
+			fmt.Sprintf("tenant %q rid %s: execute took %s >= %s", rw.tenant, rw.rid, elapsed, s.cfg.IncidentSlowQuery))
+	}
 	if err != nil {
 		s.hist.Record("http_err_ns."+Classify(err).Kind, int64(elapsed))
 		rw.fail(err, retryHint(g))

@@ -96,6 +96,13 @@ func (db *DB) MemStats() MemStats {
 	}
 }
 
+// MemPressure reports the memory pool's in-use fraction in [0, 1]
+// (0 when no pool is configured) — the signal behind the flight
+// recorder's mem_pressure trigger.
+func (db *DB) MemPressure() float64 {
+	return db.eng.MemStatus().Pool.Utilization()
+}
+
 // Close releases the DB's disk state (its scratch spill directory)
 // and shuts the memory-admission queue: queries still queued for pool
 // capacity are shed promptly with an error matching ErrClosed rather

@@ -1,0 +1,56 @@
+package gmdj_test
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	gmdj "github.com/olaplab/gmdj"
+	"github.com/olaplab/gmdj/internal/obs"
+)
+
+// TestWorkerPoolInheritsProfileLabels pins the attribution contract
+// behind olap_tenant_cpu_seconds_total: the pprof labels the engine
+// sets around query execution must survive the GMDJ worker-pool
+// handoff onto the parallel detail-scan goroutines. The goroutine
+// profile (debug=1) groups stacks with their labels, so a stanza
+// holding both the tenant label and the parallel-scan frame proves the
+// inheritance end to end. Run with -race to also pin the handoff's
+// memory ordering.
+func TestWorkerPoolInheritsProfileLabels(t *testing.T) {
+	db := gmdj.OpenNetflowSample(20_000, gmdj.WithParallelism(4))
+	defer db.Close()
+	ctx := obs.WithTenant(obs.WithRequestID(context.Background(), "req-labels-1"), "acme")
+
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			if _, err := db.ExecStrategyContext(ctx, obsTestQuery, gmdj.GMDJOpt); err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+		}
+	}()
+	defer func() { stop.Store(true); <-done }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var buf bytes.Buffer
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+			t.Fatalf("goroutine profile: %v", err)
+		}
+		for _, stanza := range strings.Split(buf.String(), "\n\n") {
+			if strings.Contains(stanza, `"tenant":"acme"`) && strings.Contains(stanza, "runParallel") {
+				return // a labeled worker goroutine, caught in the act
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no goroutine profile stanza carried the tenant label on a runParallel worker within 10s")
+}

@@ -50,15 +50,22 @@ func (db *DB) PromCollect(p *obs.PromWriter) {
 	p.Counter("gmdj_result_cache_evictions_total", "Cross-query result memo evictions.", nil, rc.Evictions)
 	p.Counter("gmdj_result_cache_invalidations_total", "Cross-query result memo invalidations.", nil, rc.Invalidations)
 
+	// Pool families are emitted unconditionally (zero without a pool):
+	// dashboards and promcheck -require can rely on their presence, and
+	// a pool enabled mid-fleet does not make series appear from nowhere.
+	// gmdj_mem_pool_enabled distinguishes "no pool" from "idle pool".
 	ms := db.MemStats()
+	enabled := 0.0
 	if ms.Enabled {
-		p.Gauge("gmdj_mem_pool_capacity_bytes", "Tracked-state memory pool capacity.", nil, float64(ms.Capacity))
-		p.Gauge("gmdj_mem_pool_in_use_bytes", "Tracked-state memory pool bytes in use.", nil, float64(ms.InUse))
-		p.Gauge("gmdj_mem_pool_queued", "Queries queued for pool admission.", nil, float64(ms.Queued))
-		p.Counter("gmdj_mem_pool_admitted_total", "Queries admitted to the memory pool.", nil, ms.Admitted)
-		p.Counter("gmdj_mem_pool_timed_out_total", "Queries shed at the admission deadline.", nil, ms.TimedOut)
-		p.Counter("gmdj_mem_reclaimed_bytes_total", "Bytes freed by demoting result-cache entries under pressure.", nil, ms.ReclaimedBytes)
+		enabled = 1
 	}
+	p.Gauge("gmdj_mem_pool_enabled", "1 when a tracked-state memory pool is configured.", nil, enabled)
+	p.Gauge("gmdj_mem_pool_capacity_bytes", "Tracked-state memory pool capacity.", nil, float64(ms.Capacity))
+	p.Gauge("gmdj_mem_pool_in_use_bytes", "Tracked-state memory pool bytes in use.", nil, float64(ms.InUse))
+	p.Gauge("gmdj_mem_pool_queued", "Queries queued for pool admission (waiting admission waiters).", nil, float64(ms.Queued))
+	p.Counter("gmdj_mem_pool_admitted_total", "Queries admitted to the memory pool.", nil, ms.Admitted)
+	p.Counter("gmdj_mem_pool_timed_out_total", "Queries shed at the admission deadline.", nil, ms.TimedOut)
+	p.Counter("gmdj_mem_reclaimed_bytes_total", "Bytes freed by demoting result-cache entries under pressure.", nil, ms.ReclaimedBytes)
 	p.Counter("gmdj_spill_bytes_written_total", "Bytes written to the scratch spill store.", nil, ms.SpillBytesWritten)
 	p.Counter("gmdj_spill_bytes_read_total", "Bytes read back from the scratch spill store.", nil, ms.SpillBytesRead)
 	p.Gauge("gmdj_spill_live_files", "Live files in the scratch spill store.", nil, float64(ms.SpillLiveFiles))

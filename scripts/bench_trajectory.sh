@@ -46,6 +46,10 @@ bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"; if [ -n "${OLAPD_PID:-}" ] && kill -0 "$OLAPD_PID" 2>/dev/null; then kill -KILL "$OLAPD_PID" || true; fi' EXIT
 bin="$bindir/benchfig"
 
+# Committed baselines stay at the repo root; fresh-run measurements go
+# under gitignored out/ so a compare run never dirties the tree.
+mkdir -p out
+
 serve_fig() { # $1 = 1 to re-record the baseline
   local target="http://127.0.0.1:${PORT}"
   go build -o "$bindir/olapd" ./cmd/olapd
@@ -68,7 +72,7 @@ serve_fig() { # $1 = 1 to re-record the baseline
       -bench BENCH_serve.json -commit "$commit" > /dev/null || rc=$?
   else
     "$bindir/loadgen" -scenario scenarios/bench_serve.yaml -target "$target" -q \
-      -bench BENCH_serve.current.json -commit "$commit" \
+      -bench out/BENCH_serve.current.json -commit "$commit" \
       -baseline BENCH_serve.json -tolerance "$serve_tolerance" > /dev/null || rc=$?
   fi
   kill -TERM "$OLAPD_PID" 2>/dev/null || true
@@ -103,7 +107,7 @@ for fig in "${figs[@]}"; do
     continue
   fi
   echo "bench_trajectory: comparing $fig against $baseline"
-  if ! "$bin" -fig "$fig" -scale "$scale" -repeat "$repeat" -json "BENCH_${fig}.current.json" \
+  if ! "$bin" -fig "$fig" -scale "$scale" -repeat "$repeat" -json "out/BENCH_${fig}.current.json" \
       -baseline "$baseline" -tolerance "$tolerance"; then
     status=3
   fi

@@ -2,12 +2,15 @@
 # Guards the "observability is free when nobody is looking" invariant:
 # runs the Figure 4 gmdj-opt benchmark with stats collection on
 # (GMDJ_OBS=1), with a full workload observer attached — histograms,
-# live-query registry, slow-query log — (GMDJ_OBS=2), and off, takes
-# the minimum ns/op of several runs each, and fails if either enabled
-# mode is more than 5% slower than the plain run. Because the disabled
-# path is a strict subset of the enabled one (every hook
-# short-circuits on a nil collector/observer), bounding the enabled
-# overhead also bounds any disabled-path regression.
+# live-query registry, slow-query log — (GMDJ_OBS=2), with the
+# continuous profiler live — pprof query labels on every iteration
+# plus the background cadence CPU sampler — (GMDJ_PROF=1), and off,
+# takes the minimum ns/op of several runs each, and fails if any
+# enabled mode is more than 5% slower than the plain run. Because the
+# disabled path is a strict subset of the enabled one (every hook
+# short-circuits on a nil collector/observer, and an unlabeled query
+# never touches pprof), bounding the enabled overhead also bounds any
+# disabled-path regression.
 #
 # Usage: scripts/obs_overhead.sh [runs]
 set -euo pipefail
@@ -16,10 +19,10 @@ cd "$(dirname "$0")/.."
 runs="${1:-3}"
 bench='^BenchmarkFig4$/^gmdj-opt$/^2500$'
 
-min_nsop() {
-  local env_obs="$1" best="" out nsop
+min_nsop() { # $1 = GMDJ_OBS value, $2 = GMDJ_PROF value
+  local env_obs="$1" env_prof="${2:-0}" best="" out nsop
   for _ in $(seq "$runs"); do
-    out=$(GMDJ_OBS="$env_obs" go test -run '^$' -bench "$bench" -benchtime 20x .)
+    out=$(GMDJ_OBS="$env_obs" GMDJ_PROF="$env_prof" go test -run '^$' -bench "$bench" -benchtime 20x .)
     nsop=$(echo "$out" | awk '/^BenchmarkFig4/ {print $3; exit}')
     if [ -z "$nsop" ]; then
       echo "obs_overhead: no benchmark output:" >&2
@@ -36,7 +39,8 @@ min_nsop() {
 plain=$(min_nsop 0)
 observed=$(min_nsop 1)
 full=$(min_nsop 2)
-echo "obs_overhead: plain=${plain} ns/op observed=${observed} ns/op observer=${full} ns/op"
+profiled=$(min_nsop 0 1)
+echo "obs_overhead: plain=${plain} ns/op observed=${observed} ns/op observer=${full} ns/op profiled=${profiled} ns/op"
 
 # Allow 5% relative or 200µs absolute slack, whichever is larger, so
 # sub-millisecond cells don't flake on scheduler noise.
@@ -52,3 +56,4 @@ check() {
 }
 check "$observed" "stats-collection"
 check "$full" "histogram+registry"
+check "$profiled" "profiler-on"

@@ -11,6 +11,11 @@
 #   - the /metrics exposition scraped mid-storm or after quiescing is
 #     invalid, fails per-tenant reconciliation, or exceeds the tenant
 #     label cap (scripts/check_metrics.sh),
+#   - a CPU profile sampled mid-storm fails to attribute samples to
+#     tenants/strategies via pprof labels (cmd/bundlecheck file mode),
+#   - the forced SLO-burn trigger (-incident-burn 0.05, under the
+#     storm's ~0.16 burn) fails to produce exactly one incident bundle,
+#     or the bundle fails validation (cmd/bundlecheck),
 #   - olapd exits non-zero after drain (either phase), including exit
 #     12 from the leak check,
 #   - drain overruns its budget.
@@ -18,8 +23,9 @@
 # Artifacts land under out/ (gitignored): BENCH_serve_storm.json
 # (per-step latency percentiles), serve_storm_result.json,
 # serve_slowlog.json, metrics_midstorm.prom, metrics_quiesced.prom,
-# and olap-trace.json (server spans + operator events; load in
-# https://ui.perfetto.dev).
+# cpu_midstorm.pprof, the profile ring + incident bundles under
+# out/profiles/, and olap-trace.json (server spans + operator events;
+# load in https://ui.perfetto.dev).
 #
 # Env knobs: PORT (default 18080), SCALE (dataset scale, default 0.2),
 # OUT_DIR, BENCH_OUT, FAULTS (GMDJ_FAULTS spec for olapd).
@@ -32,17 +38,22 @@ OUT_DIR="${OUT_DIR:-out}"
 BENCH_OUT="${BENCH_OUT:-${OUT_DIR}/BENCH_serve_storm.json}"
 FAULTS="${FAULTS:-serve.accept=error@25,serve.write=error@50,serve.cancel=error@3}"
 TARGET="http://127.0.0.1:${PORT}"
+PROFILE_DIR="${OUT_DIR}/profiles"
 OLAPD_ARGS=(-addr ":${PORT}" -data netflow -scale "${SCALE}" -workers 2
   -timeout 5s -max-timeout 30s -drain-timeout 8s -admin -leak-check
   -slow-ms 250 -slowlog "${OUT_DIR}/serve_slowlog.json"
   -slo "default:avail=0.75"
   -quota "inflight=128,admission=2s"
-  -tenants "starved:inflight=2,admission=100ms")
+  -tenants "starved:inflight=2,admission=100ms"
+  -profile-dir "${PROFILE_DIR}" -profile-interval 3s -profile-cpu 1s
+  -incident-burn 0.05 -incident-min-interval 15m)
 
 mkdir -p bin "${OUT_DIR}"
+rm -rf "${PROFILE_DIR}"
 go build -o bin/olapd ./cmd/olapd
 go build -o bin/loadgen ./cmd/loadgen
 go build -o bin/promcheck ./cmd/promcheck
+go build -o bin/bundlecheck ./cmd/bundlecheck
 
 OLAPD_PID=""
 cleanup() {
@@ -109,6 +120,26 @@ bin/promcheck -reconcile -max-tenant-labels 33 \
   "${OUT_DIR}/metrics_midstorm.prom"
 echo "serve_storm: mid-storm /metrics scrape valid"
 
+# Sample a CPU profile while the storm is at full boil and assert the
+# per-tenant attribution contract: samples must carry the tenant and
+# strategy pprof labels the serving layer stamps on every query. The
+# endpoint 500s when the cadence profiler holds the (process-global)
+# CPU profiler, so retry across its window.
+PROFILE_OK=0
+for _ in $(seq 1 10); do
+  if curl -fsS "${TARGET}/debug/pprof/profile?seconds=4" > "${OUT_DIR}/cpu_midstorm.pprof" 2>/dev/null; then
+    PROFILE_OK=1
+    break
+  fi
+  sleep 1
+done
+if [[ ${PROFILE_OK} -ne 1 ]]; then
+  echo "serve_storm: could not sample /debug/pprof/profile mid-storm" >&2
+  exit 1
+fi
+bin/bundlecheck -labels "tenant,strategy" "${OUT_DIR}/cpu_midstorm.pprof"
+echo "serve_storm: mid-storm CPU profile attributes samples by tenant/strategy"
+
 LOADGEN_RC=0
 wait "${LOADGEN_PID}" || LOADGEN_RC=$?
 if [[ ${LOADGEN_RC} -ne 0 ]]; then
@@ -131,6 +162,24 @@ curl -fsS "${TARGET}/debug/olap/trace" > "${OUT_DIR}/olap-trace.json"
 python3 -c "import json,sys; json.load(open('${OUT_DIR}/olap-trace.json'))" 2>/dev/null \
   || { echo "serve_storm: downloaded trace is not valid JSON" >&2; exit 1; }
 echo "serve_storm: trace downloaded ($(wc -c < "${OUT_DIR}/olap-trace.json") bytes)"
+
+# The storm's failure rate (~4% injected faults against a 25% error
+# budget) holds the SLO burn near 0.16 — under loadgen's violation
+# threshold of 1.0, but past the forced -incident-burn 0.05 trigger.
+# The flight recorder must have caught it: exactly one bundle (the
+# 15m rate limit suppresses the storm of repeat firings), complete and
+# checksummed, with the trace, slowlog, metrics scrape, and profiles
+# inside.
+BUNDLES=("${PROFILE_DIR}/incidents"/incident-*)
+if [[ ${#BUNDLES[@]} -ne 1 || ! -d "${BUNDLES[0]}" ]]; then
+  echo "serve_storm: expected exactly one incident bundle, found: ${BUNDLES[*]}" >&2
+  exit 1
+fi
+bin/bundlecheck \
+  -require "goroutines.txt,metrics.prom,trace.json,slowlog.json,config.json,heap.pprof,goroutine.pprof,mutex.pprof,cpu.pprof" \
+  -cpu-labels "tenant,strategy" \
+  "${BUNDLES[0]}"
+echo "serve_storm: SLO-burn incident produced one validated bundle (${BUNDLES[0]})"
 
 stop_olapd "phase 1 shutdown"
 
