@@ -49,7 +49,7 @@ import (
 const exitRegression = 3
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: all, fig2, fig3, fig4, fig5, ext-coalesce, prepared, memory")
+	fig := flag.String("fig", "all", "figure to run: all, fig2, fig3, fig4, fig5, ext-coalesce, prepared, memory, parallel")
 	scale := flag.Float64("scale", 1.0/16.0, "row-count multiplier over the paper's sizes (1.0 = paper scale)")
 	repeat := flag.Int("repeat", 1, "measurements per cell (minimum is reported)")
 	workers := flag.Int("workers", 0, "GMDJ scan parallelism (0 = serial)")

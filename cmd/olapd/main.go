@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	olapd [-addr :8080] [-data netflow|tpcr|none] [-scale f] [-workers n]
+//	olapd [-addr :8080] [-data netflow|tpcr|none] [-scale f] [-parallel n]
 //	      [-timeout d] [-max-timeout d]
 //	      [-mem-limit bytes] [-spill-dir dir] [-admission-timeout d]
 //	      [-plancache bytes] [-resultcache bytes]
@@ -125,7 +125,8 @@ func run() int {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "netflow", "sample dataset to preload: netflow, tpcr, or none")
 	scale := flag.Float64("scale", 1.0, "sample dataset scale factor")
-	workers := flag.Int("workers", 0, "GMDJ scan parallelism (0 = serial)")
+	parallel := flag.Int("parallel", 0, "morsel-driven execution degree (1 = serial, 0 = default: GOMAXPROCS or GMDJ_PARALLEL)")
+	workers := flag.Int("workers", 0, "deprecated alias for -parallel")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline when the request carries none (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "clamp on client-requested timeouts (0 = unclamped)")
 	memLimit := flag.Int64("mem-limit", 0, "engine-wide tracked-state memory pool in bytes (0 = untracked)")
@@ -175,8 +176,11 @@ func run() int {
 		return exitUsage
 	}
 
+	if *parallel == 0 {
+		*parallel = *workers
+	}
 	opts := []gmdj.Option{
-		gmdj.WithParallelism(*workers),
+		gmdj.WithParallelism(*parallel),
 		gmdj.WithPlanCache(*planCacheBytes),
 		gmdj.WithResultCache(*resultCacheBytes),
 	}

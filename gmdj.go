@@ -128,8 +128,9 @@ type DB struct {
 
 // Open creates an empty database, configured by options. With no
 // options the database has the parameterized plan cache enabled
-// (16 MiB LRU; see WithPlanCache), secondary-index use on, serial
-// GMDJ scans, no budget, and no cross-query result memo.
+// (16 MiB LRU; see WithPlanCache), secondary-index use on,
+// morsel-driven parallelism at runtime.GOMAXPROCS(0) (see
+// WithParallelism), no budget, and no cross-query result memo.
 func Open(opts ...Option) *DB {
 	return newDB(storage.NewCatalog(), opts)
 }
@@ -145,8 +146,8 @@ func newDB(cat *storage.Catalog, opts []Option) *DB {
 	return db
 }
 
-// SetParallelism sets the number of workers used by GMDJ detail scans
-// (0 or 1 means serial).
+// SetParallelism sets the morsel-driven execution degree (0 or 1
+// means serial; see WithParallelism for the full contract).
 //
 // Deprecated: pass WithParallelism to Open.
 func (db *DB) SetParallelism(workers int) { db.eng.SetGMDJWorkers(workers) }

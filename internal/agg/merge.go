@@ -7,8 +7,10 @@ import (
 )
 
 // Merge folds accumulator src into dst. Both must come from the same
-// Spec. It powers the parallel GMDJ evaluation: each worker folds its
-// partition of the detail relation locally and the partials are merged.
+// Spec. The base-sharded parallel GMDJ evaluation no longer needs it —
+// each base tuple's accumulators are fed by exactly one worker — but
+// any evaluation strategy that folds the same tuple's partials from
+// independent scans (e.g. a future detail-sharded path) merges here.
 func Merge(dst, src Accumulator) error {
 	switch d := dst.(type) {
 	case *countAcc:

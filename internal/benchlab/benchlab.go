@@ -40,6 +40,10 @@ type Variant struct {
 	MaxInner int
 	// SkipNote explains a skip in reports.
 	SkipNote string
+	// Workers, when positive, overrides the runner's execution degree
+	// for this variant — how the parallel-speedup figure sweeps 1/2/4
+	// workers over one workload.
+	Workers int
 }
 
 // Size is one point of a figure's sweep.
@@ -97,7 +101,10 @@ type Runner struct {
 	// Repeat measures each cell this many times and keeps the minimum
 	// (default 1).
 	Repeat int
-	// Workers is GMDJ scan parallelism (0/1 = serial).
+	// Workers is the morsel-driven execution degree (0/1 = serial) —
+	// GMDJ detail scans, scan/filter/project pipelines, and hash-join
+	// build/probe all honor it. Benchmarks keep the serial default so
+	// figures measure algorithmic work unless a variant opts in.
 	Workers int
 	// Verify cross-checks all variants of a size against each other
 	// and records a mismatch as an error.
@@ -134,11 +141,11 @@ func (r *Runner) Experiments() []*Experiment {
 // AllExperiments additionally includes the extension experiments
 // beyond the paper's figures.
 func (r *Runner) AllExperiments() []*Experiment {
-	return append(r.Experiments(), r.ExtCoalesce(), r.Prepared(), r.Memory())
+	return append(r.Experiments(), r.ExtCoalesce(), r.Prepared(), r.Memory(), r.Parallel())
 }
 
 // Experiment returns one figure by id ("fig2".."fig5",
-// "ext-coalesce", "prepared", "memory").
+// "ext-coalesce", "prepared", "memory", "parallel").
 func (r *Runner) Experiment(id string) (*Experiment, error) {
 	for _, e := range r.AllExperiments() {
 		if e.ID == id {
@@ -167,7 +174,11 @@ func (r *Runner) RunCell(exp *Experiment, s Size, v Variant) (Result, error) {
 	}
 	eng := engine.New(cat)
 	eng.SetUseIndexes(v.UseIndexes)
-	eng.SetGMDJWorkers(r.Workers)
+	if v.Workers > 0 {
+		eng.SetParallelism(v.Workers)
+	} else {
+		eng.SetGMDJWorkers(r.Workers)
+	}
 	eng.SetBudget(r.Budget)
 	plan := exp.Query(s)
 	// Plan once outside the timed region: the paper measures query

@@ -174,7 +174,7 @@ func TestExtCoalesceExperiment(t *testing.T) {
 	if len(results) != 12 { // 4 widths × 3 variants
 		t.Errorf("results = %d, want 12", len(results))
 	}
-	if len(r.AllExperiments()) != 7 {
-		t.Errorf("AllExperiments = %d, want 7", len(r.AllExperiments()))
+	if len(r.AllExperiments()) != 8 {
+		t.Errorf("AllExperiments = %d, want 8", len(r.AllExperiments()))
 	}
 }

@@ -1,0 +1,56 @@
+package benchlab
+
+import (
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/engine"
+	"github.com/olaplab/gmdj/internal/storage"
+)
+
+// Parallel is the morsel-driven speedup figure: the optimized GMDJ
+// strategy swept at 1, 2, and 4 workers over the two heavyweight
+// paper workloads — Figure 4's quantified ALL with ≠ correlation
+// (fallback θ-probes dominate, so the parallel detail scan carries the
+// whole cell) and Figure 5's tree-nested EXISTS over TPC-R (hash-bound
+// probes plus the parallel scan/filter pipelines). Cross-variant
+// verification doubles as a determinism check: every degree must
+// return the same rows.
+//
+// Sizes mix both workloads in one sweep; KeyPair cells have
+// Outer == Inner, TPC-R cells keep the fixed 1000-customer outer
+// block, and Build/Query dispatch on that shape. Indexes stay off —
+// GMDJ evaluation never consults them, and serial-vs-parallel is the
+// only contrast this figure measures.
+func (r *Runner) Parallel() *Experiment {
+	f4, f5 := r.Fig4(), r.Fig5()
+	var sizes []Size
+	for _, n := range []int{40_000, 80_000, 120_000, 160_000} {
+		rows := r.scaleN(n)
+		sizes = append(sizes, Size{Label: "kp " + sizeLabel(rows, rows), Outer: rows, Inner: rows})
+	}
+	for _, inner := range []int{600_000, 1_200_000} {
+		in := r.scaleN(inner)
+		sizes = append(sizes, Size{Label: "tpcr " + sizeLabel(1000, in), Outer: 1000, Inner: in})
+	}
+	return &Experiment{
+		ID:    "parallel",
+		Title: "Morsel-driven speedup: gmdj-opt at 1/2/4 workers (Figure 4 and 5 workloads)",
+		Sizes: sizes,
+		Variants: []Variant{
+			{Name: "1-worker", Strategy: engine.GMDJOpt, Workers: 1},
+			{Name: "2-workers", Strategy: engine.GMDJOpt, Workers: 2},
+			{Name: "4-workers", Strategy: engine.GMDJOpt, Workers: 4},
+		},
+		Build: func(s Size) *storage.Catalog {
+			if s.Outer == s.Inner {
+				return f4.Build(s)
+			}
+			return f5.Build(s)
+		},
+		Query: func(s Size) algebra.Node {
+			if s.Outer == s.Inner {
+				return f4.Query(s)
+			}
+			return f5.Query(s)
+		},
+	}
+}

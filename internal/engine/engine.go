@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime/pprof"
+	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,7 +28,6 @@ import (
 	"github.com/olaplab/gmdj/internal/govern"
 	"github.com/olaplab/gmdj/internal/mem"
 	"github.com/olaplab/gmdj/internal/obs"
-	"github.com/olaplab/gmdj/internal/obs/profile"
 	"github.com/olaplab/gmdj/internal/plancache"
 	"github.com/olaplab/gmdj/internal/relation"
 	"github.com/olaplab/gmdj/internal/rewrite"
@@ -107,6 +108,11 @@ type Engine struct {
 	admission   time.Duration
 	spillRoot   string
 	spillDirSet bool
+	// parallelism is the configured morsel-driven execution degree
+	// (default runtime.GOMAXPROCS(0), overridable by GMDJ_PARALLEL or
+	// SetParallelism); the executor receives it clamped by the memory
+	// accountant (mem.ClampParallelism) whenever either knob changes.
+	parallelism int
 	// pool is the engine-wide byte pool queries draw reservations from;
 	// spillStore backs spilled operator state and the result cache's
 	// cold tier. Both nil when memLimit is unset.
@@ -161,11 +167,36 @@ func New(cat *storage.Catalog, opts ...Option) *Engine {
 	ex := exec.New(cat)
 	ex.Faults = govern.FromEnv()
 	e := &Engine{cat: cat, exec: ex, fastPath: true}
+	e.parallelism = runtime.GOMAXPROCS(0)
+	e.applyEnvParallelism()
 	for _, opt := range opts {
 		opt(e)
 	}
 	e.applyEnvMem()
+	e.applyParallelism()
 	return e
+}
+
+// EnvParallel is the environment variable overriding the default
+// morsel-driven execution degree for a whole process, e.g.
+// GMDJ_PARALLEL=4 (1 = serial). Explicit SetParallelism calls override
+// it; malformed or non-positive values are ignored.
+const EnvParallel = "GMDJ_PARALLEL"
+
+// applyEnvParallelism folds the GMDJ_PARALLEL default under any
+// explicit configuration (explicit setters run after New and
+// override).
+func (e *Engine) applyEnvParallelism() {
+	s := strings.TrimSpace(os.Getenv(EnvParallel))
+	if s == "" {
+		return
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		fmt.Fprintf(os.Stderr, "engine: ignoring %s=%q: want a positive integer\n", EnvParallel, s)
+		return
+	}
+	e.parallelism = n
 }
 
 // SetBudget applies a per-query budget to every subsequent Run and
@@ -187,8 +218,43 @@ func (e *Engine) Catalog() *storage.Catalog { return e.cat }
 // "unindexed" benchmark variants). GMDJ plans are unaffected.
 func (e *Engine) SetUseIndexes(on bool) { e.exec.UseIndexes = on }
 
-// SetGMDJWorkers sets GMDJ scan parallelism (0/1 = serial).
-func (e *Engine) SetGMDJWorkers(n int) { e.exec.GMDJWorkers = n }
+// SetParallelism sets the engine's morsel-driven execution degree:
+// how many workers each parallel operator pipeline (scan morsels
+// through filters and projections, hash-join build/probe, GMDJ detail
+// scans) may use. n <= 0 restores the default,
+// runtime.GOMAXPROCS(0). 1 forces serial execution. The effective
+// degree is clamped by the memory accountant when a pool is installed
+// (see mem.ClampParallelism): per-worker pipeline scratch must fit the
+// engine memory limit. Not safe to call concurrently with running
+// queries.
+func (e *Engine) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.parallelism = n
+	e.applyParallelism()
+}
+
+// Parallelism reports the configured (pre-clamp) execution degree.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// applyParallelism installs the effective degree on the executor,
+// after the memory accountant's clamp.
+func (e *Engine) applyParallelism() {
+	e.exec.Parallelism = mem.ClampParallelism(e.memLimit, e.parallelism)
+}
+
+// SetGMDJWorkers sets GMDJ scan parallelism.
+//
+// Deprecated: parallelism is engine-wide now; use SetParallelism. This
+// alias keeps old callers working (n <= 0 means serial here, matching
+// the historical contract).
+func (e *Engine) SetGMDJWorkers(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	e.SetParallelism(n)
+}
 
 // SetMemoizeSubqueries toggles Rao-Ross invariant reuse in the native
 // strategy: subquery outcomes are cached per distinct correlation
@@ -427,56 +493,17 @@ func (e *Engine) RunObservedQuery(ctx context.Context, text string, plan algebra
 	return e.runQuery(ctx, text, p, s, true)
 }
 
-// runQuery executes an already-rewritten physical plan with every
-// observability surface wired around it: the per-operator stats
-// collector (forced by RunObserved, or wanted by an attached tracer or
-// observer), the observer's live in-flight registry, cost-model
-// estimate annotation (the est= drift column), the workload
-// histograms, and the slow-query log. With none of those attached the
-// collector stays nil and each executor hook is one nil check.
+// runQuery executes an already-rewritten physical plan through the
+// single PhysicalPlan.Run contract (see physical.go, where all the
+// observability and governance wiring lives), materializing the batch
+// stream back into a relation for the row-oriented public surface.
 func (e *Engine) runQuery(ctx context.Context, text string, p algebra.Node, s Strategy, forceCollect bool) (*relation.Relation, *obs.Op, error) {
-	var col *obs.Collector
-	if forceCollect || e.tracer != nil || e.observer != nil {
-		col = obs.NewCollector(e.tracer)
+	pp := &PhysicalPlan{eng: e, root: p, strategy: s, text: text, collect: forceCollect}
+	var sink RelationSink
+	if err := pp.Run(ctx, &sink); err != nil {
+		return nil, pp.stats, err
 	}
-	live := e.observer.QueryStart(ctx, text, s.String())
-	start := time.Now()
-	var rel *relation.Relation
-	var err error
-	// pprof labels attribute CPU samples to the query's tenant, request
-	// ID, and strategy. Go propagates labels to child goroutines, so
-	// the GMDJ worker pool inherits them — profiles bill parallel scan
-	// work to the tenant that scheduled it. Unattributed queries (no
-	// request identity on the context) skip the label plumbing
-	// entirely, keeping the benchmark hot path label-free.
-	tenant, rid := obs.ContextTenant(ctx), obs.ContextRequestID(ctx)
-	if tenant != "" || rid != "" {
-		pprof.Do(ctx, profile.QueryLabels(tenant, rid, s.String(), "execute"), func(lctx context.Context) {
-			rel, err = e.execute(lctx, p, col, live)
-		})
-	} else {
-		rel, err = e.execute(ctx, p, col, live)
-	}
-	elapsed := time.Since(start)
-	e.finishQuery(s, err)
-	root := col.Root()
-	if root != nil {
-		root.RequestID = obs.ContextRequestID(ctx)
-	}
-	e.annotateEstimates(p, root)
-	var rows int64
-	if rel != nil {
-		rows = int64(rel.Len())
-	}
-	outcome, errText := "ok", ""
-	if err != nil {
-		outcome, errText = errKind(err), err.Error()
-	}
-	e.observer.QueryEnd(live, elapsed, rows, root, outcome, errText)
-	if err != nil {
-		return nil, root, err
-	}
-	return rel, root, nil
+	return sink.Rel, pp.stats, nil
 }
 
 // execute runs an already-rewritten physical plan under the engine

@@ -111,6 +111,9 @@ func (e *Engine) applyEnvMem() {
 // current knobs. It tears down any previous store (removing its
 // directory), so it must not run while queries are in flight.
 func (e *Engine) reconfigureMemory() {
+	// The memory limit bounds the morsel-parallel degree too: re-clamp
+	// whenever the limit changes.
+	e.applyParallelism()
 	if e.spillStore != nil {
 		e.spillStore.RemoveAll()
 		e.spillStore = nil

@@ -91,16 +91,16 @@ Project [H.HourDsc, H.StartInterval, H.EndInterval]
 `
 
 const goldenAnalyze = `strategy: gmdj-opt (analyzed)
-Project [H.HourDsc, H.StartInterval, H.EndInterval] (time=X act=4 est=1 bytes=576)
-  Select [cnt1 > 0] (time=X act=4 est=1 bytes=736)
-    GMDJ +completion+freeze (1 conditions) (time=X act=4 est=3 bytes=736 detail_rows=33 probes=12 matches=4 completed=4 short_circuit_rows=267 fallback_conds=1)
+Project [H.HourDsc, H.StartInterval, H.EndInterval] (time=X act=4 est=1 bytes=576 workers=1 batches=1)
+  Select [cnt1 > 0] (time=X act=4 est=1 bytes=736 workers=1 batches=1)
+    GMDJ +completion+freeze (1 conditions) (time=X act=4 est=3 bytes=736 workers=1 batches=1 detail_rows=33 probes=12 matches=4 completed=4 short_circuit_rows=267 fallback_conds=1)
       cond: (count(*) -> cnt1 | θ: (F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP'))
       Scan Hours->H (time=X act=4 est=4 bytes=576)
       Scan Flow->F (time=X act=300 est=300 bytes=75000)
 `
 
 const goldenAnalyzeNative = `strategy: native (analyzed)
-Select [∃(σ[(F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP')](Flow->F))] (time=X act=4 est=2 bytes=576)
+Select [∃(σ[(F.StartTime >= H.StartInterval AND F.StartTime < H.EndInterval AND F.Protocol = 'FTP')](Flow->F))] (time=X act=4 est=2 bytes=576 workers=1 batches=1)
   Scan Hours->H (time=X act=4 est=4 bytes=576)
   Scan Flow->F (time=X act=300 est=300 bytes=75000)
 `

@@ -197,12 +197,32 @@ const goldenSlowLog = `[
       "rows": 4,
       "bytes": 576,
       "elapsed_ns": 0,
+      "counters": [
+        {
+          "name": "workers",
+          "value": 1
+        },
+        {
+          "name": "batches",
+          "value": 1
+        }
+      ],
       "children": [
         {
           "label": "Select [cnt1 > 0]",
           "rows": 4,
           "bytes": 736,
           "elapsed_ns": 0,
+          "counters": [
+            {
+              "name": "workers",
+              "value": 1
+            },
+            {
+              "name": "batches",
+              "value": 1
+            }
+          ],
           "children": [
             {
               "label": "GMDJ +completion+freeze (1 conditions)",
@@ -213,6 +233,14 @@ const goldenSlowLog = `[
               "bytes": 736,
               "elapsed_ns": 0,
               "counters": [
+                {
+                  "name": "workers",
+                  "value": 1
+                },
+                {
+                  "name": "batches",
+                  "value": 1
+                },
                 {
                   "name": "detail_rows",
                   "value": 33

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/datagen"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/govern"
+	"github.com/olaplab/gmdj/internal/mem"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/storage"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// TestParallelismConfig pins the configuration precedence: the default
+// is GOMAXPROCS, GMDJ_PARALLEL overrides the default, explicit
+// SetParallelism overrides the environment, and non-positive or
+// malformed environment values are ignored.
+func TestParallelismConfig(t *testing.T) {
+	cat := datagen.Netflow(datagen.NetflowOpts{Flows: 10, Hours: 2, Users: 2, Seed: 1})
+
+	// Isolate from any ambient GMDJ_PARALLEL (CI runs the whole suite
+	// under a forced degree); empty means unset.
+	t.Setenv(EnvParallel, "")
+
+	if got, want := New(cat).Parallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS = %d", got, want)
+	}
+
+	t.Setenv(EnvParallel, "3")
+	e := New(cat)
+	if got := e.Parallelism(); got != 3 {
+		t.Errorf("with %s=3, parallelism = %d", EnvParallel, got)
+	}
+	e.SetParallelism(5)
+	if got := e.Parallelism(); got != 5 {
+		t.Errorf("SetParallelism(5) over env: parallelism = %d", got)
+	}
+	e.SetParallelism(0)
+	if got, want := e.Parallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("SetParallelism(0) = %d, want GOMAXPROCS = %d", got, want)
+	}
+
+	for _, bad := range []string{"zero", "-2", "0"} {
+		t.Setenv(EnvParallel, bad)
+		if got, want := New(cat).Parallelism(), runtime.GOMAXPROCS(0); got != want {
+			t.Errorf("with %s=%q, parallelism = %d, want default %d", EnvParallel, bad, got, want)
+		}
+	}
+}
+
+// TestParallelismMemClamp: the memory accountant bounds the effective
+// degree at mem.PerWorkerBytes of pool per worker, re-clamping
+// whenever either knob moves.
+func TestParallelismMemClamp(t *testing.T) {
+	cat := datagen.Netflow(datagen.NetflowOpts{Flows: 10, Hours: 2, Users: 2, Seed: 1})
+	e := New(cat)
+	e.SetParallelism(8)
+	e.SetMemoryLimit(2 * mem.PerWorkerBytes)
+	defer e.Close()
+	if got := e.exec.Parallelism; got != 2 {
+		t.Errorf("effective degree under a 2-worker pool = %d, want 2", got)
+	}
+	if got := e.Parallelism(); got != 8 {
+		t.Errorf("configured degree should survive the clamp, got %d", got)
+	}
+	e.SetMemoryLimit(0)
+	if got := e.exec.Parallelism; got != 8 {
+		t.Errorf("removing the limit should restore the configured degree, got %d", got)
+	}
+}
+
+// TestCancellationMidMorsel cancels a context while morsel workers are
+// mid-scan over a large table and requires the typed govern.ErrCanceled
+// promptly — the cooperative-cancellation path inside the parallel
+// filter pipeline, not just between operators.
+func TestCancellationMidMorsel(t *testing.T) {
+	const rows = 500_000
+	rel := relation.New(relation.NewSchema(
+		relation.Column{Qualifier: "big", Name: "x", Type: value.KindInt},
+	))
+	for i := 0; i < rows; i++ {
+		rel.Append(relation.Tuple{value.Int(int64(i))})
+	}
+	cat := storage.NewCatalog()
+	cat.Register(storage.NewTable("big", rel))
+	e := New(cat)
+	e.SetParallelism(8)
+	plan := algebra.NewRestrict(algebra.NewScan("big", "b"),
+		&algebra.Atom{E: expr.NewCmp(value.GE, expr.C("b.x"), expr.IntLit(0))})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Microsecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.RunContext(ctx, plan, Native)
+	if err == nil {
+		t.Fatal("query completed before mid-morsel cancellation; grow the table")
+	}
+	if !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("canceled parallel scan returned %v, want govern.ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; workers are not ticking the governor", elapsed)
+	}
+}
+
+// TestSpillUnderParallelism runs the hour/flow EXISTS workload with a
+// pool small enough to force the GMDJ base state to spill but large
+// enough that the clamp still grants two morsel workers — spilling and
+// parallelism composing, with rows byte-identical to the unlimited
+// serial run.
+func TestSpillUnderParallelism(t *testing.T) {
+	cat := datagen.Netflow(datagen.NetflowOpts{Flows: 5_000, Hours: 5_000, Users: 40, Seed: 11})
+	plan := existsPlan()
+
+	serial := New(cat)
+	serial.SetParallelism(1)
+	want, err := serial.RunContext(context.Background(), plan, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(cat)
+	e.SetParallelism(4)
+	e.SetMemoryLimit(2 * mem.PerWorkerBytes)
+	e.SetSpillDir(t.TempDir())
+	defer e.Close()
+	if got := e.exec.Parallelism; got != 2 {
+		t.Fatalf("effective degree = %d, want 2 (spill and parallelism must coexist)", got)
+	}
+	stats := e.GMDJStats() // install the collector before running
+	got, err := e.RunContext(context.Background(), plan, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("spilled parallel run differs from unlimited serial run:\n%s", want.Diff(got))
+	}
+	if stats.SpillPartitions == 0 {
+		t.Error("pool sized below the base-state estimate, yet nothing spilled")
+	}
+}
+
+// batchRecorder is a Sink that records everything Run delivers.
+type batchRecorder struct {
+	schema *relation.Schema
+	rows   []relation.Tuple
+	pushes int
+	maxLen int
+}
+
+func (r *batchRecorder) Open(s *relation.Schema) error { r.schema = s; return nil }
+
+func (r *batchRecorder) Push(b *relation.Batch) error {
+	r.pushes++
+	if b.Len() > r.maxLen {
+		r.maxLen = b.Len()
+	}
+	r.rows = append(r.rows, b.Rows()...)
+	return nil
+}
+
+// TestPhysicalPlanSink drives the batched PhysicalPlan.Run contract
+// directly: the sink sees the result schema once, then the result rows
+// in order in bounded batches; stats collection rides along when
+// requested.
+func TestPhysicalPlanSink(t *testing.T) {
+	e := testEngine()
+	plan := existsPlan()
+	want, err := e.Run(plan, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pp, err := e.Physical(plan, GMDJOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.CollectStats()
+	var sink batchRecorder
+	if err := pp.Run(context.Background(), &sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.schema == nil {
+		t.Fatal("sink never opened")
+	}
+	if sink.maxLen > relation.DefaultBatchCap {
+		t.Errorf("batch of %d rows exceeds DefaultBatchCap", sink.maxLen)
+	}
+	if len(sink.rows) != want.Len() {
+		t.Fatalf("sink got %d rows, want %d", len(sink.rows), want.Len())
+	}
+	for i, row := range sink.rows {
+		if row.String() != want.Rows[i].String() {
+			t.Fatalf("row %d: %s != %s", i, row, want.Rows[i])
+		}
+	}
+	if pp.Stats() == nil {
+		t.Error("CollectStats was on but no stats tree recorded")
+	}
+	if pp.Strategy() != GMDJOpt || pp.Root() == nil {
+		t.Error("plan accessors lost the strategy or root")
+	}
+}

@@ -1,0 +1,205 @@
+package exec
+
+import (
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// BatchOp is the batched physical operator interface: each call fills
+// the caller-provided batch with the next chunk of output rows,
+// leaving it empty at end of stream. The batch is owned by the caller
+// and reused across calls — its fixed-capacity storage is what keeps
+// the hot path free of per-row allocations. Operators append existing
+// tuples by reference (AppendRef), preserving the materializing
+// engine's tuple-sharing discipline, which is why batched and serial
+// evaluation produce byte-identical output.
+//
+// Pipelines over a BatchOp are single-goroutine; morsel-driven
+// parallelism runs one independent pipeline per worker over disjoint
+// input row ranges (see morsel.go), never one pipeline from several
+// goroutines.
+type BatchOp interface {
+	// Schema describes the operator's output rows.
+	Schema() *relation.Schema
+	// NextBatch resets b and fills it with up to b.Cap() output rows.
+	// b.Len() == 0 after return signals end of stream.
+	NextBatch(b *relation.Batch) error
+}
+
+// relSource streams a materialized relation's row range [pos, end)
+// through the batch API. It is the leaf of every pipeline: a table
+// scan's shared row slice, or an already-evaluated child relation. The
+// zero-copy AppendRef loop is the scan half of the scan→probe hot
+// path.
+type relSource struct {
+	rel      *relation.Relation
+	pos, end int
+	batches  int64
+}
+
+func newRelSource(rel *relation.Relation, lo, hi int) *relSource {
+	return &relSource{rel: rel, pos: lo, end: hi}
+}
+
+func (s *relSource) Schema() *relation.Schema { return s.rel.Schema }
+
+func (s *relSource) NextBatch(b *relation.Batch) error {
+	b.Reset()
+	rows := s.rel.Rows
+	for s.pos < s.end && !b.Full() {
+		b.AppendRef(rows[s.pos])
+		s.pos++
+	}
+	if b.Len() > 0 {
+		s.batches++
+	}
+	return nil
+}
+
+// reset repoints the source at a new row range so one allocation
+// serves every morsel a worker claims.
+func (s *relSource) reset(lo, hi int) { s.pos, s.end = lo, hi }
+
+// filterOp applies a compiled predicate to its child's batches,
+// compacting passing rows in place. full is the worker-local scratch
+// tuple (outer context ++ input row) predicates evaluate against;
+// prefixW is the width of the outer context already copied into it.
+type filterOp struct {
+	child   BatchOp
+	pred    compiledPred
+	full    relation.Tuple
+	prefixW int
+	q       *query
+}
+
+func (f *filterOp) Schema() *relation.Schema { return f.child.Schema() }
+
+func (f *filterOp) NextBatch(b *relation.Batch) error {
+	for {
+		if err := f.child.NextBatch(b); err != nil {
+			return err
+		}
+		if b.Len() == 0 {
+			return nil
+		}
+		keep := 0
+		for i := 0; i < b.Len(); i++ {
+			if err := f.q.tick(); err != nil {
+				return err
+			}
+			row := b.Row(i)
+			copy(f.full[f.prefixW:], row)
+			tr, err := f.pred.eval(f.full)
+			if err != nil {
+				return err
+			}
+			if tr != value.True { // where-clause truncation
+				continue
+			}
+			if err := f.q.account(row); err != nil {
+				return err
+			}
+			b.SetRow(keep, row)
+			keep++
+		}
+		b.Truncate(keep)
+		if b.Len() > 0 {
+			return nil
+		}
+		// The whole batch was filtered out; pull the next one rather
+		// than returning an empty batch, which would read as end of
+		// stream.
+	}
+}
+
+// projectOp evaluates bound projection expressions over its child's
+// batches. Output tuples are materialized per row — exactly the
+// allocation the serial projection performs — and appended by
+// reference.
+type projectOp struct {
+	child   BatchOp
+	schema  *relation.Schema
+	bound   []expr.Expr
+	in      *relation.Batch
+	full    relation.Tuple
+	prefixW int
+	q       *query
+}
+
+func (p *projectOp) Schema() *relation.Schema { return p.schema }
+
+func (p *projectOp) NextBatch(b *relation.Batch) error {
+	b.Reset()
+	if err := p.child.NextBatch(p.in); err != nil {
+		return err
+	}
+	if p.in.Len() == 0 {
+		return nil
+	}
+	for i := 0; i < p.in.Len(); i++ {
+		if err := p.q.tick(); err != nil {
+			return err
+		}
+		copy(p.full[p.prefixW:], p.in.Row(i))
+		outRow := make(relation.Tuple, len(p.bound))
+		for j, e := range p.bound {
+			v, err := e.Eval(p.full)
+			if err != nil {
+				return err
+			}
+			outRow[j] = v
+		}
+		if err := p.q.account(outRow); err != nil {
+			return err
+		}
+		b.AppendRef(outRow)
+	}
+	return nil
+}
+
+// rowIter adapts a BatchOp back to row-at-a-time iteration: the
+// compatibility shim for inherently serial consumers (grouping,
+// sorting, distinct, set operations) that fold rows into ordered
+// state. It owns one reusable batch and reports how many batches it
+// drained, which is what the operator's batches= counter records.
+type rowIter struct {
+	op      BatchOp
+	b       *relation.Batch
+	i       int
+	batches int64
+	done    bool
+}
+
+func newRowIter(op BatchOp) *rowIter {
+	return &rowIter{op: op, b: relation.NewBatch(op.Schema(), relation.DefaultBatchCap)}
+}
+
+// Next returns the next row, or ok=false at end of stream.
+func (it *rowIter) Next() (row relation.Tuple, ok bool, err error) {
+	for {
+		if it.i < it.b.Len() {
+			row = it.b.Row(it.i)
+			it.i++
+			return row, true, nil
+		}
+		if it.done {
+			return nil, false, nil
+		}
+		if err := it.op.NextBatch(it.b); err != nil {
+			return nil, false, err
+		}
+		it.i = 0
+		if it.b.Len() == 0 {
+			it.done = true
+			return nil, false, nil
+		}
+		it.batches++
+	}
+}
+
+// relIter is the common case of iterating a whole materialized
+// relation batch-wise.
+func relIter(rel *relation.Relation) *rowIter {
+	return newRowIter(newRelSource(rel, 0, rel.Len()))
+}

@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/algebra"
+	"github.com/olaplab/gmdj/internal/expr"
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// TestScanFilterHotPathZeroAlloc pins the batched API's core promise:
+// draining a scan→filter pipeline performs zero allocations once its
+// fixed-capacity batch and scratch tuple exist. Passing rows are
+// compacted in place by reference; only the batch reset and
+// slice-header copies remain on the per-row path. This is the allocs/op
+// assertion behind the morsel workers' steady-state behavior — every
+// worker owns one such pipeline and reuses it across all its morsels.
+func TestScanFilterHotPathZeroAlloc(t *testing.T) {
+	schema := relation.NewSchema(
+		relation.Column{Qualifier: "T", Name: "x", Type: value.KindInt},
+	)
+	rel := relation.New(schema)
+	for i := 0; i < 8*relation.DefaultBatchCap; i++ {
+		rel.Append(relation.Tuple{value.Int(int64(i))})
+	}
+
+	e := New(testCatalog())
+	// A selective atom predicate (about half the rows pass), so both
+	// the keep and drop branches stay hot.
+	pred := &algebra.Atom{E: expr.NewCmp(value.GE, expr.C("T.x"), expr.IntLit(int64(4*relation.DefaultBatchCap)))}
+	cp, err := e.compilePred(pred, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newRelSource(rel, 0, 0)
+	f := &filterOp{child: src, pred: cp, full: make(relation.Tuple, schema.Len())}
+	b := relation.NewBatch(schema, relation.DefaultBatchCap)
+
+	kept := 0
+	drain := func() {
+		kept = 0
+		src.reset(0, rel.Len())
+		for {
+			if err := f.NextBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() == 0 {
+				return
+			}
+			kept += b.Len()
+		}
+	}
+	drain() // warm-up: first run may fault in lazy state
+	if want := 4 * relation.DefaultBatchCap; kept != want {
+		t.Fatalf("filter kept %d rows, want %d", kept, want)
+	}
+	if allocs := testing.AllocsPerRun(10, drain); allocs != 0 {
+		t.Errorf("scan→filter drain allocated %.1f times per run, want 0", allocs)
+	}
+}

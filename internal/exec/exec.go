@@ -41,8 +41,12 @@ type Executor struct {
 	// correlation binding — Rao & Ross's invariant reuse [23], an
 	// optional refinement of the native strategy.
 	MemoizeSubqueries bool
-	// GMDJWorkers sets parallelism for GMDJ nodes (0/1 = serial).
-	GMDJWorkers int
+	// Parallelism is the morsel-driven degree: how many workers each
+	// parallel operator pipeline may use (table-scan morsels through
+	// filters and projections, hash-join build and probe, GMDJ detail
+	// scans). 0 and 1 mean serial. Operators clamp further so small
+	// inputs never pay goroutine overhead (see pipelineWorkers).
+	Parallelism int
 	// GMDJStats, when non-nil, accumulates GMDJ operator counters.
 	GMDJStats *gmdj.Stats
 	// Faults injects deterministic failures at named operator sites
@@ -275,7 +279,17 @@ func (e *Executor) evalNode(n algebra.Node, ev *env) (*relation.Relation, error)
 		cols := append(append([]relation.Column{}, in.Schema.Columns...),
 			relation.Column{Name: node.As, Type: value.KindInt})
 		out := relation.New(relation.NewSchema(cols...))
-		for i, row := range in.Rows {
+		// Row numbering is ordinal by definition, so the pipeline stays
+		// serial: one batch cursor, numbered in arrival order.
+		it := relIter(in)
+		for i := 0; ; i++ {
+			row, ok, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
 			if err := ev.q.tick(); err != nil {
 				return nil, err
 			}
@@ -285,6 +299,7 @@ func (e *Executor) evalNode(n algebra.Node, ev *env) (*relation.Relation, error)
 			}
 			out.Append(numbered)
 		}
+		ev.q.recordPipe(pipeInfo{workers: 1, batches: it.batches})
 		return out, nil
 	case *algebra.Restrict:
 		return e.evalRestrict(node, ev)
@@ -336,26 +351,87 @@ func (e *Executor) evalRestrict(r *algebra.Restrict, ev *env) (*relation.Relatio
 	if err != nil {
 		return nil, err
 	}
-	out := relation.New(in.Schema)
-	full := make(relation.Tuple, len(ev.row)+in.Schema.Len())
-	copy(full, ev.row)
-	for _, row := range in.Rows {
-		if err := ev.q.tick(); err != nil {
-			return nil, err
-		}
-		copy(full[len(ev.row):], row)
-		tr, err := cp.eval(full)
-		if err != nil {
-			return nil, err
-		}
-		if tr == value.True { // where-clause truncation
-			if err := ev.q.account(row); err != nil {
-				return nil, err
-			}
-			out.Append(row)
+	workers := e.pipelineWorkers(in.Len())
+	if predHasSub(cp) {
+		// Subquery predicates carry per-query mutable state (the
+		// memoization table, result-cache plumbing) that is not safe off
+		// the query goroutine, so they keep the serial pipeline.
+		workers = 1
+	}
+	// One scan→filter pipeline per worker; workers pull morsels and
+	// buffer passing rows per morsel index, so concatenating the
+	// buffers in order reproduces the serial emit order exactly.
+	type wstate struct {
+		src   *relSource
+		f     *filterOp
+		batch *relation.Batch
+	}
+	states := make([]*wstate, workers)
+	for w := range states {
+		full := make(relation.Tuple, len(ev.row)+in.Schema.Len())
+		copy(full, ev.row)
+		src := newRelSource(in, 0, 0)
+		states[w] = &wstate{
+			src:   src,
+			f:     &filterOp{child: src, pred: cp, full: full, prefixW: len(ev.row), q: ev.q},
+			batch: relation.NewBatch(in.Schema, relation.DefaultBatchCap),
 		}
 	}
+	outs := make([][]relation.Tuple, morselCount(in.Len()))
+	used, err := runMorsels(in.Len(), workers, func(w, m, lo, hi int) error {
+		st := states[w]
+		st.src.reset(lo, hi)
+		for {
+			if err := st.f.NextBatch(st.batch); err != nil {
+				return err
+			}
+			if st.batch.Len() == 0 {
+				return nil
+			}
+			outs[m] = append(outs[m], st.batch.Rows()...)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(in.Schema)
+	for _, rows := range outs {
+		out.Rows = append(out.Rows, rows...)
+	}
+	var batches int64
+	for _, st := range states {
+		batches += st.src.batches
+	}
+	ev.q.recordPipe(pipeInfo{workers: used, batches: batches})
 	return out, nil
+}
+
+// predHasSub reports whether a compiled predicate contains a subquery
+// predicate anywhere — the marker that pins its pipeline to the query
+// goroutine.
+func predHasSub(p compiledPred) bool {
+	switch c := p.(type) {
+	case *cpAtom:
+		return false
+	case *cpAnd:
+		for _, t := range c.terms {
+			if predHasSub(t) {
+				return true
+			}
+		}
+		return false
+	case *cpOr:
+		for _, t := range c.terms {
+			if predHasSub(t) {
+				return true
+			}
+		}
+		return false
+	case *cpNot:
+		return predHasSub(c.p)
+	default:
+		return true // *cpSub and anything unknown: be conservative
+	}
 }
 
 func (e *Executor) evalProject(p *algebra.Project, ev *env) (*relation.Relation, error) {
@@ -386,34 +462,97 @@ func (e *Executor) evalProject(p *algebra.Project, ev *env) (*relation.Relation,
 		bound[i] = b
 	}
 	out := relation.New(outSchema)
-	fullRow := make(relation.Tuple, len(ev.row)+in.Schema.Len())
-	copy(fullRow, ev.row)
-	seen := map[string]bool{}
-	for _, row := range in.Rows {
-		if err := ev.q.tick(); err != nil {
-			return nil, err
-		}
-		copy(fullRow[len(ev.row):], row)
-		outRow := make(relation.Tuple, len(bound))
-		for i, b := range bound {
-			v, err := b.Eval(fullRow)
+	if p.Distinct {
+		// Distinct projection folds rows into first-seen order — a
+		// serial consumer, fed through the batch adapter.
+		it := relIter(in)
+		fullRow := make(relation.Tuple, len(ev.row)+in.Schema.Len())
+		copy(fullRow, ev.row)
+		seen := map[string]bool{}
+		for {
+			row, ok, err := it.Next()
 			if err != nil {
 				return nil, err
 			}
-			outRow[i] = v
-		}
-		if p.Distinct {
+			if !ok {
+				break
+			}
+			if err := ev.q.tick(); err != nil {
+				return nil, err
+			}
+			copy(fullRow[len(ev.row):], row)
+			outRow := make(relation.Tuple, len(bound))
+			for i, b := range bound {
+				v, err := b.Eval(fullRow)
+				if err != nil {
+					return nil, err
+				}
+				outRow[i] = v
+			}
 			k := outRow.Key()
 			if seen[k] {
 				continue
 			}
 			seen[k] = true
+			if err := ev.q.account(outRow); err != nil {
+				return nil, err
+			}
+			out.Append(outRow)
 		}
-		if err := ev.q.account(outRow); err != nil {
-			return nil, err
-		}
-		out.Append(outRow)
+		ev.q.recordPipe(pipeInfo{workers: 1, batches: it.batches})
+		return out, nil
 	}
+	// Non-distinct projection is embarrassingly parallel: bound
+	// expression trees are immutable, so workers share them and differ
+	// only in scratch (input batch, concatenated outer row).
+	workers := e.pipelineWorkers(in.Len())
+	type wstate struct {
+		src   *relSource
+		op    *projectOp
+		batch *relation.Batch
+	}
+	states := make([]*wstate, workers)
+	for w := range states {
+		full := make(relation.Tuple, len(ev.row)+in.Schema.Len())
+		copy(full, ev.row)
+		src := newRelSource(in, 0, 0)
+		states[w] = &wstate{
+			src: src,
+			op: &projectOp{
+				child: src, schema: outSchema, bound: bound,
+				in:      relation.NewBatch(in.Schema, relation.DefaultBatchCap),
+				full:    full,
+				prefixW: len(ev.row),
+				q:       ev.q,
+			},
+			batch: relation.NewBatch(outSchema, relation.DefaultBatchCap),
+		}
+	}
+	outs := make([][]relation.Tuple, morselCount(in.Len()))
+	used, err := runMorsels(in.Len(), workers, func(w, m, lo, hi int) error {
+		st := states[w]
+		st.src.reset(lo, hi)
+		for {
+			if err := st.op.NextBatch(st.batch); err != nil {
+				return err
+			}
+			if st.batch.Len() == 0 {
+				return nil
+			}
+			outs[m] = append(outs[m], st.batch.Rows()...)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range outs {
+		out.Rows = append(out.Rows, rows...)
+	}
+	var batches int64
+	for _, st := range states {
+		batches += st.src.batches
+	}
+	ev.q.recordPipe(pipeInfo{workers: used, batches: batches})
 	return out, nil
 }
 
@@ -453,7 +592,17 @@ func (e *Executor) evalDistinct(d *algebra.Distinct, ev *env) (*relation.Relatio
 	}
 	out := relation.New(in.Schema)
 	seen := map[string]bool{}
-	for _, row := range in.Rows {
+	// Duplicate elimination keeps first-seen order — a serial fold over
+	// the batch stream.
+	it := relIter(in)
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		if err := ev.q.tick(); err != nil {
 			return nil, err
 		}
@@ -467,6 +616,7 @@ func (e *Executor) evalDistinct(d *algebra.Distinct, ev *env) (*relation.Relatio
 		}
 		out.Append(row)
 	}
+	ev.q.recordPipe(pipeInfo{workers: 1, batches: it.batches})
 	return out, nil
 }
 
@@ -501,7 +651,17 @@ func (e *Executor) evalGroupBy(g *algebra.GroupBy, ev *env) (*relation.Relation,
 	}
 	groups := map[string]*group{}
 	var order []string
-	for _, row := range in.Rows {
+	// Grouped aggregation folds into hash state in arrival order — a
+	// serial consumer over the batch stream.
+	it := relIter(in)
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		if err := ev.q.tick(); err != nil {
 			return nil, err
 		}
@@ -552,6 +712,7 @@ func (e *Executor) evalGroupBy(g *algebra.GroupBy, ev *env) (*relation.Relation,
 		}
 		out.Append(row)
 	}
+	ev.q.recordPipe(pipeInfo{workers: 1, batches: it.batches})
 	return out, nil
 }
 
@@ -571,7 +732,7 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 	var local gmdj.Stats
 	opts := gmdj.Options{
 		Completion: g.Completion,
-		Workers:    e.GMDJWorkers,
+		Workers:    e.Parallelism,
 		Stats:      &local,
 		Gov:        ev.q.gov,
 		Faults:     ev.q.faults,
@@ -598,6 +759,12 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 		e.GMDJStats.Merge(&local)
 	}
 	if op := ev.q.col.Current(); op != nil {
+		workers := int64(len(local.WorkerRows))
+		if workers == 0 {
+			workers = 1 // serial scan (or partitioned serial scans)
+		}
+		op.Add("workers", workers)
+		op.Add("batches", local.Batches)
 		op.Add("detail_rows", local.DetailRows)
 		op.Add("probes", local.Probes)
 		op.Add("matches", local.Matches)

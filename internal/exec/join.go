@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sync"
+
 	"github.com/olaplab/gmdj/internal/algebra"
 	"github.com/olaplab/gmdj/internal/expr"
 	"github.com/olaplab/gmdj/internal/relation"
@@ -12,6 +14,15 @@ import (
 // the right, probe from the left); otherwise it degrades to a nested
 // loop — which is exactly the degradation the paper's Figure 4 join
 // baseline suffers under a ≠ correlation.
+//
+// Both phases are morsel-parallel under Executor.Parallelism. The
+// build side hashes its key columns batch-wise over the columnar view
+// and partitions the hash table by hash modulo shard, each shard built
+// by one worker in right-row order; the probe side pulls left-row
+// morsels, emitting per-morsel buffers that concatenate in morsel
+// order. Candidate lists and per-left-row emit order are therefore
+// identical to the serial engine's single hash table — byte-identical
+// output at any degree.
 func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error) {
 	left, err := e.eval(j.Left, ev)
 	if err != nil {
@@ -41,45 +52,7 @@ func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error
 	default:
 		outSchema = combined
 	}
-	out := relation.New(outSchema)
-	fullRow := make(relation.Tuple, combined.Len())
 	lw := left.Schema.Len()
-
-	matchRows := func(lRow relation.Tuple, candidates []int) (bool, error) {
-		copy(fullRow, lRow)
-		matched := false
-		for _, ri := range candidates {
-			if err := ev.q.tick(); err != nil {
-				return false, err
-			}
-			copy(fullRow[lw:], right.Rows[ri])
-			tr, err := expr.EvalTri(on, fullRow)
-			if err != nil {
-				return false, err
-			}
-			if tr != value.True {
-				continue
-			}
-			matched = true
-			switch j.Kind {
-			case algebra.InnerJoin, algebra.LeftOuterJoin:
-				joined := fullRow.Clone()
-				if err := ev.q.account(joined); err != nil {
-					return false, err
-				}
-				out.Append(joined)
-			case algebra.SemiJoin:
-				if err := ev.q.account(lRow); err != nil {
-					return false, err
-				}
-				out.Append(lRow)
-				return true, nil // first match suffices
-			case algebra.AntiJoin:
-				return true, nil // first match disqualifies
-			}
-		}
-		return matched, nil
-	}
 
 	// Keep only bindings that verifiably resolve on exactly one side:
 	// probe keys must be sound (the full predicate re-checks every pair,
@@ -101,22 +74,15 @@ func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error
 		rightPos = append(rightPos, rp)
 	}
 
+	var batches int64
 	var probe func(lRow relation.Tuple) ([]int, bool)
 	if len(leftPos) > 0 {
-		// Hash join: build on right.
-		index := make(map[uint64][]int, len(right.Rows))
-		for ri, row := range right.Rows {
-			if h, ok := hashKey(row, rightPos); ok {
-				index[h] = append(index[h], ri)
-			}
+		index, buildBatches, err := e.buildJoinIndex(right, rightPos, ev)
+		if err != nil {
+			return nil, err
 		}
-		probe = func(lRow relation.Tuple) ([]int, bool) {
-			h, ok := hashKey(lRow, leftPos)
-			if !ok {
-				return nil, false
-			}
-			return index[h], true
-		}
+		batches += buildBatches
+		probe = index.probeFor(leftPos)
 	} else {
 		all := make([]int, len(right.Rows))
 		for i := range all {
@@ -125,38 +91,235 @@ func (e *Executor) evalJoin(j *algebra.Join, ev *env) (*relation.Relation, error
 		probe = func(relation.Tuple) ([]int, bool) { return all, true }
 	}
 
-	nullPad := make(relation.Tuple, right.Schema.Len())
-	for _, lRow := range left.Rows {
-		if err := ev.q.tick(); err != nil {
-			return nil, err
-		}
-		candidates, keyOK := probe(lRow)
-		matched := false
-		if keyOK {
-			var err error
-			matched, err = matchRows(lRow, candidates)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if matched {
-			continue
-		}
-		switch j.Kind {
-		case algebra.LeftOuterJoin:
-			padded := lRow.Concat(nullPad)
-			if err := ev.q.account(padded); err != nil {
-				return nil, err
-			}
-			out.Append(padded)
-		case algebra.AntiJoin:
-			if err := ev.q.account(lRow); err != nil {
-				return nil, err
-			}
-			out.Append(lRow)
+	// Probe phase: morsel-parallel over the left rows. Each worker
+	// carries its own scan pipeline and scratch full row; each morsel
+	// buffers its emissions so the final concatenation preserves
+	// left-row order.
+	workers := e.pipelineWorkers(len(left.Rows))
+	type wstate struct {
+		src     *relSource
+		batch   *relation.Batch
+		fullRow relation.Tuple
+	}
+	states := make([]*wstate, workers)
+	for w := range states {
+		states[w] = &wstate{
+			src:     newRelSource(left, 0, 0),
+			batch:   relation.NewBatch(left.Schema, relation.DefaultBatchCap),
+			fullRow: make(relation.Tuple, combined.Len()),
 		}
 	}
+	nullPad := make(relation.Tuple, right.Schema.Len())
+	outs := make([][]relation.Tuple, morselCount(len(left.Rows)))
+
+	// matchRows visits one left row's candidates, appending emissions
+	// to the morsel buffer; semantics per kind match the serial engine
+	// (first match suffices for semi, first match disqualifies for
+	// anti).
+	matchRows := func(st *wstate, lRow relation.Tuple, candidates []int, buf *[]relation.Tuple) (bool, error) {
+		copy(st.fullRow, lRow)
+		matched := false
+		for _, ri := range candidates {
+			if err := ev.q.tick(); err != nil {
+				return false, err
+			}
+			copy(st.fullRow[lw:], right.Rows[ri])
+			tr, err := expr.EvalTri(on, st.fullRow)
+			if err != nil {
+				return false, err
+			}
+			if tr != value.True {
+				continue
+			}
+			matched = true
+			switch j.Kind {
+			case algebra.InnerJoin, algebra.LeftOuterJoin:
+				joined := st.fullRow.Clone()
+				if err := ev.q.account(joined); err != nil {
+					return false, err
+				}
+				*buf = append(*buf, joined)
+			case algebra.SemiJoin:
+				if err := ev.q.account(lRow); err != nil {
+					return false, err
+				}
+				*buf = append(*buf, lRow)
+				return true, nil // first match suffices
+			case algebra.AntiJoin:
+				return true, nil // first match disqualifies
+			}
+		}
+		return matched, nil
+	}
+
+	used, err := runMorsels(len(left.Rows), workers, func(w, m, lo, hi int) error {
+		st := states[w]
+		st.src.reset(lo, hi)
+		for {
+			if err := st.src.NextBatch(st.batch); err != nil {
+				return err
+			}
+			if st.batch.Len() == 0 {
+				return nil
+			}
+			for i := 0; i < st.batch.Len(); i++ {
+				lRow := st.batch.Row(i)
+				if err := ev.q.tick(); err != nil {
+					return err
+				}
+				candidates, keyOK := probe(lRow)
+				matched := false
+				if keyOK {
+					var err error
+					matched, err = matchRows(st, lRow, candidates, &outs[m])
+					if err != nil {
+						return err
+					}
+				}
+				if matched {
+					continue
+				}
+				switch j.Kind {
+				case algebra.LeftOuterJoin:
+					padded := lRow.Concat(nullPad)
+					if err := ev.q.account(padded); err != nil {
+						return err
+					}
+					outs[m] = append(outs[m], padded)
+				case algebra.AntiJoin:
+					if err := ev.q.account(lRow); err != nil {
+						return err
+					}
+					outs[m] = append(outs[m], lRow)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(outSchema)
+	for _, rows := range outs {
+		out.Rows = append(out.Rows, rows...)
+	}
+	for _, st := range states {
+		batches += st.src.batches
+	}
+	ev.q.recordPipe(pipeInfo{workers: used, batches: batches})
 	return out, nil
+}
+
+// joinIndex is the hash-join build side: row positions bucketed by key
+// hash, partitioned into shards by hash modulo. One shard is the
+// serial engine's single map; with several, a probe reads exactly one
+// shard, and bucket lists remain in right-row order because each shard
+// scans the hash vector start to finish.
+type joinIndex struct {
+	shards []map[uint64][]int
+}
+
+func (ix *joinIndex) probeFor(leftPos []int) func(relation.Tuple) ([]int, bool) {
+	n := uint64(len(ix.shards))
+	return func(lRow relation.Tuple) ([]int, bool) {
+		h, ok := hashKey(lRow, leftPos)
+		if !ok {
+			return nil, false
+		}
+		return ix.shards[h%n][h], true
+	}
+}
+
+// buildJoinIndex computes the key-hash vector over the build side's
+// columnar batches (morsel-parallel: workers write disjoint ranges of
+// the vector), then builds the shard maps, one worker per shard.
+func (e *Executor) buildJoinIndex(right *relation.Relation, rightPos []int, ev *env) (*joinIndex, int64, error) {
+	n := len(right.Rows)
+	hs := make([]uint64, n)
+	okv := make([]bool, n)
+	workers := e.pipelineWorkers(n)
+	type wstate struct {
+		src   *relSource
+		batch *relation.Batch
+	}
+	states := make([]*wstate, workers)
+	for w := range states {
+		states[w] = &wstate{
+			src:   newRelSource(right, 0, 0),
+			batch: relation.NewBatch(right.Schema, relation.DefaultBatchCap),
+		}
+	}
+	used, err := runMorsels(n, workers, func(w, m, lo, hi int) error {
+		st := states[w]
+		st.src.reset(lo, hi)
+		base := lo
+		for {
+			if err := ev.q.tick(); err != nil {
+				return err
+			}
+			if err := st.src.NextBatch(st.batch); err != nil {
+				return err
+			}
+			bn := st.batch.Len()
+			if bn == 0 {
+				return nil
+			}
+			// Column-major hashing over the batch's columnar view: one
+			// pass per key column, FNV-folding into the hash lane.
+			cols := st.batch.Columns()
+			for i := 0; i < bn; i++ {
+				hs[base+i] = 14695981039346656037
+				okv[base+i] = true
+			}
+			for _, p := range rightPos {
+				col := cols[p]
+				for i, v := range col {
+					if v.IsNull() {
+						okv[base+i] = false
+						continue
+					}
+					hs[base+i] ^= v.Hash()
+					hs[base+i] *= 1099511628211
+				}
+			}
+			base += bn
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var batches int64
+	for _, st := range states {
+		batches += st.src.batches
+	}
+	nShards := used
+	ix := &joinIndex{shards: make([]map[uint64][]int, nShards)}
+	build := func(s int) {
+		m := make(map[uint64][]int, n/nShards+1)
+		for ri := 0; ri < n; ri++ {
+			if !okv[ri] {
+				continue
+			}
+			h := hs[ri]
+			if int(h%uint64(nShards)) == s {
+				m[h] = append(m[h], ri)
+			}
+		}
+		ix.shards[s] = m
+	}
+	if nShards == 1 {
+		build(0)
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < nShards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				build(s)
+			}(s)
+		}
+		wg.Wait()
+	}
+	return ix, batches, nil
 }
 
 func schemaQualifiers(s *relation.Schema) map[string]bool {

@@ -33,61 +33,80 @@ func (e *Executor) evalSetOp(s *algebra.SetOp, ev *env) (*relation.Relation, err
 		out.Append(row)
 		return nil
 	}
+	// Set operations preserve left-then-right arrival order — serial
+	// folds over batch cursors; each drains its side and reports the
+	// batch count.
+	var batches int64
+	each := func(rel *relation.Relation, fn func(row relation.Tuple) error) error {
+		it := relIter(rel)
+		for {
+			row, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				batches += it.batches
+				return nil
+			}
+			if err := ev.q.tick(); err != nil {
+				return err
+			}
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+	}
+	finish := func() (*relation.Relation, error) {
+		ev.q.recordPipe(pipeInfo{workers: 1, batches: batches})
+		return out, nil
+	}
 	switch s.Kind {
 	case algebra.UnionAll:
-		for _, rows := range [][]relation.Tuple{l.Rows, r.Rows} {
-			for _, row := range rows {
-				if err := ev.q.tick(); err != nil {
-					return nil, err
-				}
-				if err := emit(row); err != nil {
-					return nil, err
-				}
+		for _, rel := range []*relation.Relation{l, r} {
+			if err := each(rel, emit); err != nil {
+				return nil, err
 			}
 		}
-		return out, nil
+		return finish()
 	case algebra.Union:
 		seen := map[string]bool{}
-		for _, rows := range [][]relation.Tuple{l.Rows, r.Rows} {
-			for _, row := range rows {
-				if err := ev.q.tick(); err != nil {
-					return nil, err
-				}
+		for _, rel := range []*relation.Relation{l, r} {
+			err := each(rel, func(row relation.Tuple) error {
 				k := row.Key()
 				if seen[k] {
-					continue
+					return nil
 				}
 				seen[k] = true
-				if err := emit(row); err != nil {
-					return nil, err
-				}
+				return emit(row)
+			})
+			if err != nil {
+				return nil, err
 			}
 		}
-		return out, nil
+		return finish()
 	case algebra.Except, algebra.Intersect:
 		keep := s.Kind == algebra.Intersect
 		right := map[string]bool{}
-		for _, row := range r.Rows {
-			if err := ev.q.tick(); err != nil {
-				return nil, err
-			}
+		err := each(r, func(row relation.Tuple) error {
 			right[row.Key()] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		emitted := map[string]bool{}
-		for _, row := range l.Rows {
-			if err := ev.q.tick(); err != nil {
-				return nil, err
-			}
+		err = each(l, func(row relation.Tuple) error {
 			k := row.Key()
 			if right[k] != keep || emitted[k] {
-				continue
+				return nil
 			}
 			emitted[k] = true
-			if err := emit(row); err != nil {
-				return nil, err
-			}
+			return emit(row)
+		})
+		if err != nil {
+			return nil, err
 		}
-		return out, nil
+		return finish()
 	default:
 		return nil, fmt.Errorf("exec: unknown set operation %v", s.Kind)
 	}

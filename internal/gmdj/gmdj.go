@@ -62,6 +62,11 @@ type Stats struct {
 	// FallbackConds is the number of conditions lacking equi-bindings
 	// (evaluated by scanning active base entries).
 	FallbackConds int
+	// Batches counts the detail-side morsel chunks fed through the
+	// scan (relation.DefaultBatchCap rows each); parallel scans count
+	// every worker's chunks. This is the batches= figure EXPLAIN
+	// ANALYZE shows for GMDJ operators.
+	Batches int64
 	// WorkerRows records, for a parallel scan, how many detail rows
 	// each worker fed (per-worker locals, recorded at drain time). Nil
 	// for serial evaluation. Merge concatenates, so partitioned runs
@@ -99,6 +104,7 @@ func (s *Stats) Merge(src *Stats) {
 	s.Completed += src.Completed
 	s.ShortCircuitRows += src.ShortCircuitRows
 	s.FallbackConds += src.FallbackConds
+	s.Batches += src.Batches
 	s.WorkerRows = append(s.WorkerRows, src.WorkerRows...)
 	s.HashCacheHits += src.HashCacheHits
 	s.HashCacheMisses += src.HashCacheMisses
@@ -112,8 +118,10 @@ func (s *Stats) Merge(src *Stats) {
 type Options struct {
 	// Completion enables §4.2 tuple completion when non-nil.
 	Completion *algebra.CompletionInfo
-	// Workers > 1 partitions the detail scan across goroutines and
-	// merges per-worker accumulators. 0 and 1 mean serial.
+	// Workers > 1 partitions the base relation across goroutines, each
+	// scanning the detail relation against its own base range; results
+	// are byte-identical to serial evaluation at any degree. 0 and 1
+	// mean serial.
 	Workers int
 	// MaxBaseRows bounds the in-memory base-values structure: when the
 	// base exceeds it, evaluation proceeds in base partitions of this
@@ -195,6 +203,11 @@ type condProg struct {
 	// calls in feed. Read-only once attached (shared across workers and
 	// across queries).
 	detailHash *detailHashVec
+	// detailPredOK, when non-nil, caches the detail-only predicate
+	// outcome per detail row. prepareParallel fills it before a
+	// parallel run so workers share one evaluation pass instead of
+	// each repeating it. Read-only once built.
+	detailPredOK []bool
 }
 
 type program struct {
@@ -266,10 +279,49 @@ func (p *program) run(workers int, stats *Stats) ([]int8, [][]agg.Accumulator, e
 	if workers <= 0 {
 		workers = 1
 	}
-	if workers > 1 && len(p.detail.Rows) >= 2*workers {
+	// Parallel evaluation shards the base, so it needs enough base rows
+	// for every worker to own a real range, and enough detail rows for
+	// the scan to be worth sharding at all.
+	if workers > 1 && len(p.base.Rows) >= 2*workers && len(p.detail.Rows) >= 2*workers {
+		if err := p.prepareParallel(); err != nil {
+			return nil, nil, err
+		}
 		return p.runParallel(workers, stats)
 	}
 	return p.runSerial(stats)
+}
+
+// prepareParallel hoists the per-detail-row work every worker would
+// otherwise repeat into shared read-only vectors: indexed conditions
+// get their key-hash partition (when the cross-query cache hasn't
+// already supplied one), and conditions with a detail-only predicate
+// get its outcome bitmap. One O(detail) pass here replaces
+// workers× passes inside the scan, leaving only the index probes
+// themselves as duplicated work.
+func (p *program) prepareParallel() error {
+	n := len(p.detail.Rows)
+	for ci := range p.conds {
+		cp := &p.conds[ci]
+		if cp.index != nil && len(cp.detailKey) > 0 && cp.detailHash == nil {
+			vec := &detailHashVec{H: make([]uint64, n), OK: make([]bool, n)}
+			for di, row := range p.detail.Rows {
+				vec.H[di], vec.OK[di] = keyHash(row, cp.detailKey)
+			}
+			cp.detailHash = vec
+		}
+		if cp.detailPred != nil && cp.detailPredOK == nil {
+			oks := make([]bool, n)
+			for di, row := range p.detail.Rows {
+				tr, err := expr.EvalTri(cp.detailPred, row)
+				if err != nil {
+					return err
+				}
+				oks[di] = tr == value.True
+			}
+			cp.detailPredOK = oks
+		}
+	}
+	return nil
 }
 
 // estimateStateBytes approximates the resident footprint of the GMDJ
@@ -506,10 +558,16 @@ func keysEqual(baseRow, detailRow relation.Tuple, baseKey, detailKey []int) bool
 	return true
 }
 
-// state is the per-run mutable evaluation state (one per worker in
-// parallel mode).
+// state is the per-run mutable evaluation state. Serial evaluation
+// uses one state spanning the whole base; parallel evaluation gives
+// each worker a state owning a contiguous base range.
 type state struct {
-	p        *program
+	p *program
+	// lo, hi bound the base range this state owns. Arrays are
+	// full-length and globally indexed — hash-index buckets hand out
+	// global base positions, so global indexing keeps the probe path
+	// offset-free — but only [lo,hi) is populated.
+	lo, hi   int
 	accs     [][]agg.Accumulator // [base][agg]
 	active   []bool
 	decided  []int8 // 0 undecided, +1 accept (frozen), -1 drop
@@ -524,24 +582,44 @@ type state struct {
 	// data. Lists are compacted lazily as completion retires entries.
 	condScan [][]int32
 	inactive int
-	// remaining counts still-active base entries; when completion
-	// retires the last one the detail scan short-circuits (no base
-	// tuple can change its output anymore).
+	// remaining counts still-active base entries in [lo,hi); when
+	// completion retires the last one the detail scan short-circuits
+	// (no base tuple this state owns can change its output anymore).
 	remaining int
-	stats     Stats
+	// liveFlushed tracks how many fed detail rows have been published
+	// to the live-query registry; flushLive publishes per chunk, so
+	// parallel workers don't contend on the shared atomic per row.
+	liveFlushed int64
+	stats       Stats
 }
 
-func (p *program) newState() (*state, error) {
+// flushLive publishes detail-row progress accumulated since the last
+// flush to the live-query registry.
+func (s *state) flushLive() {
+	if d := s.stats.DetailRows - s.liveFlushed; d > 0 {
+		s.p.live.AddDetail(d)
+		s.liveFlushed = s.stats.DetailRows
+	}
+}
+
+// newState builds evaluation state for the base range [lo,hi): the
+// per-entry accumulator rows, completion flags, base-predicate cache,
+// and fallback scan lists cover only the owned range, so a parallel
+// run splits the O(base) construction cost across workers instead of
+// repeating it.
+func (p *program) newState(lo, hi int) (*state, error) {
 	nBase := len(p.base.Rows)
 	s := &state{
 		p:         p,
+		lo:        lo,
+		hi:        hi,
 		accs:      make([][]agg.Accumulator, nBase),
 		active:    make([]bool, nBase),
 		decided:   make([]int8, nBase),
 		combined:  make(relation.Tuple, p.baseW+p.detail.Schema.Len()),
-		remaining: nBase,
+		remaining: hi - lo,
 	}
-	for bi := range s.accs {
+	for bi := lo; bi < hi; bi++ {
 		s.active[bi] = true
 		row := make([]agg.Accumulator, 0, p.totalAggs)
 		for ci := range p.conds {
@@ -553,7 +631,7 @@ func (p *program) newState() (*state, error) {
 	}
 	if p.comp != nil {
 		s.matched = make([][]bool, nBase)
-		for bi := range s.matched {
+		for bi := lo; bi < hi; bi++ {
 			s.matched[bi] = make([]bool, len(p.comp.Atoms))
 		}
 	}
@@ -564,8 +642,8 @@ func (p *program) newState() (*state, error) {
 			continue
 		}
 		oks := make([]bool, nBase)
-		for bi, row := range p.base.Rows {
-			tr, err := expr.EvalTri(cp.basePred, row)
+		for bi := lo; bi < hi; bi++ {
+			tr, err := expr.EvalTri(cp.basePred, p.base.Rows[bi])
 			if err != nil {
 				return nil, err
 			}
@@ -578,9 +656,9 @@ func (p *program) newState() (*state, error) {
 		if p.conds[ci].index != nil {
 			continue
 		}
-		list := make([]int32, 0, nBase)
+		list := make([]int32, 0, hi-lo)
 		oks := s.basePredOK[ci]
-		for bi := 0; bi < nBase; bi++ {
+		for bi := lo; bi < hi; bi++ {
 			if oks == nil || oks[bi] {
 				list = append(list, int32(bi))
 			}
@@ -596,16 +674,21 @@ func (s *state) feed(di int) error {
 	detailRow := p.detail.Rows[di]
 	copy(s.combined[p.baseW:], detailRow)
 	s.stats.DetailRows++
-	p.live.AddDetail(1)
 	for ci := range p.conds {
 		cp := &p.conds[ci]
 		if cp.detailPred != nil {
-			tr, err := expr.EvalTri(cp.detailPred, detailRow)
-			if err != nil {
-				return err
-			}
-			if tr != value.True {
-				continue
+			if cp.detailPredOK != nil {
+				if !cp.detailPredOK[di] {
+					continue
+				}
+			} else {
+				tr, err := expr.EvalTri(cp.detailPred, detailRow)
+				if err != nil {
+					return err
+				}
+				if tr != value.True {
+					continue
+				}
 			}
 		}
 		if cp.index != nil {
@@ -716,7 +799,7 @@ func (s *state) retire(bi int, decision int8) {
 	s.stats.Completed++
 	s.inactive++
 	s.remaining--
-	if s.inactive*2 > len(s.p.base.Rows) {
+	if s.inactive*2 > s.hi-s.lo {
 		for ci, list := range s.condScan {
 			if list == nil {
 				continue
@@ -807,42 +890,73 @@ func (p *program) emit(decided []int8, accs [][]agg.Accumulator) (*relation.Rela
 }
 
 func (p *program) runSerial(stats *Stats) ([]int8, [][]agg.Accumulator, error) {
-	s, err := p.newState()
+	s, err := p.newState(0, len(p.base.Rows))
 	if err != nil {
 		return nil, nil, err
 	}
-	for di := range p.detail.Rows {
-		if s.remaining == 0 {
-			// Every base tuple is decided: no remaining detail row can
-			// change the output, so the scan short-circuits (§4.2 taken
-			// to its limit).
-			s.stats.ShortCircuitRows += int64(len(p.detail.Rows) - di)
-			break
+	// The detail scan proceeds in batch-sized chunks — the same morsel
+	// discipline the rest of the engine runs on, and the unit the
+	// batches= counter reports.
+	n := len(p.detail.Rows)
+	defer s.flushLive()
+scan:
+	for lo := 0; lo < n; lo += relation.DefaultBatchCap {
+		hi := lo + relation.DefaultBatchCap
+		if hi > n {
+			hi = n
 		}
-		if err := p.gov.Tick(); err != nil {
-			return nil, nil, err
+		s.stats.Batches++
+		for di := lo; di < hi; di++ {
+			if s.remaining == 0 {
+				// Every base tuple is decided: no remaining detail row can
+				// change the output, so the scan short-circuits (§4.2 taken
+				// to its limit).
+				s.stats.ShortCircuitRows += int64(n - di)
+				break scan
+			}
+			if err := p.gov.Tick(); err != nil {
+				return nil, nil, err
+			}
+			if err := s.feed(di); err != nil {
+				return nil, nil, err
+			}
 		}
-		if err := s.feed(di); err != nil {
-			return nil, nil, err
-		}
+		s.flushLive()
 	}
 	stats.Merge(&s.stats)
 	return s.decided, s.accs, nil
 }
 
-// runParallel shards the detail scan. Each worker evaluates its chunk
-// with worker-local accumulators and completion flags; partials are
-// merged, and completion decisions are re-derived from the merged
-// match flags (sound because match counts only grow — a condition
-// matched in any worker is matched globally).
+// runParallel shards the BASE relation: each worker owns a contiguous
+// range of base tuples, builds state for that range only, and scans
+// the whole detail relation against it. Sharding the base rather than
+// the detail wins three ways:
+//
+//   - The O(base) state construction (accumulator rows, base-predicate
+//     cache, fallback scan lists) splits across workers instead of
+//     being repeated per worker.
+//   - Every base tuple's accumulators are fed by exactly one worker,
+//     in detail order — the same fold order the serial scan uses — so
+//     results are byte-identical to serial at any degree with no
+//     cross-worker accumulator merge (order-sensitive aggregates
+//     included). Completion decisions are likewise final per range.
+//   - Tuple completion short-circuits per range: a worker whose
+//     entries are all decided stops scanning immediately, so the
+//     aggregate detail work tracks the serial scan's effective work,
+//     not workers × detail.
+//
+// The price is that indexed conditions probe the shared hash index
+// from every worker and discard hits outside the owned range (one
+// active-flag load each); fallback θ-conditions pay nothing extra —
+// each worker iterates only its own scan lists. Merging is pure
+// concatenation of ranges in base order.
 //
 // Failure semantics: the first worker to fail (operator error, budget
 // violation, cancellation, or recovered panic) records its error and
 // trips a shared stop flag; every other worker observes the flag on
-// its next detail row and returns without finishing its partition.
-// The pool therefore drains within one row of the first failure
-// instead of running every partition to completion, and Evaluate
-// returns the first error in detail-scan order of occurrence. Worker
+// its next detail row and returns without finishing its scan. The
+// pool therefore drains within one row of the first failure, and
+// Evaluate returns the first error in order of occurrence. Worker
 // panics are recovered on the worker goroutine itself — the engine's
 // panic boundary lives on the query goroutine and cannot shield
 // workers — and surface as *govern.InternalError.
@@ -850,11 +964,18 @@ func (p *program) runParallel(workers int, stats *Stats) ([]int8, [][]agg.Accumu
 	if workers > runtime.GOMAXPROCS(0)*4 {
 		workers = runtime.GOMAXPROCS(0) * 4
 	}
+	nBase := len(p.base.Rows)
+	if workers > nBase {
+		workers = nBase
+	}
+	if workers <= 1 {
+		return p.runSerial(stats)
+	}
 	// Allocate every worker state before launching any goroutine, so an
 	// allocation error cannot strand already-started workers.
 	states := make([]*state, workers)
 	for w := range states {
-		st, err := p.newState()
+		st, err := p.newState(w*nBase/workers, (w+1)*nBase/workers)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -872,9 +993,8 @@ func (p *program) runParallel(workers int, stats *Stats) ([]int8, [][]agg.Accumu
 	var wg sync.WaitGroup
 	n := len(p.detail.Rows)
 	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
-		go func(w int, st *state, lo, hi int) {
+		go func(w int, st *state) {
 			start := time.Now()
 			defer wg.Done()
 			defer func() {
@@ -882,33 +1002,45 @@ func (p *program) runParallel(workers int, stats *Stats) ([]int8, [][]agg.Accumu
 					fail(&govern.InternalError{Panic: r, Node: "*algebra.GMDJ", Stack: debug.Stack()})
 				}
 			}()
+			defer st.flushLive()
 			defer func() {
-				p.tracer.Span("gmdj", fmt.Sprintf("worker %d [%d:%d)", w, lo, hi), int64(2+w), start, time.Since(start))
+				p.tracer.Span("gmdj", fmt.Sprintf("worker %d base [%d:%d)", w, st.lo, st.hi), int64(2+w), start, time.Since(start))
 			}()
 			if err := p.faults.Fire("gmdj.worker", p.gov); err != nil {
 				fail(err)
 				return
 			}
-			for di := lo; di < hi; di++ {
-				if stop.Load() {
-					return
+			// Each worker walks the full detail scan in batch-sized
+			// chunks, mirroring the serial scan's morsel discipline.
+			for blo := 0; blo < n; blo += relation.DefaultBatchCap {
+				bhi := blo + relation.DefaultBatchCap
+				if bhi > n {
+					bhi = n
 				}
-				if st.remaining == 0 {
-					// Worker-local short-circuit: this worker's active set
-					// is drained, so the rest of its partition is dead work.
-					st.stats.ShortCircuitRows += int64(hi - di)
-					return
+				st.stats.Batches++
+				for di := blo; di < bhi; di++ {
+					if stop.Load() {
+						return
+					}
+					if st.remaining == 0 {
+						// Range short-circuit: every base entry this worker
+						// owns is decided, so the rest of the scan is dead
+						// work for it.
+						st.stats.ShortCircuitRows += int64(n - di)
+						return
+					}
+					if err := p.gov.Tick(); err != nil {
+						fail(err)
+						return
+					}
+					if err := st.feed(di); err != nil {
+						fail(err)
+						return
+					}
 				}
-				if err := p.gov.Tick(); err != nil {
-					fail(err)
-					return
-				}
-				if err := st.feed(di); err != nil {
-					fail(err)
-					return
-				}
+				st.flushLive()
 			}
-		}(w, states[w], lo, hi)
+		}(w, states[w])
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -919,38 +1051,17 @@ func (p *program) runParallel(workers int, stats *Stats) ([]int8, [][]agg.Accumu
 	for w := range states {
 		workerRows[w] = states[w].stats.DetailRows
 	}
-	// Merge worker partials into states[0].
+	// Each worker's range is disjoint and final: concatenate.
 	root := states[0]
 	for w := 1; w < workers; w++ {
 		st := states[w]
-		for bi := range root.accs {
-			for k := range root.accs[bi] {
-				if err := agg.Merge(root.accs[bi][k], st.accs[bi][k]); err != nil {
-					return nil, nil, err
-				}
-			}
-			if root.matched != nil {
-				for ai := range root.matched[bi] {
-					root.matched[bi][ai] = root.matched[bi][ai] || st.matched[bi][ai]
-				}
-			}
-		}
+		copy(root.accs[st.lo:st.hi], st.accs[st.lo:st.hi])
+		copy(root.decided[st.lo:st.hi], st.decided[st.lo:st.hi])
 		root.stats.Merge(&st.stats)
 	}
 	root.stats.WorkerRows = workerRows
-	decided := make([]int8, len(p.base.Rows))
-	if p.comp != nil {
-		for bi := range decided {
-			switch evalTree(p.comp.Tree, p.comp.Atoms, root.matched[bi]) {
-			case value.False:
-				decided[bi] = -1
-			case value.True:
-				decided[bi] = 1
-			}
-		}
-	}
 	stats.Merge(&root.stats)
-	return decided, root.accs, nil
+	return root.decided, root.accs, nil
 }
 
 // evaluatePartitioned processes the base relation in bounded chunks,

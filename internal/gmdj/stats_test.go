@@ -13,10 +13,11 @@ import (
 )
 
 // statsWorkload builds a completion-free workload: without completion
-// every detail row does identical work regardless of partitioning, so
-// serial and parallel counters must agree exactly. (With completion
-// the counters legitimately diverge — workers retire base tuples at
-// partition-local points.)
+// no base tuple retires early, so the counters' relationship to the
+// serial run is exact — matches split perfectly across base ranges,
+// and every worker feeds the whole detail relation. (With completion
+// the counters legitimately diverge — workers short-circuit at
+// range-local points.)
 func statsWorkload(detailRows int) (*relation.Relation, *relation.Relation, []algebra.GMDJCond) {
 	base := relation.New(relation.NewSchema(
 		relation.Column{Qualifier: "B", Name: "k", Type: value.KindInt},
@@ -46,9 +47,14 @@ func statsWorkload(detailRows int) (*relation.Relation, *relation.Relation, []al
 	return base, detail, conds
 }
 
-// TestStatsParitySerialParallel asserts that parallel evaluation
-// reports exactly the counters serial evaluation does (per-worker
-// locals merged at drain — no lost or double-counted updates). Run
+// TestStatsParitySerialParallel pins the base-sharded counter
+// contract against serial evaluation (per-worker locals merged at
+// drain — no lost or double-counted updates): matches and completions
+// agree exactly (every (base, detail, θ) triple is evaluated by
+// exactly one worker), detail rows multiply by the effective worker
+// count (each worker runs the full detail scan), and probes land
+// between the serial count (fallback visits split perfectly) and
+// workers× it (shared-index buckets are walked by every worker). Run
 // under -race this also proves the merge is race-free: workers write
 // only their own state's counters, and WorkerRows is recorded after
 // the pool drains.
@@ -74,18 +80,24 @@ func TestStatsParitySerialParallel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if outP.Len() != outS.Len() {
-			t.Fatalf("workers=%d: rows = %d, want %d", workers, outP.Len(), outS.Len())
+		if outP.String() != outS.String() {
+			t.Fatalf("workers=%d: output differs from serial:\n%s", workers, outS.Diff(outP))
 		}
-		if par.DetailRows != serial.DetailRows ||
-			par.Probes != serial.Probes ||
-			par.Matches != serial.Matches ||
-			par.Completed != serial.Completed ||
+		effective := int64(len(par.WorkerRows))
+		if effective < 2 {
+			t.Fatalf("workers=%d: WorkerRows = %v, want at least two workers", workers, par.WorkerRows)
+		}
+		if par.DetailRows != serial.DetailRows*effective {
+			t.Fatalf("workers=%d: DetailRows = %d, want %d×%d (every worker scans the full detail)",
+				workers, par.DetailRows, effective, serial.DetailRows)
+		}
+		if par.Matches != serial.Matches || par.Completed != serial.Completed ||
 			par.ShortCircuitRows != serial.ShortCircuitRows {
 			t.Fatalf("workers=%d: counters diverge:\nserial   %+v\nparallel %+v", workers, serial, par)
 		}
-		if len(par.WorkerRows) == 0 {
-			t.Fatalf("workers=%d: WorkerRows not recorded", workers)
+		if par.Probes < serial.Probes || par.Probes > serial.Probes*effective {
+			t.Fatalf("workers=%d: Probes = %d, want within [%d, %d]",
+				workers, par.Probes, serial.Probes, serial.Probes*effective)
 		}
 		var sum int64
 		for _, r := range par.WorkerRows {

@@ -627,3 +627,34 @@ func ParseBytes(s string) (int64, error) {
 	}
 	return n * mult, nil
 }
+
+// PerWorkerBytes is the pipeline scratch footprint budgeted per morsel
+// worker when clamping parallelism against an engine memory limit:
+// each worker holds a couple of fixed-capacity batches (row-reference
+// and columnar vectors), a concatenated scratch tuple, and per-morsel
+// output buffers in flight. An estimate — what an admission-style
+// clamp needs — not an allocation count. Kept well above the measured
+// steady-state footprint (a few tens of KiB) so the clamp errs toward
+// serial under tight limits, and well below typical pool sizes so
+// moderate limits still parallelize alongside spilling state.
+const PerWorkerBytes = 256 << 10
+
+// ClampParallelism bounds a requested morsel-parallel degree by the
+// engine memory limit: with a pool of `limit` bytes shared by every
+// concurrent query, more than limit/PerWorkerBytes workers could not
+// all hold their pipeline scratch resident at once. No limit (<= 0)
+// or a serial request passes through unchanged; the result is always
+// at least 1.
+func ClampParallelism(limit int64, n int) int {
+	if limit <= 0 || n <= 1 {
+		return n
+	}
+	max := int(limit / PerWorkerBytes)
+	if max < 1 {
+		max = 1
+	}
+	if n > max {
+		return max
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+func batchTestSchema() *Schema {
+	return NewSchema(
+		Column{Qualifier: "t", Name: "a", Type: value.KindInt},
+		Column{Qualifier: "t", Name: "b", Type: value.KindString},
+	)
+}
+
+func TestBatchAppendAndReset(t *testing.T) {
+	b := NewBatch(batchTestSchema(), 4)
+	if b.Cap() != 4 || b.Len() != 0 {
+		t.Fatalf("fresh batch: cap=%d len=%d", b.Cap(), b.Len())
+	}
+	r1 := Tuple{value.Int(1), value.Str("x")}
+	r2 := Tuple{value.Int(2), value.Str("y")}
+	b.AppendRef(r1)
+	b.AppendRef(r2)
+	if b.Len() != 2 {
+		t.Fatalf("len=%d, want 2", b.Len())
+	}
+	// References are shared, not copied.
+	if &b.Row(0)[0] != &r1[0] {
+		t.Fatal("AppendRef copied the tuple")
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Cap() != 4 {
+		t.Fatalf("after reset: len=%d cap=%d", b.Len(), b.Cap())
+	}
+}
+
+func TestBatchColumnsTranspose(t *testing.T) {
+	b := NewBatch(batchTestSchema(), 8)
+	for i := 0; i < 3; i++ {
+		b.AppendRef(Tuple{value.Int(int64(i)), value.Str("s")})
+	}
+	cols := b.Columns()
+	if len(cols) != 2 {
+		t.Fatalf("columns=%d, want 2", len(cols))
+	}
+	for i := 0; i < 3; i++ {
+		if cols[0][i].AsInt() != int64(i) {
+			t.Fatalf("col0[%d]=%v", i, cols[0][i])
+		}
+	}
+	// Mutation invalidates the cached transpose.
+	b.SetRow(1, Tuple{value.Int(42), value.Str("z")})
+	cols = b.Columns()
+	if cols[0][1].AsInt() != 42 {
+		t.Fatalf("transpose not refreshed: col0[1]=%v", cols[0][1])
+	}
+}
+
+func TestBatchTruncateCompact(t *testing.T) {
+	b := NewBatch(batchTestSchema(), 8)
+	rows := make([]Tuple, 5)
+	for i := range rows {
+		rows[i] = Tuple{value.Int(int64(i)), value.Str("s")}
+		b.AppendRef(rows[i])
+	}
+	// Compact rows 1 and 3 to the front, as a filter would.
+	keep := 0
+	for i := 0; i < b.Len(); i++ {
+		if i == 1 || i == 3 {
+			b.SetRow(keep, b.Row(i))
+			keep++
+		}
+	}
+	b.Truncate(keep)
+	if b.Len() != 2 {
+		t.Fatalf("len=%d, want 2", b.Len())
+	}
+	if b.Row(0)[0].AsInt() != 1 || b.Row(1)[0].AsInt() != 3 {
+		t.Fatalf("compact kept %v %v", b.Row(0), b.Row(1))
+	}
+}
+
+func TestBatchAppendToRelation(t *testing.T) {
+	b := NewBatch(batchTestSchema(), 4)
+	r1 := Tuple{value.Int(1), value.Str("x")}
+	b.AppendRef(r1)
+	rel := New(batchTestSchema())
+	b.AppendTo(rel)
+	if rel.Len() != 1 {
+		t.Fatalf("rel len=%d", rel.Len())
+	}
+	if &rel.Rows[0][0] != &r1[0] {
+		t.Fatal("AppendTo copied the tuple")
+	}
+}
+
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	b := NewBatch(batchTestSchema(), DefaultBatchCap)
+	row := Tuple{value.Int(7), value.Str("x")}
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset()
+		for !b.Full() {
+			b.AppendRef(row)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state fill allocates %.1f allocs/op, want 0", allocs)
+	}
+}

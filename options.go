@@ -15,9 +15,30 @@ import (
 //	)
 type Option func(*DB)
 
-// WithParallelism sets GMDJ detail-scan parallelism (0 or 1 = serial).
-func WithParallelism(workers int) Option {
-	return func(db *DB) { db.eng.SetGMDJWorkers(workers) }
+// WithParallelism sets the database's morsel-driven execution degree:
+// how many workers each parallel operator pipeline may use. Table
+// scans are split into morsels (fixed row ranges) that workers claim
+// and push through filter/projection pipelines; hash-join build and
+// probe, and GMDJ detail scans, parallelize the same way. Results are
+// byte-identical to serial execution at any degree.
+//
+//	n > 1  — run up to n workers per query
+//	n == 1 — force serial execution
+//	n <= 0 — keep the default
+//
+// The default is runtime.GOMAXPROCS(0), overridable process-wide by
+// the GMDJ_PARALLEL environment variable (which explicit options and
+// setters in turn override). When a memory limit is configured the
+// effective degree is additionally clamped so per-worker pipeline
+// scratch fits the limit. Small inputs run serial regardless — the
+// morsel scheduler only spins up workers when there is enough work to
+// split.
+func WithParallelism(n int) Option {
+	return func(db *DB) {
+		if n > 0 {
+			db.eng.SetParallelism(n)
+		}
+	}
 }
 
 // WithBudget bounds every query on the DB; see Budget.

@@ -12,7 +12,7 @@
 # ride the scheduler and the network stack.
 #
 # Usage:
-#   scripts/bench_trajectory.sh               # compare fig4, fig5, prepared, memory, serve
+#   scripts/bench_trajectory.sh               # compare fig4, fig5, prepared, memory, parallel, serve
 #   scripts/bench_trajectory.sh fig4          # compare one figure
 #   scripts/bench_trajectory.sh -update       # re-record all baselines
 #   scripts/bench_trajectory.sh -update serve # re-record one baseline
@@ -39,7 +39,7 @@ if [ "${1:-}" = "-update" ]; then
 fi
 figs=("$@")
 if [ ${#figs[@]} -eq 0 ]; then
-  figs=(fig4 fig5 prepared memory serve)
+  figs=(fig4 fig5 prepared memory parallel serve)
 fi
 
 bindir=$(mktemp -d)
