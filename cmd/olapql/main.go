@@ -5,9 +5,17 @@
 //	olapql [-data netflow|tpcr|none] [-scale f] [-strategy s] [-parallel n]
 //	       [-timeout d] [-max-rows n] [-max-mem bytes]
 //	       [-mem-limit bytes] [-spill-dir dir] [-admission-timeout d]
-//	       [-plancache bytes] [-resultcache bytes]
+//	       [-data-dir dir] [-plancache bytes] [-resultcache bytes]
 //	       [-explain] [-trace out.json] [-metrics-addr :8080]
 //	       [-slowlog out.json] [-slow-ms n] [-profile-dir dir]
+//
+// Durability: -data-dir persists every table as checksummed columnar
+// segments under the given directory and recovers whatever a previous
+// run committed there on startup (corrupt segments quarantine their
+// tables instead of failing the open; the recovery summary is printed
+// on stderr). Checkpoints are transparent — the first query after any
+// write commits a new manifest generation — and explicit via
+// \checkpoint; \segments shows each table's durable state.
 //
 // Caching: the parameterized plan cache is on by default (-plancache
 // sets its byte budget; negative disables it); -resultcache enables
@@ -53,6 +61,8 @@
 //	\live                show in-flight queries with live progress counters
 //	\profile             capture CPU/heap/goroutine/mutex profiles now
 //	                     (needs -profile-dir; prints the ring paths)
+//	\checkpoint          commit a manifest generation now (needs -data-dir)
+//	\segments            show each table's durable segment state
 //	\quit                exit
 //
 // Any other input line is executed as SQL.
@@ -71,6 +81,7 @@
 //	8  spill I/O failure (disk full, corrupt spill file)
 //	9  admission timeout (memory pool contended; query shed)
 //	10 database closed while the query waited for admission
+//	13 durable segment corrupt (query touched a quarantined table)
 package main
 
 import (
@@ -103,6 +114,10 @@ const (
 	exitSpillIO   = 8
 	exitAdmission = 9
 	exitClosed    = 10
+	// 11 and 12 belong to the serving layer (unavailable) and olapd's
+	// shutdown leak check; the shell skips them so codes stay aligned
+	// across binaries.
+	exitSegmentCorrupt = 13
 )
 
 // exitCode maps a query error onto the CLI's exit-code contract.
@@ -116,6 +131,8 @@ func exitCode(err error) int {
 		return exitRowCap
 	case errors.Is(err, gmdj.ErrMemBudget):
 		return exitMemCap
+	case errors.Is(err, gmdj.ErrSegmentCorrupt):
+		return exitSegmentCorrupt
 	case errors.Is(err, gmdj.ErrSpillIO):
 		return exitSpillIO
 	case errors.Is(err, gmdj.ErrAdmissionTimeout):
@@ -141,6 +158,7 @@ func main() {
 	memLimit := flag.Int64("mem-limit", 0, "engine-wide tracked-state memory pool in bytes; queries spill or queue under pressure (0 = untracked)")
 	spillDir := flag.String("spill-dir", "auto", "spill scratch root ('auto' = system temp dir, '' disables spilling: exhaustion kills the query)")
 	admission := flag.Duration("admission-timeout", 0, "how long a query may queue for pool memory before being shed (0 = 10s default)")
+	dataDir := flag.String("data-dir", "", "persist tables as columnar segments under this directory, recovering committed state on startup ('' = in-memory only)")
 	planCacheBytes := flag.Int64("plancache", 0, "parameterized plan cache byte budget (0 = default 16 MiB, negative disables)")
 	resultCacheBytes := flag.Int64("resultcache", -1, "cross-query result memo byte budget (0 = default 64 MiB, negative = off)")
 	execQuery := flag.String("e", "", "execute one query and exit")
@@ -187,6 +205,22 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "olapql: unknown strategy %q\n", *strategy)
 		os.Exit(exitUsage)
+	}
+
+	if *dataDir != "" {
+		// Recovery happens after the sample loaders so a recovered table
+		// wins over (replaces) a same-named sample.
+		rep, err := db.SetDataDir(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapql:", err)
+			db.Close()
+			os.Exit(exitUsage)
+		}
+		fmt.Fprintf(os.Stderr, "olapql: recovered generation %d: %d tables, %d quarantined, %d manifests skipped\n",
+			rep.Generation, len(rep.Tables), len(rep.Quarantined), rep.SkippedManifests)
+		for _, q := range rep.Quarantined {
+			fmt.Fprintf(os.Stderr, "olapql: quarantined %s (%s): %s\n", q.Table, q.File, q.Reason)
+		}
 	}
 
 	if *traceOut != "" {
@@ -309,7 +343,7 @@ func main() {
 
 	fmt.Printf("olapql — GMDJ subquery engine (strategy: %v)\n", strat)
 	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
-	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \prepare <q>, \execute <args>, \caches, \mem, \stats, \hist, \slowlog, \live, \profile, \quit`)
+	fmt.Println(`type SQL, or \tables, \strategy <s>, \explain [analyze] <q>, \prepare <q>, \execute <args>, \caches, \mem, \stats, \hist, \slowlog, \live, \profile, \checkpoint, \segments, \quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -336,6 +370,15 @@ func main() {
 			printCacheStats(db)
 		case line == `\mem`:
 			printMemStats(db)
+		case line == `\checkpoint`:
+			gen, err := db.Checkpoint()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("  committed generation %d\n", gen)
+		case line == `\segments`:
+			printSegments(db)
 		case line == `\hist`:
 			fmt.Print(db.FormatHistograms())
 		case line == `\slowlog`:
@@ -440,6 +483,23 @@ func printMemStats(db *gmdj.DB) {
 	}
 	fmt.Printf("  spill: dir=%s live_files=%d writes=%d reads=%d bytes_written=%d bytes_read=%d\n",
 		m.SpillDir, m.SpillLiveFiles, m.SpillWrites, m.SpillReads, m.SpillBytesWritten, m.SpillBytesRead)
+}
+
+func printSegments(db *gmdj.DB) {
+	ss := db.StorageStats()
+	if !ss.Enabled {
+		fmt.Println("  persistence off (run with -data-dir)")
+		return
+	}
+	fmt.Printf("  dir=%s generation=%d checkpoints=%d bytes_written=%d bytes_read=%d\n",
+		ss.Dir, ss.Generation, ss.Checkpoints, ss.BytesWritten, ss.BytesRead)
+	for _, s := range db.Segments() {
+		status := "ok"
+		if s.Quarantined {
+			status = "QUARANTINED: " + s.Reason
+		}
+		fmt.Printf("  %-20s rows=%-8d file=%s %s\n", s.Table, s.Rows, s.File, status)
+	}
 }
 
 func printCacheStats(db *gmdj.DB) {

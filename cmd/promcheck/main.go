@@ -5,7 +5,7 @@
 // Usage:
 //
 //	promcheck [-reconcile] [-quiesced] [-max-tenant-labels n]
-//	          [-require fam1,fam2] [file]
+//	          [-require fam1,fam2] [-storage] [file]
 //
 // With no file the exposition is read from stdin. Checks, in order:
 //
@@ -23,6 +23,12 @@
 //   - -max-tenant-labels: the tenant label carries at most n distinct
 //     values across the olap_* families (the server's cardinality cap
 //     held, counting the "_other" fold-over series).
+//   - -storage: the olap_storage_* families are exported all-or-nothing
+//     (a data directory exports the full set, an in-memory server none
+//     of it — a partial set means a family was added to prom.go without
+//     updating this list) and, when present, reconcile: a store serving
+//     tables has a committed generation, and an opened store has
+//     recorded at least one recovery pass.
 //
 // Exit codes: 0 all checks pass, 1 a check failed, 2 usage.
 package main
@@ -38,6 +44,22 @@ import (
 	"github.com/olaplab/gmdj/internal/obs"
 )
 
+// storageFamilies mirrors the olap_storage_* set prom.go exports when
+// a data directory is configured. -storage enforces it all-or-nothing.
+var storageFamilies = []string{
+	"olap_storage_generation",
+	"olap_storage_tables",
+	"olap_storage_quarantined_tables",
+	"olap_storage_segments_written_total",
+	"olap_storage_segments_recovered_total",
+	"olap_storage_segments_quarantined_total",
+	"olap_storage_checkpoints_total",
+	"olap_storage_recoveries_total",
+	"olap_storage_manifests_skipped_total",
+	"olap_storage_bytes_written_total",
+	"olap_storage_bytes_read_total",
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -47,6 +69,7 @@ func run() int {
 	quiesced := flag.Bool("quiesced", false, "with -reconcile: require exact equality (no in-flight requests)")
 	maxTenantLabels := flag.Int("max-tenant-labels", 0, "fail when the tenant label has more distinct values (0 = unchecked)")
 	require := flag.String("require", "", "comma-separated metric families that must be declared")
+	storage := flag.Bool("storage", false, "check olap_storage_* families are all-or-nothing and reconcile")
 	flag.Parse()
 
 	var raw []byte
@@ -71,8 +94,9 @@ func run() int {
 	}
 
 	declared := map[string]bool{}
-	requests := map[string]float64{}  // tenant -> olap_requests_total
-	responses := map[string]float64{} // tenant -> sum over kinds
+	requests := map[string]float64{}    // tenant -> olap_requests_total
+	responses := map[string]float64{}   // tenant -> sum over kinds
+	storageVals := map[string]float64{} // olap_storage_* family -> value
 	tenants := map[string]bool{}
 	for _, line := range strings.Split(string(raw), "\n") {
 		line = strings.TrimSpace(line)
@@ -99,6 +123,9 @@ func run() int {
 			requests[labels["tenant"]] += v
 		case "olap_responses_total":
 			responses[labels["tenant"]] += v
+		}
+		if strings.HasPrefix(name, "olap_storage_") {
+			storageVals[name] = v
 		}
 	}
 
@@ -132,6 +159,36 @@ func run() int {
 		for t := range responses {
 			if _, ok := requests[t]; !ok {
 				fmt.Fprintf(os.Stderr, "promcheck: tenant %q: responses with no requests series\n", t)
+				status = 1
+			}
+		}
+	}
+
+	if *storage {
+		known := map[string]bool{}
+		for _, fam := range storageFamilies {
+			known[fam] = true
+		}
+		for fam := range storageVals {
+			if !known[fam] {
+				fmt.Fprintf(os.Stderr, "promcheck: storage family %q not in promcheck's list — update both ends\n", fam)
+				status = 1
+			}
+		}
+		if len(storageVals) > 0 {
+			for _, fam := range storageFamilies {
+				if _, ok := storageVals[fam]; !ok {
+					fmt.Fprintf(os.Stderr, "promcheck: storage families are partial: %q missing\n", fam)
+					status = 1
+				}
+			}
+			if storageVals["olap_storage_tables"] > 0 && storageVals["olap_storage_generation"] < 1 {
+				fmt.Fprintf(os.Stderr, "promcheck: store serves %.0f tables at generation %.0f\n",
+					storageVals["olap_storage_tables"], storageVals["olap_storage_generation"])
+				status = 1
+			}
+			if storageVals["olap_storage_recoveries_total"] < 1 {
+				fmt.Fprintln(os.Stderr, "promcheck: storage exported without a recorded recovery pass")
 				status = 1
 			}
 		}

@@ -41,3 +41,13 @@ var (
 	// unaccounted (purely in-memory) and do not see this error.
 	ErrClosed = mem.ErrPoolClosed
 )
+
+// Durable-storage errors (see WithDataDir).
+var (
+	// ErrSegmentCorrupt: a durable segment failed checksum or structural
+	// verification, or the query touched a table quarantined by
+	// recovery. Unlike ErrSpillIO it is not retryable — the bytes on
+	// disk are wrong and stay wrong until the table is re-created (which
+	// rewrites its segment at the next checkpoint).
+	ErrSegmentCorrupt = storage.ErrSegmentCorrupt
+)

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/olaplab/gmdj/internal/algebra"
@@ -118,6 +119,16 @@ type Engine struct {
 	// cold tier. Both nil when memLimit is unset.
 	pool       *mem.Pool
 	spillStore *spill.Store
+	// store is the durable columnar tier (nil when persistence is off);
+	// recovery is the report from opening it, dataDirOwned marks an
+	// env-derived directory the engine removes on Close, and
+	// lastCkptEpoch is the catalog schema epoch as of the last
+	// successful checkpoint (-1 = never), driving transparent
+	// checkpointing in maybeCheckpoint.
+	store         *storage.DiskStore
+	recovery      *storage.RecoveryReport
+	dataDirOwned  bool
+	lastCkptEpoch atomic.Int64
 }
 
 // Budget bounds one query evaluation: wall clock, materialized rows,
@@ -173,6 +184,7 @@ func New(cat *storage.Catalog, opts ...Option) *Engine {
 		opt(e)
 	}
 	e.applyEnvMem()
+	e.applyEnvData()
 	e.applyParallelism()
 	return e
 }
@@ -204,11 +216,16 @@ func (e *Engine) applyEnvParallelism() {
 func (e *Engine) SetBudget(b Budget) { e.budget = b }
 
 // SetFaultInjector installs a fault injector (tests of failure paths);
-// nil disables injection. The scratch spill store is rebuilt so disk
-// sites (spill.write, spill.read) see the new injector too.
+// nil disables injection. The scratch spill store is rebuilt and the
+// durable store re-armed so disk sites (spill.write, spill.read,
+// storage.write, storage.read, storage.manifest) see the new injector
+// too.
 func (e *Engine) SetFaultInjector(in *govern.Injector) {
 	e.exec.Faults = in
 	e.reconfigureMemory()
+	if e.store != nil {
+		e.store.SetFaults(in)
+	}
 }
 
 // Catalog returns the underlying catalog.
@@ -510,6 +527,9 @@ func (e *Engine) runQuery(ctx context.Context, text string, p algebra.Node, s St
 // budget, the caller's context, an optional collector, and an optional
 // live-registry entry.
 func (e *Engine) execute(ctx context.Context, p algebra.Node, col *obs.Collector, live *obs.LiveQuery) (*relation.Relation, error) {
+	// Durable tier first: flush any writes since the last checkpoint so
+	// the data this query reads is also the data a crash would recover.
+	e.maybeCheckpoint()
 	// Governor-free hot path (WithGovernorFastPath, on by default): no
 	// budget, no pool, and an uncancelable context need no governor, so
 	// benchmark hot loops skip even the per-row atomic tick.
@@ -567,6 +587,8 @@ func errKind(err error) string {
 		return "admission_timeout"
 	case errors.Is(err, mem.ErrPoolClosed):
 		return "closed"
+	case errors.Is(err, storage.ErrSegmentCorrupt):
+		return "segment_corrupt"
 	case errors.Is(err, spill.ErrSpillIO):
 		return "spill_io"
 	case errors.Is(err, govern.ErrInternal):

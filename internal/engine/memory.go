@@ -70,12 +70,14 @@ func (e *Engine) MemStatus() MemStatus {
 	}
 }
 
-// Close releases engine-owned disk state (the scratch spill
-// directory) and closes the memory pool: queries queued for admission
-// are shed promptly with a typed error wrapping mem.ErrPoolClosed
-// instead of waiting out their deadlines, and subsequent queries run
-// unaccounted (purely in-memory). Safe to call more than once and
-// concurrently with queries waiting for admission.
+// Close releases engine-owned disk state (the scratch spill directory
+// and any env-derived data directory; an explicitly configured data
+// directory stays committed on disk) and closes the memory pool:
+// queries queued for admission are shed promptly with a typed error
+// wrapping mem.ErrPoolClosed instead of waiting out their deadlines,
+// and subsequent queries run unaccounted (purely in-memory). Safe to
+// call more than once and concurrently with queries waiting for
+// admission.
 func (e *Engine) Close() error {
 	e.pool.Close()
 	var err error
@@ -84,6 +86,7 @@ func (e *Engine) Close() error {
 		e.spillStore = nil
 		e.exec.Spill = nil
 	}
+	e.closeDataDir()
 	return err
 }
 

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"github.com/olaplab/gmdj/internal/obs"
+	"github.com/olaplab/gmdj/internal/storage"
+)
+
+// Durable storage: the engine optionally owns a storage.DiskStore that
+// persists every table as an immutable columnar segment and commits
+// checkpoints as manifest generations. Checkpointing is transparent —
+// the first query after any write (the catalog's schema epoch moves on
+// every insert, DDL, or index change) flushes dirty tables before
+// executing — and explicit via Checkpoint for \checkpoint and
+// shutdown paths.
+
+// EnvDataDir is the environment variable enabling durable storage for
+// a whole process, e.g. GMDJ_DATA_DIR=/var/lib/gmdj. Because several
+// engines (and several test processes) may share that root, each
+// engine claims a fresh per-process subdirectory beneath it and
+// removes it on Close — the env knob exercises the durable write path
+// everywhere without leaking state across hermetic tests. Explicit
+// SetDataDir calls use the given directory as-is, recover whatever the
+// previous run committed, and never remove it.
+const EnvDataDir = "GMDJ_DATA_DIR"
+
+// dataSeq distinguishes multiple env-derived data dirs in one process.
+var dataSeq atomic.Int64
+
+// SetDataDir opens (creating if needed) the durable store rooted at
+// dir, recovers the newest committed generation into the catalog —
+// quarantining, not failing on, corrupt segments — and enables
+// transparent checkpointing. The empty string disables persistence.
+// Not safe to call concurrently with running queries.
+func (e *Engine) SetDataDir(dir string) (*storage.RecoveryReport, error) {
+	e.store = nil
+	e.recovery = nil
+	e.dataDirOwned = false
+	if dir == "" {
+		return nil, nil
+	}
+	ds, err := storage.OpenDiskStore(dir, e.exec.Faults)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ds.Recover(e.cat)
+	if err != nil {
+		return nil, err
+	}
+	e.store = ds
+	e.recovery = rep
+	e.lastCkptEpoch.Store(-1) // force a checkpoint on the first query
+	obs.MetricAdd("storage.opens", 1)
+	return rep, nil
+}
+
+// DataDir returns the durable store's directory ("" when persistence
+// is off).
+func (e *Engine) DataDir() string {
+	if e.store == nil {
+		return ""
+	}
+	return e.store.Dir()
+}
+
+// Recovery returns the report from the last SetDataDir recovery (nil
+// when persistence is off).
+func (e *Engine) Recovery() *storage.RecoveryReport { return e.recovery }
+
+// DiskStore exposes the durable store (nil when persistence is off).
+func (e *Engine) DiskStore() *storage.DiskStore { return e.store }
+
+// Checkpoint persists every table whose data changed since the last
+// checkpoint and commits a new manifest generation, returning the
+// committed generation. It is an error when no data directory is
+// configured.
+func (e *Engine) Checkpoint() (uint64, error) {
+	if e.store == nil {
+		return 0, errors.New("engine: no data directory configured")
+	}
+	epoch := int64(e.cat.SchemaEpoch())
+	gen, err := e.store.Checkpoint(e.cat)
+	if err != nil {
+		obs.MetricAdd("storage.checkpoint_errors", 1)
+		return gen, err
+	}
+	e.lastCkptEpoch.Store(epoch)
+	return gen, nil
+}
+
+// maybeCheckpoint runs at query start: when the catalog's schema epoch
+// moved since the last successful checkpoint (any write), dirty tables
+// are flushed before the query executes, so a crash at any instant
+// loses at most the writes since the last completed query boundary. A
+// checkpoint failure (disk full, injected fault) degrades durability
+// but never fails the read — the error is counted and the query runs
+// on the in-memory data.
+func (e *Engine) maybeCheckpoint() {
+	if e.store == nil {
+		return
+	}
+	epoch := int64(e.cat.SchemaEpoch())
+	if e.lastCkptEpoch.Load() == epoch {
+		return
+	}
+	if _, err := e.store.Checkpoint(e.cat); err != nil {
+		obs.MetricAdd("storage.checkpoint_errors", 1)
+		return
+	}
+	e.lastCkptEpoch.Store(epoch)
+}
+
+// applyEnvData folds the GMDJ_DATA_DIR default in at construction: a
+// fresh per-process subdirectory under the root, removed on Close.
+func (e *Engine) applyEnvData() {
+	root := strings.TrimSpace(os.Getenv(EnvDataDir))
+	if root == "" {
+		return
+	}
+	dir := filepath.Join(root, fmt.Sprintf("gmdj-data-%d-%d", os.Getpid(), dataSeq.Add(1)))
+	if _, err := e.SetDataDir(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "engine: ignoring %s: %v\n", EnvDataDir, err)
+		return
+	}
+	e.dataDirOwned = true
+}
+
+// closeDataDir releases engine-owned durable state on Close: an
+// env-derived directory is deleted (it exists to exercise the write
+// path in hermetic tests), an explicitly configured one is left fully
+// committed on disk.
+func (e *Engine) closeDataDir() {
+	if e.store != nil && e.dataDirOwned {
+		os.RemoveAll(e.store.Dir())
+	}
+	e.store = nil
+	e.recovery = nil
+	e.dataDirOwned = false
+}

@@ -333,6 +333,12 @@ func (e *Executor) evalScan(s *algebra.Scan, ev *env) (*relation.Relation, error
 	if err != nil {
 		return nil, err
 	}
+	// A quarantined table (its durable segment failed verification at
+	// recovery) refuses queries with the typed corruption error instead
+	// of serving rows that never matched the committed bytes.
+	if err := t.CheckQuarantine(); err != nil {
+		return nil, err
+	}
 	ev.q.scanned += int64(t.Rel.Len())
 	ev.q.live.AddScanned(int64(t.Rel.Len()))
 	return t.Rel.Rename(s.EffectiveAlias()), nil
@@ -351,6 +357,7 @@ func (e *Executor) evalRestrict(r *algebra.Restrict, ev *env) (*relation.Relatio
 	if err != nil {
 		return nil, err
 	}
+	in = e.pruneScanInput(r, in, ev)
 	workers := e.pipelineWorkers(in.Len())
 	if predHasSub(cp) {
 		// Subquery predicates carry per-query mutable state (the
@@ -741,15 +748,22 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 		Mem:        ev.q.tracker("gmdj"),
 		Spill:      e.Spill,
 	}
-	// Cross-query hash-partition reuse is sound only when the detail
-	// relation IS a base table (a bare scan shares the table's row
-	// slice, so row positions and versions line up); any operator in
-	// between produces a fresh derived relation per query.
-	if e.Results != nil {
-		if s, ok := g.Detail.(*algebra.Scan); ok {
-			if t, err := e.Cat.Table(s.Table); err == nil {
+	// Cross-query hash-partition reuse and packed-column hashing are
+	// sound only when the detail relation IS a base table (a bare scan
+	// shares the table's row slice, so row positions and versions line
+	// up); any operator in between produces a fresh derived relation
+	// per query. The PackedHash closure is lazy — the columnar segment
+	// is only built (or fetched from the per-version cache) when the
+	// evaluator actually needs a hash vector the cross-query cache
+	// cannot supply.
+	if s, ok := g.Detail.(*algebra.Scan); ok {
+		if t, err := e.Cat.Table(s.Table); err == nil {
+			if e.Results != nil {
 				opts.HashCache = e.Results
 				opts.DetailID = plancache.EpochTag(s.Table, t.ID(), t.Version())
+			}
+			opts.PackedHash = func(key []int) ([]uint64, []bool) {
+				return t.Segment().KeyHashes(key)
 			}
 		}
 	}
@@ -774,6 +788,9 @@ func (e *Executor) evalGMDJ(g *algebra.GMDJ, ev *env) (*relation.Relation, error
 		if local.HashCacheHits+local.HashCacheMisses > 0 {
 			op.Add("hash_cache_hits", local.HashCacheHits)
 			op.Add("hash_cache_misses", local.HashCacheMisses)
+		}
+		if local.PackedHashConds > 0 {
+			op.Add("packed_hash_conds", local.PackedHashConds)
 		}
 		if local.SpillPartitions > 0 {
 			op.Add("spill_partitions", local.SpillPartitions)

@@ -78,6 +78,10 @@ type Stats struct {
 	// hashing pass over the detail relation per condition key set.
 	HashCacheHits   int64
 	HashCacheMisses int64
+	// PackedHashConds counts condition key sets whose detail hash
+	// vector was read from the packed columnar segment
+	// (Options.PackedHash) instead of hashing row-oriented tuples.
+	PackedHashConds int64
 	// SpillPartitions counts base-state partitions evicted to the spill
 	// store because the memory reservation could not hold the whole
 	// base state; SpillBytesWritten/SpillBytesRead are their on-disk
@@ -108,6 +112,7 @@ func (s *Stats) Merge(src *Stats) {
 	s.WorkerRows = append(s.WorkerRows, src.WorkerRows...)
 	s.HashCacheHits += src.HashCacheHits
 	s.HashCacheMisses += src.HashCacheMisses
+	s.PackedHashConds += src.PackedHashConds
 	s.SpillPartitions += src.SpillPartitions
 	s.SpillBytesWritten += src.SpillBytesWritten
 	s.SpillBytesRead += src.SpillBytesRead
@@ -155,6 +160,15 @@ type Options struct {
 	// DetailID identifies the detail relation for HashCache keys
 	// (e.g. "Flow#3@7"). Empty disables hash-partition caching.
 	DetailID string
+	// PackedHash, when non-nil, supplies detail-side key-hash vectors
+	// straight from the detail table's packed columnar segment
+	// (storage.Segment.KeyHashes): given the detail-schema positions of
+	// a condition's key columns, it returns the per-row hash and
+	// validity vectors, bit-identical to hashing the row-oriented
+	// tuples. The caller must guarantee the vectors describe exactly
+	// the rows of the detail relation passed to Evaluate (the executor
+	// sets this only for bare table scans, the same gate as DetailID).
+	PackedHash func(key []int) (h []uint64, ok []bool)
 	// Mem, when non-nil, charges the estimated base-state footprint
 	// (hash indexes, accumulators, completion flags) against the
 	// query's memory reservation before building it. When the
@@ -221,6 +235,9 @@ type program struct {
 	faults       *govern.Injector
 	tracer       *obs.Tracer
 	live         *obs.LiveQuery
+	// packed mirrors Options.PackedHash: the detail table's columnar
+	// key-hash supplier, consulted before any row-oriented hashing pass.
+	packed func(key []int) (h []uint64, ok []bool)
 }
 
 // Evaluate computes the GMDJ of base and detail under conds.
@@ -254,8 +271,11 @@ func Evaluate(base, detail *relation.Relation, conds []algebra.GMDJCond, opts Op
 		return nil, err
 	}
 	p.gov, p.faults, p.tracer, p.live = opts.Gov, opts.Faults, opts.Tracer, opts.Live
+	p.packed = opts.PackedHash
 	if opts.HashCache != nil && opts.DetailID != "" {
 		p.attachDetailHashes(opts.HashCache, opts.DetailID, opts.Stats)
+	} else if p.packed != nil {
+		p.attachPackedHashes(opts.Stats)
 	}
 	if opts.Stats != nil {
 		for _, c := range p.conds {
@@ -283,7 +303,7 @@ func (p *program) run(workers int, stats *Stats) ([]int8, [][]agg.Accumulator, e
 	// for every worker to own a real range, and enough detail rows for
 	// the scan to be worth sharding at all.
 	if workers > 1 && len(p.base.Rows) >= 2*workers && len(p.detail.Rows) >= 2*workers {
-		if err := p.prepareParallel(); err != nil {
+		if err := p.prepareParallel(stats); err != nil {
 			return nil, nil, err
 		}
 		return p.runParallel(workers, stats)
@@ -298,16 +318,12 @@ func (p *program) run(workers int, stats *Stats) ([]int8, [][]agg.Accumulator, e
 // get its outcome bitmap. One O(detail) pass here replaces
 // workers× passes inside the scan, leaving only the index probes
 // themselves as duplicated work.
-func (p *program) prepareParallel() error {
+func (p *program) prepareParallel(stats *Stats) error {
 	n := len(p.detail.Rows)
 	for ci := range p.conds {
 		cp := &p.conds[ci]
 		if cp.index != nil && len(cp.detailKey) > 0 && cp.detailHash == nil {
-			vec := &detailHashVec{H: make([]uint64, n), OK: make([]bool, n)}
-			for di, row := range p.detail.Rows {
-				vec.H[di], vec.OK[di] = keyHash(row, cp.detailKey)
-			}
-			cp.detailHash = vec
+			cp.detailHash = p.computeDetailVec(cp.detailKey, stats)
 		}
 		if cp.detailPred != nil && cp.detailPredOK == nil {
 			oks := make([]bool, n)
@@ -429,19 +445,58 @@ func (p *program) attachDetailHashes(cache HashCache, detailID string, stats *St
 				continue
 			}
 		}
-		vec := &detailHashVec{
-			H:  make([]uint64, len(p.detail.Rows)),
-			OK: make([]bool, len(p.detail.Rows)),
-		}
-		for di, row := range p.detail.Rows {
-			vec.H[di], vec.OK[di] = keyHash(row, cp.detailKey)
-		}
+		vec := p.computeDetailVec(cp.detailKey, stats)
 		cache.Put(key, vec, int64(len(vec.H))*9)
 		cp.detailHash = vec
 		if stats != nil {
 			stats.HashCacheMisses++
 		}
 	}
+}
+
+// attachPackedHashes resolves indexed conditions' detail hash vectors
+// from the packed columnar segment when no cross-query cache is
+// configured. Only trusted vectors attach: a supplier whose vector
+// length disagrees with the detail relation (a stale segment) is
+// dropped entirely and evaluation falls back to row hashing.
+func (p *program) attachPackedHashes(stats *Stats) {
+	n := len(p.detail.Rows)
+	for i := range p.conds {
+		cp := &p.conds[i]
+		if cp.index == nil || len(cp.detailKey) == 0 || cp.detailHash != nil {
+			continue
+		}
+		h, ok := p.packed(cp.detailKey)
+		if len(h) != n || len(ok) != n {
+			p.packed = nil
+			return
+		}
+		cp.detailHash = &detailHashVec{H: h, OK: ok}
+		if stats != nil {
+			stats.PackedHashConds++
+		}
+	}
+}
+
+// computeDetailVec builds the key-hash vector for one detail key set,
+// reading the packed columnar segment when a trusted supplier is
+// attached and falling back to hashing the row-oriented tuples.
+func (p *program) computeDetailVec(key []int, stats *Stats) *detailHashVec {
+	n := len(p.detail.Rows)
+	if p.packed != nil {
+		if h, ok := p.packed(key); len(h) == n && len(ok) == n {
+			if stats != nil {
+				stats.PackedHashConds++
+			}
+			return &detailHashVec{H: h, OK: ok}
+		}
+		p.packed = nil // stale supplier: never consult it again
+	}
+	vec := &detailHashVec{H: make([]uint64, n), OK: make([]bool, n)}
+	for di, row := range p.detail.Rows {
+		vec.H[di], vec.OK[di] = keyHash(row, key)
+	}
+	return vec
 }
 
 // classifyTheta splits θ's conjuncts into bindings and side-local

@@ -187,8 +187,11 @@ func evaluateSpilled(base, detail *relation.Relation, conds []algebra.GMDJCond, 
 			return nil, err
 		}
 		p.gov, p.faults, p.tracer, p.live = opts.Gov, opts.Faults, opts.Tracer, opts.Live
+		p.packed = opts.PackedHash
 		if opts.HashCache != nil && opts.DetailID != "" {
 			p.attachDetailHashes(opts.HashCache, opts.DetailID, opts.Stats)
+		} else if p.packed != nil {
+			p.attachPackedHashes(opts.Stats)
 		}
 		d, a, err := p.run(opts.Workers, opts.Stats)
 		opts.Mem.Shrink(charged)

@@ -32,13 +32,18 @@ import (
 // nothing. Without the suffix N is 1 and the historical every-call
 // behavior is unchanged.
 //
-// The spill sites additionally accept the disk-fault actions "enospc"
-// (the write fails as if the device were full), "shortwrite" (the
-// write is truncated mid-frame), and "corrupt" (a byte of the frame is
-// flipped, tripping the checksum — on spill.read this corrupts the
-// re-read, modeling at-rest corruption). Disk actions are interpreted
-// by the spill store via Disk; Fire treats them as no-ops so they are
-// inert at non-disk sites.
+// The spill sites and the durable-storage sites storage.write
+// (segment persistence), storage.read (segment re-read/recovery), and
+// storage.manifest (manifest commit) additionally accept the
+// disk-fault actions "enospc" (the write fails as if the device were
+// full), "shortwrite" (the write is truncated mid-frame), "corrupt" (a
+// byte of the frame is flipped, tripping the checksum — on read sites
+// this corrupts the re-read, modeling at-rest corruption), and "torn"
+// (the write is truncated but REPORTED as durable, modeling a torn
+// write behind a lying fsync — recovery must detect and quarantine
+// it). Disk actions are interpreted by the spill and storage stores
+// via Disk; Fire treats them as no-ops so they are inert at non-disk
+// sites.
 const EnvFaults = "GMDJ_FAULTS"
 
 // ErrInjected is the error returned by an "error" fault; injected
@@ -55,6 +60,7 @@ const (
 	faultENOSPC
 	faultShortWrite
 	faultCorrupt
+	faultTorn
 )
 
 // DiskFault classifies the disk-level fault configured at a spill
@@ -71,6 +77,9 @@ const (
 	DiskShortWrite
 	// DiskCorrupt: flip a byte of the frame so the checksum trips.
 	DiskCorrupt
+	// DiskTorn: truncate the write but report it as durably completed —
+	// a torn write behind a lying fsync. Only recovery notices.
+	DiskTorn
 )
 
 type fault struct {
@@ -141,6 +150,8 @@ func ParseFaults(spec string) (*Injector, error) {
 			f.kind = faultShortWrite
 		case action == "corrupt":
 			f.kind = faultCorrupt
+		case action == "torn":
+			f.kind = faultTorn
 		default:
 			return nil, fmt.Errorf("govern: fault spec %q: unknown action %q", part, action)
 		}
@@ -191,11 +202,11 @@ func (in *Injector) Fire(site string, g *Governor) error {
 		return nil
 	}
 	switch f.kind {
-	case faultENOSPC, faultShortWrite, faultCorrupt:
-		// Disk faults are byte-level: the spill store asks for them via
-		// Disk and enacts them against its own file I/O. Inert here so a
-		// disk action at a non-disk site does nothing — and the rate
-		// counter is left to Disk.
+	case faultENOSPC, faultShortWrite, faultCorrupt, faultTorn:
+		// Disk faults are byte-level: the spill and storage stores ask
+		// for them via Disk and enact them against their own file I/O.
+		// Inert here so a disk action at a non-disk site does nothing —
+		// and the rate counter is left to Disk.
 		return nil
 	}
 	if !f.due() {
@@ -238,6 +249,8 @@ func (in *Injector) Disk(site string) DiskFault {
 		kind = DiskShortWrite
 	case faultCorrupt:
 		kind = DiskCorrupt
+	case faultTorn:
+		kind = DiskTorn
 	default:
 		return DiskNone
 	}

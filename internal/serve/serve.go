@@ -86,6 +86,12 @@ const (
 	// ExitUnavailable: the server was draining, or an injected/transient
 	// serving-layer fault rejected the request before evaluation.
 	ExitUnavailable = 11
+	// ExitSegmentCorrupt: the query touched a table whose durable
+	// segment failed verification and was quarantined
+	// (gmdj.ErrSegmentCorrupt). Not retryable — the bytes stay wrong
+	// until the table is re-created. (12 is skipped: cmd/olapd reserves
+	// it for its own shutdown leak check.)
+	ExitSegmentCorrupt = 13
 )
 
 // Class is the wire classification of one error: the taxonomy kind,
@@ -104,8 +110,8 @@ type Class struct {
 func KnownKinds() []string {
 	return []string{
 		"ok", "usage", "query", "canceled", "timeout", "row_budget",
-		"mem_budget", "admission_timeout", "spill_io", "internal",
-		"closed", "unavailable",
+		"mem_budget", "admission_timeout", "spill_io", "segment_corrupt",
+		"internal", "closed", "unavailable",
 	}
 }
 
@@ -134,6 +140,10 @@ func Classify(err error) Class {
 		return Class{Kind: "closed", ExitCode: ExitClosed, HTTPStatus: http.StatusServiceUnavailable}
 	case errors.Is(err, mem.ErrAdmissionTimeout):
 		return Class{Kind: "admission_timeout", ExitCode: ExitAdmission, HTTPStatus: http.StatusTooManyRequests, Retryable: true}
+	case errors.Is(err, gmdj.ErrSegmentCorrupt):
+		// Quarantined durable state: unlike spill_io the bytes on disk
+		// are wrong and stay wrong, so a retry cannot succeed.
+		return Class{Kind: "segment_corrupt", ExitCode: ExitSegmentCorrupt, HTTPStatus: http.StatusInternalServerError}
 	case errors.Is(err, spill.ErrSpillIO):
 		return Class{Kind: "spill_io", ExitCode: ExitSpillIO, HTTPStatus: http.StatusInternalServerError, Retryable: true}
 	case errors.Is(err, ErrDraining):

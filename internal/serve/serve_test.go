@@ -83,6 +83,7 @@ func TestClassifyTaxonomy(t *testing.T) {
 		{ErrDraining, "unavailable", 11, http.StatusServiceUnavailable, true},
 		{govern.ErrInjected, "unavailable", 11, http.StatusServiceUnavailable, true},
 		{govern.ErrInternal, "internal", 7, http.StatusInternalServerError, false},
+		{gmdj.ErrSegmentCorrupt, "segment_corrupt", 13, http.StatusInternalServerError, false},
 		{errors.New("parse error"), "query", 1, http.StatusBadRequest, false},
 	}
 	known := map[string]bool{}

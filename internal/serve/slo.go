@@ -30,7 +30,8 @@ type SLO struct {
 // errors, query errors, client cancelation, client-chosen timeouts,
 // row budgets — do not burn the server's budget.
 var serverFailureKinds = []string{
-	"admission_timeout", "closed", "internal", "mem_budget", "spill_io", "unavailable",
+	"admission_timeout", "closed", "internal", "mem_budget",
+	"segment_corrupt", "spill_io", "unavailable",
 }
 
 // ServerFailureKinds returns the taxonomy kinds that count against a

@@ -1,0 +1,58 @@
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// The GSPL frame is the repo's one on-disk envelope: the spill store
+// wraps every scratch file in it, and the durable storage layer
+// (internal/storage) reuses it for segment column blocks and manifest
+// payloads so both tiers share a single checksummed codec.
+//
+//	magic "GSPL" | version 1 (1B) | payload length (8B LE) |
+//	FNV-1a checksum of payload (8B LE) | payload
+
+// FrameOverhead is the fixed per-frame header size in bytes.
+const FrameOverhead = frameHeader
+
+// AppendFrame appends one GSPL frame holding payload to dst and
+// returns the extended slice.
+func AppendFrame(dst, payload []byte) []byte {
+	sum := fnv.New64a()
+	sum.Write(payload)
+	dst = append(dst, frameMagic...)
+	dst = append(dst, frameVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint64(dst, sum.Sum64())
+	return append(dst, payload...)
+}
+
+// DecodeFrame verifies the GSPL frame at the start of buf — magic,
+// version, length, checksum — and returns its payload plus the total
+// number of bytes the frame occupies (so callers can walk files
+// holding several consecutive frames). The payload aliases buf. Errors
+// are plain; callers wrap them in their tier's sentinel (ErrSpillIO,
+// storage.ErrSegmentCorrupt).
+func DecodeFrame(buf []byte) (payload []byte, n int, err error) {
+	if len(buf) < frameHeader {
+		return nil, 0, fmt.Errorf("truncated frame header (%d of %d bytes)", len(buf), frameHeader)
+	}
+	if string(buf[:4]) != frameMagic || buf[4] != frameVersion {
+		return nil, 0, fmt.Errorf("bad frame header (magic %q, version %d)", buf[:4], buf[4])
+	}
+	plen := binary.LittleEndian.Uint64(buf[5:13])
+	want := binary.LittleEndian.Uint64(buf[13:21])
+	rest := buf[frameHeader:]
+	if plen > uint64(len(rest)) {
+		return nil, 0, fmt.Errorf("truncated frame (%d of %d payload bytes)", len(rest), plen)
+	}
+	payload = rest[:plen]
+	sum := fnv.New64a()
+	sum.Write(payload)
+	if got := sum.Sum64(); got != want {
+		return nil, 0, fmt.Errorf("checksum mismatch (stored %016x, computed %016x)", want, got)
+	}
+	return payload, frameHeader + int(plen), nil
+}

@@ -20,10 +20,8 @@
 package spill
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -239,14 +237,7 @@ func (s *Store) Write(prefix string, payload []byte) (*File, error) {
 	path := filepath.Join(s.dir, fmt.Sprintf("%s-%06d.spill", prefix, s.seq))
 	s.mu.Unlock()
 
-	sum := fnv.New64a()
-	sum.Write(payload)
-	frame := make([]byte, 0, frameHeader+len(payload))
-	frame = append(frame, frameMagic...)
-	frame = append(frame, frameVersion)
-	frame = binary.LittleEndian.AppendUint64(frame, uint64(len(payload)))
-	frame = binary.LittleEndian.AppendUint64(frame, sum.Sum64())
-	frame = append(frame, payload...)
+	frame := AppendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
 
 	switch s.faults.Disk(SiteWrite) {
 	case govern.DiskENOSPC:
@@ -348,22 +339,10 @@ func (f *File) Read() ([]byte, error) {
 	if s.faults.Disk(SiteRead) == govern.DiskCorrupt && len(frame) > frameHeader {
 		frame[frameHeader] ^= 0xFF
 	}
-	if len(frame) < frameHeader || string(frame[:4]) != frameMagic || frame[4] != frameVersion {
+	payload, _, err := DecodeFrame(frame)
+	if err != nil {
 		f.Remove()
-		return nil, fmt.Errorf("%w: %s: bad frame header", ErrSpillIO, f.path)
-	}
-	n := binary.LittleEndian.Uint64(frame[5:13])
-	want := binary.LittleEndian.Uint64(frame[13:21])
-	payload := frame[frameHeader:]
-	if uint64(len(payload)) != n {
-		f.Remove()
-		return nil, fmt.Errorf("%w: %s: truncated frame (%d of %d payload bytes)", ErrSpillIO, f.path, len(payload), n)
-	}
-	sum := fnv.New64a()
-	sum.Write(payload)
-	if got := sum.Sum64(); got != want {
-		f.Remove()
-		return nil, fmt.Errorf("%w: %s: checksum mismatch (stored %016x, computed %016x)", ErrSpillIO, f.path, want, got)
+		return nil, fmt.Errorf("%w: %s: %v", ErrSpillIO, f.path, err)
 	}
 	s.reads.Add(1)
 	s.bytesRead.Add(int64(len(frame)))

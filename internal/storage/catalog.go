@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -27,7 +28,14 @@ var (
 // and index change. Compiled plans are validated against the schema
 // epoch; memoized results embed table id@version pairs in their keys,
 // making stale entries unreachable rather than merely invalid.
+//
+// The catalog is safe for concurrent use: lookups take a read lock,
+// DDL (Register/Drop) a write lock. Table contents have their own
+// concurrency story (immutable rows during queries, atomics for
+// version/quarantine); the catalog lock only guards the name → table
+// map.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 
 	schemaEpoch atomic.Uint64
@@ -48,13 +56,17 @@ func (c *Catalog) Register(t *Table) {
 		t.id = nextTableID.Add(1)
 	}
 	t.epochs = &c.schemaEpoch
+	c.mu.Lock()
 	c.tables[t.Name] = t
+	c.mu.Unlock()
 	c.schemaEpoch.Add(1)
 }
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: %w: %q", ErrUnknownTable, name)
 	}
@@ -63,19 +75,23 @@ func (c *Catalog) Table(name string) (*Table, error) {
 
 // Drop removes a table; dropping an absent table is a no-op.
 func (c *Catalog) Drop(name string) {
-	if _, ok := c.tables[name]; !ok {
-		return
-	}
+	c.mu.Lock()
+	_, ok := c.tables[name]
 	delete(c.tables, name)
-	c.schemaEpoch.Add(1)
+	c.mu.Unlock()
+	if ok {
+		c.schemaEpoch.Add(1)
+	}
 }
 
 // Names lists all table names, sorted.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }

@@ -14,6 +14,30 @@ import (
 // collide with a real string value starting differently.
 const nullMarker = `\N`
 
+// CSVError pinpoints exactly where a CSV load went wrong: the 1-based
+// line (the header is line 1) and, for cell-level failures, the column
+// name. Ragged rows and unparseable cells both surface as a *CSVError
+// instead of silently mis-loading or as an anonymous wrapped string.
+// Match the cause with errors.Unwrap / errors.Is.
+type CSVError struct {
+	// Line is the 1-based input line the failure occurred on.
+	Line int
+	// Column names the offending column for cell-level failures; empty
+	// when the row itself is malformed (ragged width, bad quoting).
+	Column string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *CSVError) Error() string {
+	if e.Column != "" {
+		return fmt.Sprintf("storage: csv line %d column %q: %v", e.Line, e.Column, e.Err)
+	}
+	return fmt.Sprintf("storage: csv line %d: %v", e.Line, e.Err)
+}
+
+func (e *CSVError) Unwrap() error { return e.Err }
+
 // WriteCSV writes the relation as CSV: a header of column names
 // followed by rows. NULL cells are written as \N.
 func WriteCSV(w io.Writer, rel *relation.Relation) error {
@@ -66,13 +90,19 @@ func ReadCSV(r io.Reader, schema *relation.Schema) (*relation.Relation, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("storage: reading csv line %d: %w", lineNo, err)
+			// encoding/csv reports ragged rows (ErrFieldCount) and quoting
+			// failures here; its own line accounting can differ under
+			// multi-line quoted fields, so ours is authoritative.
+			return nil, &CSVError{Line: lineNo, Err: err}
+		}
+		if len(rec) != schema.Len() {
+			return nil, &CSVError{Line: lineNo, Err: fmt.Errorf("row has %d columns, schema wants %d", len(rec), schema.Len())}
 		}
 		row := make(relation.Tuple, len(rec))
 		for i, cell := range rec {
 			v, err := parseCell(cell, schema.Columns[i].Type)
 			if err != nil {
-				return nil, fmt.Errorf("storage: csv line %d column %q: %w", lineNo, header[i], err)
+				return nil, &CSVError{Line: lineNo, Column: header[i], Err: err}
 			}
 			row[i] = v
 		}

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// TestCSVErrorPinpointsLineAndColumn: every malformed input must
+// surface a *CSVError naming the exact 1-based line (header = line 1)
+// and, for cell failures, the offending column — the operator's first
+// question when a bulk load dies halfway through a file.
+func TestCSVErrorPinpointsLineAndColumn(t *testing.T) {
+	s := relation.NewSchema(
+		relation.Column{Name: "id", Type: value.KindInt},
+		relation.Column{Name: "score", Type: value.KindFloat},
+		relation.Column{Name: "ok", Type: value.KindBool},
+	)
+	cases := []struct {
+		name   string
+		in     string
+		line   int
+		column string
+	}{
+		{"bad int first data row", "id,score,ok\nnope,1.5,true\n", 2, "id"},
+		{"bad float later row", "id,score,ok\n1,1.5,true\n2,2.5,false\n3,huh,true\n", 4, "score"},
+		{"bad bool", "id,score,ok\n1,1.5,maybe\n", 2, "ok"},
+		{"ragged short row", "id,score,ok\n1,1.5,true\n2,2.5\n", 3, ""},
+		{"ragged long row", "id,score,ok\n1,1.5,true,extra\n", 2, ""},
+		{"unterminated quote", "id,score,ok\n\"1,1.5,true\n", 2, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(c.in), s)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			var ce *CSVError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v (%T) is not a *CSVError", err, err)
+			}
+			if ce.Line != c.line || ce.Column != c.column {
+				t.Fatalf("error at line %d column %q, want line %d column %q (%v)",
+					ce.Line, ce.Column, c.line, c.column, ce)
+			}
+			if !strings.Contains(ce.Error(), "line") {
+				t.Fatalf("message %q does not mention the line", ce.Error())
+			}
+		})
+	}
+
+	// Header-level failures are not cell failures and predate row
+	// accounting: they must stay plain errors, not mis-pinned lines.
+	for _, in := range []string{"", "wrong,score,ok\n1,1.5,true\n"} {
+		if _, err := ReadCSV(strings.NewReader(in), s); err == nil {
+			t.Errorf("header input %q: expected error", in)
+		}
+	}
+}
+
+// TestCSVErrorUnwraps: the cause survives the typed wrapper, so
+// callers can still match the underlying parse failure.
+func TestCSVErrorUnwraps(t *testing.T) {
+	s := relation.NewSchema(relation.Column{Name: "id", Type: value.KindInt})
+	_, err := ReadCSV(strings.NewReader("id\n0x12\n"), s)
+	var ce *CSVError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *CSVError", err)
+	}
+	if errors.Unwrap(ce) == nil {
+		t.Fatal("CSVError hides its cause")
+	}
+}

@@ -1,0 +1,538 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/olaplab/gmdj/internal/value"
+)
+
+// Column block encodings. Each column of a segment is serialized as
+// one payload (wrapped in its own GSPL frame by segfile.go):
+//
+//	enc (1B) | kind (1B) | rows (uvarint) | body
+//
+// with four encodings chosen per column by simple statistics:
+//
+//	encPlain  null bitmap, then every non-NULL cell back to back
+//	encDict   (STRING only) null bitmap, dictionary, per-cell indexes
+//	encRLE    runs of bit-identical cells (NULL runs included)
+//	encBoxed  kind-tagged cells verbatim (mixed-kind columns)
+//
+// Typed cell payloads: INT varint, FLOAT 8B LE IEEE-754 bits, STRING
+// uvarint length + bytes, BOOL one byte. Decoding is defensive — any
+// malformed input yields an error, never a panic or an oversized
+// allocation (FuzzSegmentDecode leans on this).
+const (
+	encPlain byte = iota
+	encDict
+	encRLE
+	encBoxed
+)
+
+// encodeColumn serializes one column, choosing the encoding.
+func encodeColumn(c *ColVec) []byte {
+	n := c.Len()
+	out := []byte{0, byte(c.Kind)}
+	out = binary.AppendUvarint(out, uint64(n))
+	switch {
+	case c.Boxed != nil:
+		out[0] = encBoxed
+		for _, v := range c.Boxed {
+			out = appendTagged(out, v)
+		}
+	case runCount(c)*2 <= n:
+		out[0] = encRLE
+		out = appendRLE(out, c)
+	case c.Kind == value.KindString && distinctStrings(c)*2 <= nonNullCount(c):
+		out[0] = encDict
+		out = appendBitmap(out, c.Nulls)
+		out = appendDict(out, c)
+	default:
+		out[0] = encPlain
+		out = appendBitmap(out, c.Nulls)
+		for i := 0; i < n; i++ {
+			if !c.Nulls[i] {
+				out = appendTypedCell(out, c, i)
+			}
+		}
+	}
+	return out
+}
+
+// decodeColumn parses a column payload back into a ColVec. The row
+// count is validated against what the encoding's body can possibly
+// describe before anything row-sized is allocated, so a forged header
+// cannot force an oversized allocation.
+func decodeColumn(buf []byte) (*ColVec, error) {
+	r := &byteReader{buf: buf}
+	enc := r.byteVal()
+	kind := value.Kind(r.byteVal())
+	n64 := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	switch kind {
+	case value.KindNull, value.KindInt, value.KindFloat, value.KindString, value.KindBool:
+	default:
+		return nil, fmt.Errorf("column kind %d unknown", kind)
+	}
+	remaining := uint64(len(buf) - r.off)
+	switch enc {
+	case encBoxed:
+		// Every boxed cell takes at least its kind byte.
+		if n64 > remaining {
+			return nil, fmt.Errorf("boxed row count %d exceeds %d payload bytes", n64, remaining)
+		}
+	case encPlain, encDict:
+		// The null bitmap alone needs (n+7)/8 bytes.
+		if n64 > 8*remaining {
+			return nil, fmt.Errorf("row count %d exceeds what %d payload bytes can hold", n64, remaining)
+		}
+	case encRLE:
+		// Validated below by summing run lengths before allocating.
+	default:
+		return nil, fmt.Errorf("column encoding %d unknown", enc)
+	}
+	n := int(n64)
+	c := &ColVec{Kind: kind}
+	switch enc {
+	case encBoxed:
+		if kind != value.KindNull {
+			return nil, fmt.Errorf("boxed column with kind %s", kind)
+		}
+		c.Nulls = make([]bool, n)
+		c.Boxed = make([]value.Value, n)
+		for i := 0; i < n; i++ {
+			c.Boxed[i] = r.tagged()
+			c.Nulls[i] = c.Boxed[i].IsNull()
+		}
+	case encRLE:
+		if err := readRLE(r, c, n); err != nil {
+			return nil, err
+		}
+	case encDict:
+		if kind != value.KindString {
+			return nil, fmt.Errorf("dict column with kind %s", kind)
+		}
+		c.Nulls = make([]bool, n)
+		r.bitmap(c.Nulls)
+		if err := readDict(r, c, n); err != nil {
+			return nil, err
+		}
+	case encPlain:
+		c.Nulls = make([]bool, n)
+		r.bitmap(c.Nulls)
+		allocTyped(c, n)
+		for i := 0; i < n; i++ {
+			if !c.Nulls[i] {
+				r.typedCell(c, i)
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("column payload has %d trailing bytes", len(r.buf)-r.off)
+	}
+	return c, nil
+}
+
+func nonNullCount(c *ColVec) int {
+	n := 0
+	for _, isNull := range c.Nulls {
+		if !isNull {
+			n++
+		}
+	}
+	return n
+}
+
+func distinctStrings(c *ColVec) int {
+	seen := make(map[string]struct{})
+	for i, s := range c.Strs {
+		if !c.Nulls[i] {
+			seen[s] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+func runCount(c *ColVec) int {
+	n := c.Len()
+	if n == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if !c.sameCell(i-1, i) {
+			runs++
+		}
+	}
+	return runs
+}
+
+func allocTyped(c *ColVec, n int) {
+	switch c.Kind {
+	case value.KindInt, value.KindBool:
+		c.Ints = make([]int64, n)
+	case value.KindFloat:
+		c.Floats = make([]float64, n)
+	case value.KindString:
+		c.Strs = make([]string, n)
+	}
+}
+
+// appendTypedCell appends the payload of non-NULL cell i without a
+// kind tag (the column header carries the kind).
+func appendTypedCell(dst []byte, c *ColVec, i int) []byte {
+	switch c.Kind {
+	case value.KindInt:
+		return binary.AppendVarint(dst, c.Ints[i])
+	case value.KindFloat:
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Floats[i]))
+	case value.KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(c.Strs[i])))
+		return append(dst, c.Strs[i]...)
+	case value.KindBool:
+		if c.Ints[i] != 0 {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	}
+	return dst
+}
+
+// appendTagged appends kind byte + payload (boxed cells, manifest and
+// zone values).
+func appendTagged(dst []byte, v value.Value) []byte {
+	dst = append(dst, byte(v.Kind()))
+	switch v.Kind() {
+	case value.KindInt:
+		return binary.AppendVarint(dst, v.AsInt())
+	case value.KindFloat:
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.AsFloat()))
+	case value.KindString:
+		s := v.AsString()
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	case value.KindBool:
+		if v.AsBool() {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	}
+	return dst
+}
+
+func appendBitmap(dst []byte, nulls []bool) []byte {
+	var cur byte
+	for i, isNull := range nulls {
+		if isNull {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(nulls)%8 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+func appendRLE(dst []byte, c *ColVec) []byte {
+	n := c.Len()
+	var runs [][2]int // start, length
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && c.sameCell(i, j) {
+			j++
+		}
+		runs = append(runs, [2]int{i, j - i})
+		i = j
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(runs)))
+	for _, run := range runs {
+		dst = binary.AppendUvarint(dst, uint64(run[1]))
+		if c.Nulls[run[0]] {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+			dst = appendTypedCell(dst, c, run[0])
+		}
+	}
+	return dst
+}
+
+func readRLE(r *byteReader, c *ColVec, n int) error {
+	// Pre-scan the run structure without allocating anything row-sized:
+	// the declared row count is only trusted once the runs add up to it.
+	start := r.off
+	runs := r.count()
+	total := uint64(0)
+	for ri := 0; ri < runs && r.err == nil; ri++ {
+		length := r.uvarint()
+		flag := r.byteVal()
+		total += length
+		if total > uint64(n) {
+			return fmt.Errorf("rle runs exceed row count %d", n)
+		}
+		if flag != 0 {
+			r.skipTypedCell(c.Kind)
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if total != uint64(n) {
+		return fmt.Errorf("rle runs cover %d of %d rows", total, n)
+	}
+	end := r.off
+	r.off = start
+
+	c.Nulls = make([]bool, n)
+	allocTyped(c, n)
+	r.count()
+	at := 0
+	for ri := 0; ri < runs && r.err == nil; ri++ {
+		length := int(r.uvarint())
+		flag := r.byteVal()
+		if flag == 0 {
+			for i := at; i < at+length; i++ {
+				c.Nulls[i] = true
+			}
+		} else {
+			r.typedCell(c, at)
+			for i := at + 1; i < at+length; i++ {
+				copyTypedCell(c, at, i)
+			}
+		}
+		at += length
+	}
+	if r.err != nil {
+		return r.err
+	}
+	r.off = end
+	return nil
+}
+
+func copyTypedCell(c *ColVec, from, to int) {
+	switch c.Kind {
+	case value.KindInt, value.KindBool:
+		c.Ints[to] = c.Ints[from]
+	case value.KindFloat:
+		c.Floats[to] = c.Floats[from]
+	case value.KindString:
+		c.Strs[to] = c.Strs[from]
+	}
+}
+
+func appendDict(dst []byte, c *ColVec) []byte {
+	index := make(map[string]uint64)
+	var dict []string
+	for i, s := range c.Strs {
+		if c.Nulls[i] {
+			continue
+		}
+		if _, ok := index[s]; !ok {
+			index[s] = uint64(len(dict))
+			dict = append(dict, s)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(dict)))
+	for _, s := range dict {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	for i, s := range c.Strs {
+		if !c.Nulls[i] {
+			dst = binary.AppendUvarint(dst, index[s])
+		}
+	}
+	return dst
+}
+
+func readDict(r *byteReader, c *ColVec, n int) error {
+	c.Strs = make([]string, n)
+	dictLen := r.count()
+	dict := make([]string, 0, min(dictLen, 1024))
+	for i := 0; i < dictLen && r.err == nil; i++ {
+		dict = append(dict, r.str())
+	}
+	if r.err != nil {
+		return r.err
+	}
+	for i := 0; i < n; i++ {
+		if c.Nulls[i] {
+			continue
+		}
+		idx := r.uvarint()
+		if r.err != nil {
+			return r.err
+		}
+		if idx >= uint64(len(dict)) {
+			return fmt.Errorf("dict index %d out of range (%d entries)", idx, len(dict))
+		}
+		c.Strs[i] = dict[idx]
+	}
+	return nil
+}
+
+// byteReader is a defensive cursor over an untrusted payload: every
+// getter validates bounds and sets a sticky error instead of
+// panicking, and length-prefixed reads are capped by the bytes that
+// actually remain so a forged length cannot force a huge allocation.
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *byteReader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("unexpected end of payload at offset %d", r.off)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return u
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a uvarint that counts in-payload items; it can never
+// meaningfully exceed the bytes remaining, which caps allocations.
+func (r *byteReader) count() int {
+	u := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if u > uint64(len(r.buf)-r.off)+1 {
+		r.fail("count %d exceeds %d remaining payload bytes", u, len(r.buf)-r.off)
+		return 0
+	}
+	return int(u)
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("unexpected end of payload at offset %d (want %d bytes)", r.off, n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *byteReader) str() string {
+	n := r.count()
+	return string(r.take(n))
+}
+
+func (r *byteReader) float() float64 {
+	b := r.take(8)
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (r *byteReader) bitmap(nulls []bool) {
+	nbytes := (len(nulls) + 7) / 8
+	b := r.take(nbytes)
+	if r.err != nil {
+		return
+	}
+	for i := range nulls {
+		nulls[i] = b[i/8]&(1<<(i%8)) != 0
+	}
+}
+
+// skipTypedCell advances past one typed cell payload without storing
+// it (the RLE pre-scan).
+func (r *byteReader) skipTypedCell(kind value.Kind) {
+	switch kind {
+	case value.KindInt:
+		r.varint()
+	case value.KindFloat:
+		r.take(8)
+	case value.KindString:
+		r.take(r.count())
+	case value.KindBool:
+		r.byteVal()
+	}
+}
+
+func (r *byteReader) typedCell(c *ColVec, i int) {
+	switch c.Kind {
+	case value.KindInt:
+		c.Ints[i] = r.varint()
+	case value.KindFloat:
+		c.Floats[i] = r.float()
+	case value.KindString:
+		c.Strs[i] = r.str()
+	case value.KindBool:
+		if r.byteVal() != 0 {
+			c.Ints[i] = 1
+		}
+	}
+}
+
+func (r *byteReader) tagged() value.Value {
+	kind := value.Kind(r.byteVal())
+	switch kind {
+	case value.KindNull:
+		return value.Null
+	case value.KindInt:
+		return value.Int(r.varint())
+	case value.KindFloat:
+		return value.Float(r.float())
+	case value.KindString:
+		return value.Str(r.str())
+	case value.KindBool:
+		return value.Bool(r.byteVal() != 0)
+	default:
+		r.fail("unknown value kind %d", kind)
+		return value.Null
+	}
+}

@@ -1,13 +1,21 @@
-// Package storage provides named in-memory tables, secondary indexes,
-// a catalog, and CSV persistence. It is the engine's "disk": the
-// native evaluation strategy depends on these indexes (the paper's
-// Figure 5 contrasts indexed and unindexed native/join evaluation),
-// while the GMDJ strategy deliberately does not.
+// Package storage provides named tables, secondary indexes, a catalog,
+// CSV import/export, and the durable columnar tier. It is the engine's
+// "disk" in both senses: the native evaluation strategy depends on the
+// secondary indexes (the paper's Figure 5 contrasts indexed and
+// unindexed native/join evaluation), while persistence packs every
+// table into an immutable columnar Segment — per-column blocks with
+// dictionary/run-length encoding and per-block min/max zone maps —
+// written as FNV-checksummed GSPL frames and committed by an atomic,
+// generation-numbered manifest (see DiskStore). Recovery quarantines
+// corrupt or torn segments instead of failing: unaffected tables keep
+// serving and queries touching a quarantined table return
+// ErrSegmentCorrupt.
 package storage
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"github.com/olaplab/gmdj/internal/relation"
@@ -147,6 +155,17 @@ type Table struct {
 	// epochs points at the owning catalog's schema epoch (nil before
 	// registration) so index changes invalidate compiled plans too.
 	epochs *atomic.Uint64
+
+	// segMu guards the lazily built packed-columnar image of the table;
+	// segVersion records which table version it reflects.
+	segMu      sync.Mutex
+	seg        *Segment
+	segVersion uint64
+
+	// quarantine, when set, records why the table's durable segment
+	// failed recovery; queries touching the table fail with
+	// ErrSegmentCorrupt until it is rewritten.
+	quarantine atomic.Pointer[string]
 }
 
 // NewTable wraps a relation as a named table.

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"github.com/olaplab/gmdj/internal/relation"
+	"github.com/olaplab/gmdj/internal/spill"
+)
+
+// The manifest is the commit record of the durable store: one GSPL
+// frame naming the generation and, for every table, the segment file
+// holding its data. A checkpoint writes new segment files first, then
+// commits them all at once by renaming MANIFEST-<gen> into place — a
+// crash between the two leaves the previous generation intact, and a
+// reader never sees a half-committed generation. Manifest filenames
+// embed the generation as 16 hex digits so lexical order is numeric
+// order.
+
+// manifestFormatVersion versions the manifest payload layout.
+const manifestFormatVersion = 1
+
+const manifestPrefix = "MANIFEST-"
+
+// manifestEntry records one table of a committed generation. The
+// schema is stored in the manifest too (not only in the segment file)
+// so a table whose segment is corrupt can still be quarantined with
+// its proper schema.
+type manifestEntry struct {
+	Table  string
+	File   string
+	Rows   uint64
+	Schema *relation.Schema
+}
+
+// manifest is one committed generation.
+type manifest struct {
+	Generation uint64
+	Entries    []manifestEntry
+}
+
+// manifestName renders the filename for a generation.
+func manifestName(gen uint64) string {
+	return fmt.Sprintf("%s%016x", manifestPrefix, gen)
+}
+
+// parseManifestName extracts the generation from a manifest filename.
+func parseManifestName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, manifestPrefix)
+	if !ok || len(rest) != 16 {
+		return 0, false
+	}
+	var gen uint64
+	if _, err := fmt.Sscanf(rest, "%016x", &gen); err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// encodeManifest serializes m as one GSPL frame.
+func encodeManifest(m *manifest) []byte {
+	payload := binary.AppendUvarint(nil, manifestFormatVersion)
+	payload = binary.AppendUvarint(payload, m.Generation)
+	payload = binary.AppendUvarint(payload, uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		payload = appendString(payload, e.Table)
+		payload = appendString(payload, e.File)
+		payload = binary.AppendUvarint(payload, e.Rows)
+		payload = appendSchema(payload, e.Schema)
+	}
+	return spill.AppendFrame(nil, payload)
+}
+
+// decodeManifest parses manifest-file bytes, verifying the frame
+// checksum and the payload structure.
+func decodeManifest(buf []byte) (*manifest, error) {
+	payload, n, err := spill.DecodeFrame(buf)
+	if err != nil {
+		return nil, fmt.Errorf("manifest frame: %w", err)
+	}
+	if n != len(buf) {
+		return nil, fmt.Errorf("manifest has %d trailing bytes", len(buf)-n)
+	}
+	r := &byteReader{buf: payload}
+	version := r.uvarint()
+	if r.err == nil && version != manifestFormatVersion {
+		return nil, fmt.Errorf("manifest format version %d (want %d)", version, manifestFormatVersion)
+	}
+	m := &manifest{Generation: r.uvarint()}
+	nentries := r.count()
+	for i := 0; i < nentries && r.err == nil; i++ {
+		e := manifestEntry{Table: r.str(), File: r.str(), Rows: r.uvarint()}
+		schema, serr := readSchema(r)
+		if serr != nil {
+			return nil, fmt.Errorf("manifest entry %d: %w", i, serr)
+		}
+		e.Schema = schema
+		if r.err == nil {
+			if e.Table == "" || e.File == "" || strings.ContainsAny(e.File, "/\\") {
+				return nil, fmt.Errorf("manifest entry %d is malformed (table %q, file %q)", i, e.Table, e.File)
+			}
+			m.Entries = append(m.Entries, e)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("manifest payload: %w", r.err)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("manifest payload has %d trailing bytes", len(payload)-r.off)
+	}
+	return m, nil
+}

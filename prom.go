@@ -70,6 +70,25 @@ func (db *DB) PromCollect(p *obs.PromWriter) {
 	p.Counter("gmdj_spill_bytes_read_total", "Bytes read back from the scratch spill store.", nil, ms.SpillBytesRead)
 	p.Gauge("gmdj_spill_live_files", "Live files in the scratch spill store.", nil, float64(ms.SpillLiveFiles))
 
+	// Storage families appear only when a data directory is configured,
+	// mirroring how the serving layer gates optional families: a purely
+	// in-memory deployment's exposition (and the golden test pinning it)
+	// stays byte-stable, while any persistent deployment always exports
+	// the full set (zeros included).
+	if ss := db.StorageStats(); ss.Enabled {
+		p.Gauge("olap_storage_generation", "Committed manifest generation of the durable store.", nil, float64(ss.Generation))
+		p.Gauge("olap_storage_tables", "Tables in the committed generation.", nil, float64(ss.Tables))
+		p.Gauge("olap_storage_quarantined_tables", "Tables currently quarantined by segment verification failures.", nil, float64(ss.QuarantinedTables))
+		p.Counter("olap_storage_segments_written_total", "Segment files persisted by checkpoints.", nil, ss.SegmentsWritten)
+		p.Counter("olap_storage_segments_recovered_total", "Segment files read back intact during recovery.", nil, ss.SegmentsRecovered)
+		p.Counter("olap_storage_segments_quarantined_total", "Segment verification failures that quarantined a table.", nil, ss.Quarantined)
+		p.Counter("olap_storage_checkpoints_total", "Committed checkpoint generations.", nil, ss.Checkpoints)
+		p.Counter("olap_storage_recoveries_total", "Data-directory opens (recovery passes).", nil, ss.Recoveries)
+		p.Counter("olap_storage_manifests_skipped_total", "Torn manifest commits recovery walked past.", nil, ss.SkippedManifests)
+		p.Counter("olap_storage_bytes_written_total", "Bytes written to the durable store.", nil, ss.BytesWritten)
+		p.Counter("olap_storage_bytes_read_total", "Bytes read back from the durable store.", nil, ss.BytesRead)
+	}
+
 	for key, snap := range db.eng.Observer().Histograms() {
 		switch {
 		case strings.HasPrefix(key, "query_ns."):

@@ -115,7 +115,7 @@ LOADGEN_PID=$!
 # mutation.
 sleep 8
 curl -fsS "${TARGET}/metrics" > "${OUT_DIR}/metrics_midstorm.prom"
-bin/promcheck -reconcile -max-tenant-labels 33 \
+bin/promcheck -reconcile -storage -max-tenant-labels 33 \
   -require "olap_requests_total,olap_responses_total,olap_request_duration_seconds,olap_slo_error_budget_burn,gmdj_engine_events_total" \
   "${OUT_DIR}/metrics_midstorm.prom"
 echo "serve_storm: mid-storm /metrics scrape valid"
@@ -152,7 +152,7 @@ echo "serve_storm: phase 1 clean (results in ${OUT_DIR}/serve_storm_result.json,
 # counter must exactly equal its summed responses.
 sleep 1
 curl -fsS "${TARGET}/metrics" > "${OUT_DIR}/metrics_quiesced.prom"
-bin/promcheck -reconcile -quiesced -max-tenant-labels 33 "${OUT_DIR}/metrics_quiesced.prom"
+bin/promcheck -reconcile -quiesced -storage -max-tenant-labels 33 "${OUT_DIR}/metrics_quiesced.prom"
 echo "serve_storm: quiesced /metrics reconciles exactly"
 
 # The trace ring holds the storm's tail: serving-phase spans (request,
